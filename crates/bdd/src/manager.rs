@@ -1,0 +1,517 @@
+//! The BDD node store and Boolean operations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a Boolean variable inside a [`BddManager`].
+///
+/// Variables are ordered by creation; the ordering is also the BDD variable
+/// order.  In `record`, instruction-word bits are registered first (so they
+/// sit at the top of every diagram) followed by mode-register bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+/// A handle to a BDD node owned by some [`BddManager`].
+///
+/// Handles are plain indices: they are `Copy`, cheap to store in the many
+/// thousands of RT templates produced by instruction-set extraction, and two
+/// handles from the same manager represent the same Boolean function if and
+/// only if they are equal (canonicity of ROBDDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: VarId,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    And(Bdd, Bdd),
+    Or(Bdd, Bdd),
+    Xor(Bdd, Bdd),
+    Not(Bdd),
+}
+
+/// Owner of all BDD nodes, the unique table and the operation caches.
+///
+/// All operations that may create nodes take `&mut self`; handles returned by
+/// one manager must not be used with another (doing so yields wrong answers,
+/// not undefined behaviour).
+///
+/// # Example
+///
+/// ```
+/// use record_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.var("x");
+/// let y = m.var("y");
+/// let f = m.or(x, y);
+/// assert!(m.is_sat(f));
+/// assert_eq!(m.sat_count(f), 3); // 3 of the 4 assignments satisfy x|y
+/// ```
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    cache: HashMap<OpKey, Bdd>,
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        // Slots 0 and 1 are the terminals; their `Node` payloads are dummies
+        // that are never looked at (every accessor checks for terminals
+        // first), they only keep indices aligned.
+        let dummy = Node {
+            var: VarId(u32::MAX),
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        };
+        BddManager {
+            nodes: vec![dummy, dummy],
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Number of live (hash-consed) internal nodes, excluding terminals.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    /// Number of registered variables.
+    pub fn var_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns the function of a single variable, registering `name` on
+    /// first use.  Calling `var` twice with the same name returns the same
+    /// function.
+    pub fn var(&mut self, name: &str) -> Bdd {
+        let id = self.var_id(name);
+        self.literal(id, true)
+    }
+
+    /// Registers (or looks up) a variable by name and returns its id.
+    pub fn var_id(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Name of a registered variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this manager.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The positive (`phase = true`) or negative literal of `id`.
+    pub fn literal(&mut self, id: VarId, phase: bool) -> Bdd {
+        assert!(
+            (id.0 as usize) < self.names.len(),
+            "literal of unregistered variable {id:?}"
+        );
+        if phase {
+            self.mk(id, Bdd::FALSE, Bdd::TRUE)
+        } else {
+            self.mk(id, Bdd::TRUE, Bdd::FALSE)
+        }
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Is `f` the constant-false function (i.e. unsatisfiable)?
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f == Bdd::FALSE
+    }
+
+    /// Is `f` the constant-true function (i.e. a tautology)?
+    pub fn is_true(&self, f: Bdd) -> bool {
+        f == Bdd::TRUE
+    }
+
+    /// Is `f` satisfiable?
+    pub fn is_sat(&self, f: Bdd) -> bool {
+        f != Bdd::FALSE
+    }
+
+    fn mk(&mut self, var: VarId, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        b
+    }
+
+    fn top_var(&self, f: Bdd) -> Option<VarId> {
+        if f == Bdd::FALSE || f == Bdd::TRUE {
+            None
+        } else {
+            Some(self.nodes[f.index()].var)
+        }
+    }
+
+    /// Shannon cofactors of `f` with respect to `var` (assumes `var` is at or
+    /// above the top variable of `f`).
+    fn cofactors(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
+        match self.top_var(f) {
+            Some(v) if v == var => {
+                let n = self.nodes[f.index()];
+                (n.lo, n.hi)
+            }
+            _ => (f, f),
+        }
+    }
+
+    /// Conjunction `a && b`.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        // Terminal cases.
+        if a == Bdd::FALSE || b == Bdd::FALSE {
+            return Bdd::FALSE;
+        }
+        if a == Bdd::TRUE {
+            return b;
+        }
+        if b == Bdd::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&OpKey::And(a, b)) {
+            return r;
+        }
+        let va = self.nodes[a.index()].var;
+        let vb = self.nodes[b.index()].var;
+        let v = va.min(vb);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.and(a0, b0);
+        let hi = self.and(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(OpKey::And(a, b), r);
+        r
+    }
+
+    /// Disjunction `a || b`.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        if a == Bdd::TRUE || b == Bdd::TRUE {
+            return Bdd::TRUE;
+        }
+        if a == Bdd::FALSE {
+            return b;
+        }
+        if b == Bdd::FALSE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&OpKey::Or(a, b)) {
+            return r;
+        }
+        let va = self.nodes[a.index()].var;
+        let vb = self.nodes[b.index()].var;
+        let v = va.min(vb);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.or(a0, b0);
+        let hi = self.or(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(OpKey::Or(a, b), r);
+        r
+    }
+
+    /// Exclusive or `a ^ b`.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        if a == b {
+            return Bdd::FALSE;
+        }
+        if a == Bdd::FALSE {
+            return b;
+        }
+        if b == Bdd::FALSE {
+            return a;
+        }
+        if a == Bdd::TRUE {
+            return self.not(b);
+        }
+        if b == Bdd::TRUE {
+            return self.not(a);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&OpKey::Xor(a, b)) {
+            return r;
+        }
+        let va = self.nodes[a.index()].var;
+        let vb = self.nodes[b.index()].var;
+        let v = va.min(vb);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.xor(a0, b0);
+        let hi = self.xor(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(OpKey::Xor(a, b), r);
+        r
+    }
+
+    /// Negation `!a`.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        if a == Bdd::FALSE {
+            return Bdd::TRUE;
+        }
+        if a == Bdd::TRUE {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.cache.get(&OpKey::Not(a)) {
+            return r;
+        }
+        let n = self.nodes[a.index()];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.cache.insert(OpKey::Not(a), r);
+        r
+    }
+
+    /// Logical equivalence `a <-> b`.
+    pub fn iff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// If-then-else `c ? t : e`.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let ce = self.and(nc, e);
+        self.or(ct, ce)
+    }
+
+    /// Restricts `f` by fixing `var` to `value` (Shannon cofactor).
+    pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+        if f == Bdd::FALSE || f == Bdd::TRUE {
+            return f;
+        }
+        let n = self.nodes[f.index()];
+        if n.var > var {
+            // `var` does not occur in `f` (ordering!).
+            return f;
+        }
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, var, value);
+        let hi = self.restrict(n.hi, var, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification of `var` in `f`.
+    pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[i]` is the value
+    /// of variable `i`; missing variables default to `false`).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == Bdd::FALSE {
+                return false;
+            }
+            if cur == Bdd::TRUE {
+                return true;
+            }
+            let n = self.nodes[cur.index()];
+            let v = assignment.get(n.var.0 as usize).copied().unwrap_or(false);
+            cur = if v { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of satisfying assignments of `f` over all registered
+    /// variables.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let nvars = self.names.len() as u32;
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        self.sat_count_rec(f, 0, nvars, &mut memo)
+    }
+
+    fn sat_count_rec(&self, f: Bdd, from: u32, nvars: u32, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f == Bdd::FALSE {
+            return 0;
+        }
+        if f == Bdd::TRUE {
+            return 1u128 << (nvars - from);
+        }
+        let n = self.nodes[f.index()];
+        let key = f;
+        let below = if let Some(&c) = memo.get(&key) {
+            c
+        } else {
+            let lo = self.sat_count_rec(n.lo, n.var.0 + 1, nvars, memo);
+            let hi = self.sat_count_rec(n.hi, n.var.0 + 1, nvars, memo);
+            let c = lo + hi;
+            memo.insert(key, c);
+            c
+        };
+        // Account for the skipped variables between `from` and the top var.
+        below << (n.var.0 - from)
+    }
+
+    /// The set of variables `f` depends on, in ascending order.
+    pub fn support(&self, f: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b == Bdd::FALSE || b == Bdd::TRUE || !visited.insert(b) {
+                continue;
+            }
+            let n = self.nodes[b.index()];
+            seen.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Returns one satisfying partial assignment of `f` (variables not
+    /// mentioned may take any value), or `None` if `f` is unsatisfiable.
+    pub fn one_sat(&self, f: Bdd) -> Option<Vec<(VarId, bool)>> {
+        if f == Bdd::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while cur != Bdd::TRUE {
+            let n = self.nodes[cur.index()];
+            if n.hi != Bdd::FALSE {
+                path.push((n.var, true));
+                cur = n.hi;
+            } else {
+                path.push((n.var, false));
+                cur = n.lo;
+            }
+        }
+        Some(path)
+    }
+
+    /// Renders `f` as a sum-of-products string using variable names, mainly
+    /// for diagnostics and golden tests.  The constant functions render as
+    /// `"0"` and `"1"`.
+    pub fn to_cubes(&self, f: Bdd) -> String {
+        if f == Bdd::FALSE {
+            return "0".to_owned();
+        }
+        if f == Bdd::TRUE {
+            return "1".to_owned();
+        }
+        let mut cubes = Vec::new();
+        let mut lits: Vec<(VarId, bool)> = Vec::new();
+        self.cubes_rec(f, &mut lits, &mut cubes);
+        cubes.join(" | ")
+    }
+
+    fn cubes_rec(&self, f: Bdd, lits: &mut Vec<(VarId, bool)>, out: &mut Vec<String>) {
+        if f == Bdd::FALSE {
+            return;
+        }
+        if f == Bdd::TRUE {
+            let cube = lits
+                .iter()
+                .map(|&(v, ph)| {
+                    if ph {
+                        self.var_name(v).to_owned()
+                    } else {
+                        format!("!{}", self.var_name(v))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("&");
+            out.push(if cube.is_empty() { "1".into() } else { cube });
+            return;
+        }
+        let n = self.nodes[f.index()];
+        lits.push((n.var, false));
+        self.cubes_rec(n.lo, lits, out);
+        lits.pop();
+        lits.push((n.var, true));
+        self.cubes_rec(n.hi, lits, out);
+        lits.pop();
+    }
+
+    /// Builds the condition "the bit-vector `bits` equals `value`", i.e.
+    /// the conjunction over all bit positions of `bits[i] <-> value_i`.
+    ///
+    /// `bits[0]` is the least significant bit.
+    pub fn vector_equals(&mut self, bits: &[Bdd], value: u64) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for (i, &b) in bits.iter().enumerate() {
+            let want = (value >> i) & 1 == 1;
+            let lit = if want { b } else { self.not(b) };
+            acc = self.and(acc, lit);
+            if acc == Bdd::FALSE {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "bdd(false)"),
+            Bdd::TRUE => write!(f, "bdd(true)"),
+            other => write!(f, "bdd(#{})", other.0),
+        }
+    }
+}

@@ -1,0 +1,305 @@
+use crate::{Assignment, Bdd, BddManager};
+use proptest::prelude::*;
+
+fn three_vars() -> (BddManager, Bdd, Bdd, Bdd) {
+    let mut m = BddManager::new();
+    let a = m.var("a");
+    let b = m.var("b");
+    let c = m.var("c");
+    (m, a, b, c)
+}
+
+#[test]
+fn terminal_constants() {
+    let m = BddManager::new();
+    assert!(m.is_false(Bdd::FALSE));
+    assert!(m.is_true(Bdd::TRUE));
+    assert!(m.is_sat(Bdd::TRUE));
+    assert!(!m.is_sat(Bdd::FALSE));
+    assert_eq!(m.constant(true), Bdd::TRUE);
+    assert_eq!(m.constant(false), Bdd::FALSE);
+}
+
+#[test]
+fn var_is_idempotent() {
+    let mut m = BddManager::new();
+    let a1 = m.var("a");
+    let a2 = m.var("a");
+    assert_eq!(a1, a2);
+    assert_eq!(m.var_count(), 1);
+}
+
+#[test]
+fn and_or_basics() {
+    let (mut m, a, b, _) = three_vars();
+    let ab = m.and(a, b);
+    assert!(m.is_sat(ab));
+    let na = m.not(a);
+    assert!(m.is_false(m.constant(false)));
+    let contra = m.and(a, na);
+    assert_eq!(contra, Bdd::FALSE);
+    let tauto = m.or(a, na);
+    assert_eq!(tauto, Bdd::TRUE);
+    assert_eq!(m.and(ab, Bdd::TRUE), ab);
+    assert_eq!(m.or(ab, Bdd::FALSE), ab);
+}
+
+#[test]
+fn canonicity_structural_equality() {
+    let (mut m, a, b, c) = three_vars();
+    // (a&b)|c == (b&a)|c must be the same node.
+    let l = {
+        let ab = m.and(a, b);
+        m.or(ab, c)
+    };
+    let r = {
+        let ba = m.and(b, a);
+        m.or(c, ba)
+    };
+    assert_eq!(l, r);
+}
+
+#[test]
+fn restrict_and_exists() {
+    let (mut m, a, b, _) = three_vars();
+    let f = m.and(a, b);
+    let va = m.var_id("a");
+    let f1 = m.restrict(f, va, true);
+    assert_eq!(f1, b);
+    let f0 = m.restrict(f, va, false);
+    assert_eq!(f0, Bdd::FALSE);
+    let ex = m.exists(f, va);
+    assert_eq!(ex, b);
+}
+
+#[test]
+fn sat_count_small() {
+    let (mut m, a, b, c) = three_vars();
+    // a | b over 3 registered vars: 6 of 8 assignments.
+    let f = m.or(a, b);
+    assert_eq!(m.sat_count(f), 6);
+    let g = m.and(f, c);
+    assert_eq!(m.sat_count(g), 3);
+    assert_eq!(m.sat_count(Bdd::TRUE), 8);
+    assert_eq!(m.sat_count(Bdd::FALSE), 0);
+}
+
+#[test]
+fn support_set() {
+    let (mut m, a, _, c) = three_vars();
+    let f = m.and(a, c);
+    let sup = m.support(f);
+    let names: Vec<_> = sup.iter().map(|&v| m.var_name(v).to_owned()).collect();
+    assert_eq!(names, vec!["a", "c"]);
+    assert!(m.support(Bdd::TRUE).is_empty());
+}
+
+#[test]
+fn one_sat_round_trip() {
+    let (mut m, a, b, c) = three_vars();
+    let nb = m.not(b);
+    let f = m.and(a, nb);
+    let f = m.and(f, c);
+    let lits = m.one_sat(f).unwrap();
+    let mut assignment = vec![false; m.var_count()];
+    for (v, ph) in lits {
+        assignment[v.0 as usize] = ph;
+    }
+    assert!(m.eval(f, &assignment));
+    assert!(m.one_sat(Bdd::FALSE).is_none());
+}
+
+#[test]
+fn vector_equals_builds_field_conditions() {
+    let mut m = BddManager::new();
+    let bits: Vec<_> = (0..4).map(|i| m.var(&format!("I[{i}]"))).collect();
+    let f5 = m.vector_equals(&bits, 5); // 0101
+    assert_eq!(m.sat_count(f5), 1);
+    let f3 = m.vector_equals(&bits, 3); // 0011
+    let both = m.and(f5, f3);
+    assert!(m.is_false(both), "a field cannot be 5 and 3 at once");
+}
+
+#[test]
+fn assignment_bit_pattern() {
+    let mut m = BddManager::new();
+    let bits: Vec<_> = (0..4).map(|i| m.var(&format!("I[{i}]"))).collect();
+    let f = m.vector_equals(&bits, 0b1010);
+    let asg = Assignment::satisfying(&m, f).unwrap();
+    assert_eq!(asg.to_bit_pattern(4), "1010");
+    assert_eq!(asg.constrained(), 4);
+}
+
+#[test]
+fn to_cubes_rendering() {
+    let (mut m, a, b, _) = three_vars();
+    assert_eq!(m.to_cubes(Bdd::FALSE), "0");
+    assert_eq!(m.to_cubes(Bdd::TRUE), "1");
+    let f = m.and(a, b);
+    assert_eq!(m.to_cubes(f), "a&b");
+}
+
+#[test]
+fn ite_matches_definition() {
+    let (mut m, a, b, c) = three_vars();
+    let i = m.ite(a, b, c);
+    let ab = m.and(a, b);
+    let na = m.not(a);
+    let nac = m.and(na, c);
+    let expect = m.or(ab, nac);
+    assert_eq!(i, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: BDD operations agree with a brute-force truth-table oracle
+// over up to 5 variables.
+// ---------------------------------------------------------------------------
+
+/// A tiny Boolean expression AST for the oracle.
+#[derive(Debug, Clone)]
+enum BExp {
+    Var(usize),
+    Const(bool),
+    Not(Box<BExp>),
+    And(Box<BExp>, Box<BExp>),
+    Or(Box<BExp>, Box<BExp>),
+    Xor(Box<BExp>, Box<BExp>),
+}
+
+fn bexp_strategy(nvars: usize) -> impl Strategy<Value = BExp> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(BExp::Var),
+        any::<bool>().prop_map(BExp::Const),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| BExp::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BExp::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExp::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| BExp::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_bexp(e: &BExp, asg: &[bool]) -> bool {
+    match e {
+        BExp::Var(i) => asg[*i],
+        BExp::Const(c) => *c,
+        BExp::Not(a) => !eval_bexp(a, asg),
+        BExp::And(a, b) => eval_bexp(a, asg) && eval_bexp(b, asg),
+        BExp::Or(a, b) => eval_bexp(a, asg) || eval_bexp(b, asg),
+        BExp::Xor(a, b) => eval_bexp(a, asg) ^ eval_bexp(b, asg),
+    }
+}
+
+fn build_bdd(m: &mut BddManager, e: &BExp) -> Bdd {
+    match e {
+        BExp::Var(i) => m.var(&format!("v{i}")),
+        BExp::Const(c) => m.constant(*c),
+        BExp::Not(a) => {
+            let x = build_bdd(m, a);
+            m.not(x)
+        }
+        BExp::And(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.and(x, y)
+        }
+        BExp::Or(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.or(x, y)
+        }
+        BExp::Xor(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.xor(x, y)
+        }
+    }
+}
+
+const NVARS: usize = 5;
+
+fn fresh_manager() -> BddManager {
+    let mut m = BddManager::new();
+    for i in 0..NVARS {
+        m.var(&format!("v{i}"));
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn bdd_agrees_with_truth_table(e in bexp_strategy(NVARS)) {
+        let mut m = fresh_manager();
+        let f = build_bdd(&mut m, &e);
+        for bits in 0u32..(1 << NVARS) {
+            let asg: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &asg), eval_bexp(&e, &asg));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in bexp_strategy(NVARS)) {
+        let mut m = fresh_manager();
+        let f = build_bdd(&mut m, &e);
+        let expected = (0u32..(1 << NVARS))
+            .filter(|bits| {
+                let asg: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+                eval_bexp(&e, &asg)
+            })
+            .count() as u128;
+        prop_assert_eq!(m.sat_count(f), expected);
+    }
+
+    #[test]
+    fn de_morgan(a in bexp_strategy(3), b in bexp_strategy(3)) {
+        let mut m = fresh_manager();
+        let fa = build_bdd(&mut m, &a);
+        let fb = build_bdd(&mut m, &b);
+        let ab = m.and(fa, fb);
+        let l = m.not(ab);
+        let na = m.not(fa);
+        let nb = m.not(fb);
+        let r = m.or(na, nb);
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn double_negation(e in bexp_strategy(4)) {
+        let mut m = fresh_manager();
+        let f = build_bdd(&mut m, &e);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        prop_assert_eq!(nnf, f);
+    }
+
+    #[test]
+    fn one_sat_is_satisfying(e in bexp_strategy(NVARS)) {
+        let mut m = fresh_manager();
+        let f = build_bdd(&mut m, &e);
+        if let Some(lits) = m.one_sat(f) {
+            let mut asg = vec![false; NVARS];
+            for (v, ph) in lits {
+                asg[v.0 as usize] = ph;
+            }
+            prop_assert!(m.eval(f, &asg));
+        } else {
+            prop_assert_eq!(f, Bdd::FALSE);
+        }
+    }
+
+    #[test]
+    fn restrict_is_cofactor(e in bexp_strategy(NVARS), var in 0..NVARS, val: bool) {
+        let mut m = fresh_manager();
+        let f = build_bdd(&mut m, &e);
+        let vid = m.var_id(&format!("v{var}"));
+        let g = m.restrict(f, vid, val);
+        for bits in 0u32..(1 << NVARS) {
+            let mut asg: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            asg[var] = val;
+            prop_assert_eq!(m.eval(g, &asg), m.eval(f, &asg));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablations from DESIGN.md:
+//!  A. commutative extension on/off — effect on retargeting cost (the
+//!     code-size effect is printed by `figure2 --no-commutativity`);
+//!  B. compaction on/off on the horizontal `demo` machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use record_core::{CompileOptions, Record, RetargetOptions};
+use record_rtl::{ExtensionOptions, TransformLibrary};
+use record_targets::models;
+
+fn bench_commutativity(c: &mut Criterion) {
+    let model = models::model("tms320c25").expect("model exists");
+    let mut g = c.benchmark_group("ablation/commutativity");
+    g.sample_size(10);
+    g.bench_function("on", |b| {
+        b.iter(|| Record::retarget(model.hdl, &RetargetOptions::default()).expect("retargets"));
+    });
+    g.bench_function("off", |b| {
+        let options = RetargetOptions {
+            extension: ExtensionOptions {
+                commutativity: false,
+                max_variants_per_template: 16,
+                library: TransformLibrary::empty(),
+            },
+            ..Default::default()
+        };
+        b.iter(|| Record::retarget(model.hdl, &options).expect("retargets"));
+    });
+    g.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let model = models::model("demo").expect("model exists");
+    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    // Both subtrees of the subtraction compute the same expression into
+    // different registers: on the horizontal demo format the two ALU
+    // operations pack into one word.
+    let src = "int a, x; void f() { x = (a + a) - (a + a); }";
+    let mut g = c.benchmark_group("ablation/compaction");
+    g.sample_size(20);
+    g.bench_function("with-compaction", |b| {
+        b.iter(|| {
+            target
+                .compile(src, "f", &CompileOptions::default())
+                .expect("compiles")
+        });
+    });
+    g.bench_function("without-compaction", |b| {
+        b.iter(|| {
+            target
+                .compile(
+                    src,
+                    "f",
+                    &CompileOptions {
+                        baseline: false,
+                        compaction: false,
+                    },
+                )
+                .expect("compiles")
+        });
+    });
+    // Print the code-size ablation once (criterion measures time; the size
+    // delta is the interesting number for DESIGN.md).
+    let with = target
+        .compile(src, "f", &CompileOptions::default())
+        .expect("compiles");
+    let without = target
+        .compile(
+            src,
+            "f",
+            &CompileOptions {
+                baseline: false,
+                compaction: false,
+            },
+        )
+        .expect("compiles");
+    println!(
+        "\nablation B (demo machine): {} words compacted vs {} vertical RTs\n",
+        with.code_size(),
+        without.code_size()
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_commutativity, bench_compaction);
+criterion_main!(benches);

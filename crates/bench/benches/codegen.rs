@@ -1,0 +1,40 @@
+//! Figure 2 benchmark: kernel compilation time on the TMS320C25-like
+//! model, RECORD pipeline vs naive baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use record_core::{CompileOptions, Record};
+use record_targets::{kernels, models};
+
+fn bench_codegen(c: &mut Criterion) {
+    let model = models::model("tms320c25").expect("model exists");
+    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let mut g = c.benchmark_group("codegen");
+    g.sample_size(20);
+    for k in kernels::kernels() {
+        g.bench_with_input(BenchmarkId::new("record", k.name), &k, |b, k| {
+            b.iter(|| {
+                target
+                    .compile(k.source, k.function, &CompileOptions::default())
+                    .expect("compiles")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", k.name), &k, |b, k| {
+            b.iter(|| {
+                target
+                    .compile(
+                        k.source,
+                        k.function,
+                        &CompileOptions {
+                            baseline: true,
+                            compaction: false,
+                        },
+                    )
+                    .expect("compiles")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 3 benchmark: full retargeting time per processor model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_retargeting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retarget");
+    g.sample_size(10);
+    for model in record_bench::all_models() {
+        g.bench_with_input(BenchmarkId::from_parameter(model.name), &model, |b, m| {
+            b.iter(|| record_bench::retarget(m, &Default::default()).expect("retargets"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_retargeting);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates the paper's Figure 2: relative code size (hand-written =
+//! 100 %) on the TMS320C25-like model, baseline compiler (the paper's TI C
+//! compiler bar) vs RECORD.
+//!
+//! Pass `--no-commutativity` to reproduce ablation A from DESIGN.md.
+
+use record_core::RetargetOptions;
+use record_rtl::{ExtensionOptions, TransformLibrary};
+
+fn main() {
+    let no_comm = std::env::args().any(|a| a == "--no-commutativity");
+    let mut options = RetargetOptions::default();
+    if no_comm {
+        options.extension = ExtensionOptions {
+            commutativity: false,
+            max_variants_per_template: 16,
+            library: TransformLibrary::standard(),
+        };
+        println!("(ablation: commutative extension disabled)");
+    }
+    println!("Figure 2: relative code size, hand-written = 100% (TMS320C25-like)");
+    println!(
+        "{:<18} {:>6} {:>8} {:>8} {:>10} {:>10}",
+        "kernel", "hand", "record", "baseline", "record%", "baseline%"
+    );
+    match record_bench::figure2(&options) {
+        Ok(rows) => {
+            for r in &rows {
+                println!(
+                    "{:<18} {:>6} {:>8} {:>8} {:>9.0}% {:>9.0}%",
+                    r.kernel,
+                    r.hand_ops,
+                    r.record_size,
+                    r.baseline_size,
+                    r.record_pct(),
+                    r.baseline_pct()
+                );
+            }
+            let avg_r: f64 = rows.iter().map(Figure2RowExt::rp).sum::<f64>() / rows.len() as f64;
+            let avg_b: f64 = rows.iter().map(Figure2RowExt::bp).sum::<f64>() / rows.len() as f64;
+            println!("{:<18} {:>6} {:>8} {:>8} {:>9.0}% {:>9.0}%", "average", "", "", "", avg_r, avg_b);
+        }
+        Err(e) => println!("FAILED: {e}"),
+    }
+    println!();
+    println!("paper shape: RECORD bars near 100%, below the target-specific compiler");
+    println!("on every kernel; largest compiler overheads on MAC-dominated kernels.");
+}
+
+trait Figure2RowExt {
+    fn rp(&self) -> f64;
+    fn bp(&self) -> f64;
+}
+impl Figure2RowExt for record_bench::Figure2Row {
+    fn rp(&self) -> f64 {
+        self.record_pct()
+    }
+    fn bp(&self) -> f64 {
+        self.baseline_pct()
+    }
+}

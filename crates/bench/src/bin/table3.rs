@@ -1,0 +1,34 @@
+//! Regenerates the paper's Table 3: number of RT templates and retargeting
+//! time per target processor.
+
+fn main() {
+    println!("Table 3: retargeting statistics (paper: templates / SPARC-20 CPU s)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>12}   phases (frontend/ISE/extend/grammar/selector)",
+        "processor", "extracted", "extended", "rules", "time"
+    );
+    for model in record_bench::all_models() {
+        match record_bench::retarget(&model, &Default::default()) {
+            Ok(target) => {
+                let s = target.stats();
+                println!(
+                    "{:<12} {:>10} {:>10} {:>8} {:>10.2?}   {:.2?}/{:.2?}/{:.2?}/{:.2?}/{:.2?}",
+                    model.name,
+                    s.templates_extracted,
+                    s.templates_extended,
+                    s.rules,
+                    s.t_total,
+                    s.t_frontend,
+                    s.t_extract,
+                    s.t_extend,
+                    s.t_grammar,
+                    s.t_selector,
+                );
+            }
+            Err(e) => println!("{:<12} FAILED: {e}", model.name),
+        }
+    }
+    println!();
+    println!("paper reference: demo 439/356s  ref 1703/84s  manocpu 207/6.3s");
+    println!("                 tanenbaum 232/11.7s  bass_boost 89/3.7s  TMS320C25 356/165s");
+}

@@ -1,0 +1,84 @@
+//! Benchmark harness: regenerates the paper's Table 3 and Figure 2.
+//!
+//! * `cargo run -p record-bench --bin table3` prints the retargeting-time
+//!   table (template counts + per-phase times for all six processors).
+//! * `cargo run -p record-bench --bin figure2` prints the relative code
+//!   size chart data (hand-written = 100 %) for the ten DSPstone kernels on
+//!   the TMS320C25-like model, baseline compiler vs RECORD.
+//! * `cargo bench -p record-bench` measures retargeting and compilation
+//!   with criterion, plus the ablations called out in DESIGN.md.
+
+use record_core::{CompileOptions, PipelineError, Record, RetargetOptions, Target};
+use record_targets::{kernels, models, Kernel, TargetModel};
+
+/// One Figure 2 data point.
+#[derive(Debug, Clone)]
+pub struct Figure2Row {
+    pub kernel: &'static str,
+    pub hand_ops: usize,
+    pub record_size: usize,
+    pub baseline_size: usize,
+}
+
+impl Figure2Row {
+    /// RECORD bar height in percent (hand-written = 100).
+    pub fn record_pct(&self) -> f64 {
+        100.0 * self.record_size as f64 / self.hand_ops as f64
+    }
+
+    /// Baseline-compiler bar height in percent.
+    pub fn baseline_pct(&self) -> f64 {
+        100.0 * self.baseline_size as f64 / self.hand_ops as f64
+    }
+}
+
+/// Retargets a model (convenience wrapper).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn retarget(model: &TargetModel, options: &RetargetOptions) -> Result<Target, PipelineError> {
+    Record::retarget(model.hdl, options)
+}
+
+/// Compiles one kernel both ways on an already-retargeted C25 target.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn figure2_row(target: &mut Target, kernel: &Kernel) -> Result<Figure2Row, PipelineError> {
+    let rec = target.compile(kernel.source, kernel.function, &CompileOptions::default())?;
+    let base = target.compile(
+        kernel.source,
+        kernel.function,
+        &CompileOptions {
+            baseline: true,
+            compaction: false,
+        },
+    )?;
+    Ok(Figure2Row {
+        kernel: kernel.name,
+        hand_ops: kernel.hand_ops,
+        record_size: rec.code_size(),
+        baseline_size: base.code_size(),
+    })
+}
+
+/// Computes the full Figure 2 dataset.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn figure2(options: &RetargetOptions) -> Result<Vec<Figure2Row>, PipelineError> {
+    let model = models::model("tms320c25").expect("c25 model exists");
+    let mut target = Record::retarget(model.hdl, options)?;
+    kernels::kernels()
+        .iter()
+        .map(|k| figure2_row(&mut target, k))
+        .collect()
+}
+
+/// All models, for Table 3 sweeps.
+pub fn all_models() -> [TargetModel; 6] {
+    models::models()
+}

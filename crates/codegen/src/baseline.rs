@@ -1,0 +1,147 @@
+//! The baseline compiler: Figure 2's "target-specific C compiler" stand-in.
+//!
+//! The paper's Figure 2 compares RECORD against TI's C compiler for the
+//! TMS320C25, whose overheads come from naive per-operator code: every
+//! operation is expanded separately, operands travel through memory, and
+//! chained operations (MAC) are never exploited.  This module reproduces
+//! that compilation *style* retargetably: each operator of the source
+//! expression becomes its own single-operator expression tree evaluated
+//! into a memory temporary.  Selection of each mini-tree still uses the
+//! generated tree parser (so the code is correct for the machine), but no
+//! cross-operator chaining, no algebraic restructuring and no compaction
+//! can happen.
+
+use crate::binding::Binding;
+use crate::emit::compile_statement;
+use crate::error::CodegenError;
+use crate::ops::RtOp;
+use record_grammar::{Et, EtBuilder, EtKind, NodeIdx};
+use record_ir::{FlatExpr, FlatStmt};
+use record_bdd::BddManager;
+use record_netlist::Netlist;
+use record_rtl::TemplateBase;
+use record_selgen::Selector;
+
+/// An operand produced by naive expansion: a constant or a memory word.
+#[derive(Debug, Clone)]
+enum Operand {
+    Const(u64),
+    Mem(u64),
+}
+
+/// Compiles statements in the naive per-operator style.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::compile`].
+#[allow(clippy::too_many_arguments)]
+pub fn baseline_compile(
+    stmts: &[FlatStmt],
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    width: u16,
+) -> Result<Vec<RtOp>, CodegenError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        let mark = binding.scratch_mark();
+        let target = binding.addr_of(&stmt.target)?;
+        expand(&stmt.value, Some(target), selector, base, binding, netlist, manager, width, &mut out)?;
+        binding.release_scratch(mark);
+    }
+    Ok(out)
+}
+
+fn mask(width: u16) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+/// Expands `e`; the result lands at `target` (or a fresh temp if `None`).
+/// Returns the operand describing where the value is.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    e: &FlatExpr,
+    target: Option<u64>,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    width: u16,
+    out: &mut Vec<RtOp>,
+) -> Result<Operand, CodegenError> {
+    let operand = match e {
+        FlatExpr::Const(c) => Operand::Const((*c as u64) & mask(width)),
+        FlatExpr::Load(r) => Operand::Mem(binding.addr_of(r)?),
+        FlatExpr::Unary(op, a) => {
+            let ao = expand(a, None, selector, base, binding, netlist, manager, width, out)?;
+            let dst = next_dest(target, binding)?;
+            let mut b = EtBuilder::new();
+            let an = leaf(&mut b, &ao, binding);
+            let value = b.node(EtKind::Op(*op), vec![an]);
+            emit_step(b, value, dst, selector, base, binding, netlist, manager, out)?;
+            return Ok(Operand::Mem(dst));
+        }
+        FlatExpr::Binary(op, l, r) => {
+            let lo = expand(l, None, selector, base, binding, netlist, manager, width, out)?;
+            let ro = expand(r, None, selector, base, binding, netlist, manager, width, out)?;
+            let dst = next_dest(target, binding)?;
+            let mut b = EtBuilder::new();
+            let ln = leaf(&mut b, &lo, binding);
+            let rn = leaf(&mut b, &ro, binding);
+            let value = b.node(EtKind::Op(*op), vec![ln, rn]);
+            emit_step(b, value, dst, selector, base, binding, netlist, manager, out)?;
+            return Ok(Operand::Mem(dst));
+        }
+    };
+    // Pure copies (x = y; x = 5;) still have to reach the target.
+    if let Some(t) = target {
+        let mut b = EtBuilder::new();
+        let value = leaf(&mut b, &operand, binding);
+        emit_step(b, value, t, selector, base, binding, netlist, manager, out)?;
+        return Ok(Operand::Mem(t));
+    }
+    Ok(operand)
+}
+
+fn next_dest(target: Option<u64>, binding: &mut Binding) -> Result<u64, CodegenError> {
+    match target {
+        Some(t) => Ok(t),
+        None => binding.scratch(),
+    }
+}
+
+fn leaf(b: &mut EtBuilder, o: &Operand, binding: &Binding) -> NodeIdx {
+    match o {
+        Operand::Const(v) => b.leaf(EtKind::Const(*v)),
+        Operand::Mem(a) => {
+            let an = b.leaf(EtKind::Const(*a));
+            b.node(EtKind::MemRead(binding.data_mem()), vec![an])
+        }
+    }
+}
+
+/// Builds `dm[dst] := <value>` and compiles it as one statement.
+#[allow(clippy::too_many_arguments)]
+fn emit_step(
+    mut b: EtBuilder,
+    value: NodeIdx,
+    dst: u64,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    out: &mut Vec<RtOp>,
+) -> Result<(), CodegenError> {
+    let addr = b.leaf(EtKind::Const(dst));
+    let et = Et::store(binding.data_mem(), addr, value, b);
+    out.extend(compile_statement(&et, selector, base, binding, netlist, manager)?);
+    Ok(())
+}

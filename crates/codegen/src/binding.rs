@@ -1,0 +1,111 @@
+//! Variable binding: program variables → data-memory addresses.
+
+use crate::error::CodegenError;
+use record_ir::{Program, Ref};
+use record_netlist::{Netlist, StorageId, StorageKind};
+use std::collections::BTreeMap;
+
+/// Placement of program variables in the target's data memory, plus a
+/// scratch area for spills and compiler temporaries.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    data_mem: StorageId,
+    mem_size: u64,
+    map: BTreeMap<String, u64>,
+    scratch_next: u64,
+}
+
+impl Binding {
+    /// Lays out all globals and locals of `function` sequentially from
+    /// address 0 of `data_mem`; scratch slots follow the variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::OutOfStorage`] if the variables do not fit,
+    /// and [`CodegenError::UnboundVariable`] if `function` does not exist.
+    pub fn allocate(
+        program: &Program,
+        function: &str,
+        netlist: &Netlist,
+        data_mem: StorageId,
+    ) -> Result<Binding, CodegenError> {
+        let storage = netlist.storage(data_mem);
+        assert_eq!(
+            storage.kind,
+            StorageKind::Memory,
+            "binding target must be a data memory"
+        );
+        let f = program
+            .function(function)
+            .ok_or_else(|| CodegenError::UnboundVariable(function.to_owned()))?;
+        let mut map = BTreeMap::new();
+        let mut next = 0u64;
+        for d in program.globals.iter().chain(&f.locals) {
+            map.insert(d.name.clone(), next);
+            next += d.words();
+        }
+        if next > storage.size {
+            return Err(CodegenError::OutOfStorage(format!(
+                "variables need {next} words but `{}` has {}",
+                storage.name, storage.size
+            )));
+        }
+        Ok(Binding {
+            data_mem,
+            mem_size: storage.size,
+            map,
+            scratch_next: next,
+        })
+    }
+
+    /// The data memory variables live in.
+    pub fn data_mem(&self) -> StorageId {
+        self.data_mem
+    }
+
+    /// Address of a variable reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::UnboundVariable`] for unknown names.
+    pub fn addr_of(&self, r: &Ref) -> Result<u64, CodegenError> {
+        self.map
+            .get(&r.name)
+            .map(|base| base + r.offset)
+            .ok_or_else(|| CodegenError::UnboundVariable(r.name.clone()))
+    }
+
+    /// Reserves a fresh scratch word (spill slot / temporary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::OutOfStorage`] when the memory is full.
+    pub fn scratch(&mut self) -> Result<u64, CodegenError> {
+        if self.scratch_next >= self.mem_size {
+            return Err(CodegenError::OutOfStorage(
+                "no scratch space left in data memory".into(),
+            ));
+        }
+        let a = self.scratch_next;
+        self.scratch_next += 1;
+        Ok(a)
+    }
+
+    /// Addresses currently assigned (variable name → base address).
+    pub fn assignments(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Current scratch watermark; pass to [`Binding::release_scratch`] to
+    /// reuse temporary space between statements.
+    pub fn scratch_mark(&self) -> u64 {
+        self.scratch_next
+    }
+
+    /// Releases scratch slots back to `mark` (obtained from
+    /// [`Binding::scratch_mark`]).
+    pub fn release_scratch(&mut self, mark: u64) {
+        debug_assert!(mark <= self.scratch_next);
+        self.scratch_next = mark;
+    }
+}

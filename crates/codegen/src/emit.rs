@@ -1,0 +1,801 @@
+//! Cover emission: register-file allocation, conflict-avoiding operand
+//! ordering and spill insertion.
+//!
+//! Tree parsing is cost-optimal but interference-blind (paper §3.2:
+//! "limitations of tree parsing mainly concern incorporation of register
+//! spills").  This module implements the cited remedy: operands whose
+//! evaluation clobbers the register holding a sibling's result are emitted
+//! *first* where possible, and genuinely cyclic conflicts are broken by
+//! spilling through data-memory scratch slots.
+
+use crate::binding::Binding;
+use crate::error::CodegenError;
+use crate::ops::{DestSim, Loc, RtOp, SimExpr};
+use record_bdd::BddManager;
+use record_grammar::{Et, EtDest, EtKind, GPat, NodeIdx, NonTermId, NonTermKind, RuleOrigin, TermKey};
+use record_ir::FlatStmt;
+use record_netlist::{Netlist, StorageId, StorageKind};
+use record_rtl::{Dest, Pattern, TemplateBase, TemplateId};
+use record_selgen::{Cover, RuleApp, Selector};
+use std::collections::HashMap;
+
+/// Compiles a list of flat statements; scratch space is recycled between
+/// statements.
+///
+/// # Errors
+///
+/// Propagates selection failures, unbound variables and spill-path /
+/// storage exhaustion.
+pub fn compile(
+    stmts: &[FlatStmt],
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    width: u16,
+) -> Result<Vec<RtOp>, CodegenError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        let mark = binding.scratch_mark();
+        compile_split(stmt, selector, base, binding, netlist, manager, width, &mut out)?;
+        binding.release_scratch(mark);
+    }
+    Ok(out)
+}
+
+/// Compiles one statement, splitting the expression tree through scratch
+/// memory when no cover exists for the whole tree.
+///
+/// Tree parsing alone cannot cover e.g. `(a+b) + (c+d)` on a single-
+/// accumulator machine — one operand of every operator pattern must be a
+/// storage or memory leaf.  The paper resolves this with "an extension of
+/// the scheduling technique from [8]": computed subtrees are evaluated
+/// first and stored to memory, then re-read as memory operands.  Each
+/// hoist strictly reduces nesting, so the recursion terminates; if a
+/// single-operator tree over leaves still has no cover, the machine really
+/// lacks the operation and the selection error propagates.
+#[allow(clippy::too_many_arguments)]
+fn compile_split(
+    stmt: &FlatStmt,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    width: u16,
+    out: &mut Vec<RtOp>,
+) -> Result<(), CodegenError> {
+    let mut b = record_grammar::EtBuilder::new();
+    let value = build_flat(&stmt.value, binding, width, &mut b)?;
+    let target = binding.addr_of(&stmt.target)?;
+    let addr = b.node(record_grammar::EtKind::Const(target), Vec::new());
+    let et = record_grammar::Et::store(binding.data_mem(), addr, value, b);
+    let err = match compile_statement(&et, selector, base, binding, netlist, manager) {
+        Ok(ops) => {
+            out.extend(ops);
+            return Ok(());
+        }
+        Err(e) => e,
+    };
+    // Hoist a nested computation into scratch memory and retry.
+    let Some((hoisted, remainder)) = split_deepest(&stmt.value) else {
+        return Err(err);
+    };
+    let tmp = binding.scratch()?;
+    compile_split_expr(&hoisted, tmp, selector, base, binding, netlist, manager, width, out)?;
+    let remainder_stmt = FlatStmt {
+        target: stmt.target.clone(),
+        value: replace_marker(&remainder, tmp),
+    };
+    compile_split(&remainder_stmt, selector, base, binding, netlist, manager, width, out)
+}
+
+/// Like [`compile_split`] but with an anonymous scratch target.
+#[allow(clippy::too_many_arguments)]
+fn compile_split_expr(
+    value: &record_ir::FlatExpr,
+    tmp: u64,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+    width: u16,
+    out: &mut Vec<RtOp>,
+) -> Result<(), CodegenError> {
+    let mut b = record_grammar::EtBuilder::new();
+    let v = build_flat(value, binding, width, &mut b)?;
+    let addr = b.node(record_grammar::EtKind::Const(tmp), Vec::new());
+    let et = record_grammar::Et::store(binding.data_mem(), addr, v, b);
+    let err = match compile_statement(&et, selector, base, binding, netlist, manager) {
+        Ok(ops) => {
+            out.extend(ops);
+            return Ok(());
+        }
+        Err(e) => e,
+    };
+    let Some((hoisted, remainder)) = split_deepest(value) else {
+        return Err(err);
+    };
+    let tmp2 = binding.scratch()?;
+    compile_split_expr(&hoisted, tmp2, selector, base, binding, netlist, manager, width, out)?;
+    compile_split_expr(
+        &replace_marker(&remainder, tmp2),
+        tmp,
+        selector,
+        base,
+        binding,
+        netlist,
+        manager,
+        width,
+        out,
+    )
+}
+
+/// Marker name used while splitting; replaced by a scratch-address load.
+const SPLIT_MARKER: &str = "$split";
+
+/// Splits off the deepest-leftmost computed subtree that has a computed
+/// parent; returns `(hoisted, remainder-with-marker)`.
+fn split_deepest(e: &record_ir::FlatExpr) -> Option<(record_ir::FlatExpr, record_ir::FlatExpr)> {
+    use record_ir::FlatExpr;
+    fn is_computed(e: &FlatExpr) -> bool {
+        matches!(e, FlatExpr::Unary(..) | FlatExpr::Binary(..))
+    }
+    fn rec(e: &FlatExpr) -> Option<(FlatExpr, FlatExpr)> {
+        match e {
+            FlatExpr::Binary(op, l, r) => {
+                if let Some((h, rem)) = rec(l) {
+                    return Some((h, FlatExpr::Binary(*op, Box::new(rem), r.clone())));
+                }
+                if let Some((h, rem)) = rec(r) {
+                    return Some((h, FlatExpr::Binary(*op, l.clone(), Box::new(rem))));
+                }
+                // No nested splits below: hoist a computed child, if any.
+                for (child, left) in [(l, true), (r, false)] {
+                    if is_computed(child) {
+                        let marker = FlatExpr::Load(record_ir::Ref {
+                            name: SPLIT_MARKER.to_owned(),
+                            offset: 0,
+                        });
+                        let rem = if left {
+                            FlatExpr::Binary(*op, Box::new(marker), r.clone())
+                        } else {
+                            FlatExpr::Binary(*op, l.clone(), Box::new(marker))
+                        };
+                        return Some(((**child).clone(), rem));
+                    }
+                }
+                None
+            }
+            FlatExpr::Unary(op, a) => {
+                if let Some((h, rem)) = rec(a) {
+                    return Some((h, FlatExpr::Unary(*op, Box::new(rem))));
+                }
+                if is_computed(a) {
+                    let marker = FlatExpr::Load(record_ir::Ref {
+                        name: SPLIT_MARKER.to_owned(),
+                        offset: 0,
+                    });
+                    return Some(((**a).clone(), FlatExpr::Unary(*op, Box::new(marker))));
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+    rec(e)
+}
+
+/// Replaces the split marker with a load of the scratch address.
+fn replace_marker(e: &record_ir::FlatExpr, tmp: u64) -> record_ir::FlatExpr {
+    use record_ir::FlatExpr;
+    match e {
+        FlatExpr::Load(r) if r.name == SPLIT_MARKER => FlatExpr::Load(record_ir::Ref {
+            name: format!("$scratch{tmp}"),
+            offset: tmp,
+        }),
+        FlatExpr::Unary(op, a) => FlatExpr::Unary(*op, Box::new(replace_marker(a, tmp))),
+        FlatExpr::Binary(op, l, r) => FlatExpr::Binary(
+            *op,
+            Box::new(replace_marker(l, tmp)),
+            Box::new(replace_marker(r, tmp)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Builds an ET value from a flat expression, resolving `$scratch` names
+/// to raw addresses.
+fn build_flat(
+    e: &record_ir::FlatExpr,
+    binding: &Binding,
+    width: u16,
+    b: &mut record_grammar::EtBuilder,
+) -> Result<record_grammar::NodeIdx, CodegenError> {
+    use record_grammar::EtKind;
+    use record_ir::FlatExpr;
+    let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    Ok(match e {
+        FlatExpr::Const(c) => b.leaf(EtKind::Const((*c as u64) & mask)),
+        FlatExpr::Load(r) if r.name.starts_with("$scratch") => {
+            let a = b.leaf(EtKind::Const(r.offset));
+            b.node(EtKind::MemRead(binding.data_mem()), vec![a])
+        }
+        FlatExpr::Load(r) => {
+            let addr = binding.addr_of(r)?;
+            let a = b.leaf(EtKind::Const(addr));
+            b.node(EtKind::MemRead(binding.data_mem()), vec![a])
+        }
+        FlatExpr::Unary(op, a) => {
+            let an = build_flat(a, binding, width, b)?;
+            b.node(EtKind::Op(*op), vec![an])
+        }
+        FlatExpr::Binary(op, l, r) => {
+            let ln = build_flat(l, binding, width, b)?;
+            let rn = build_flat(r, binding, width, b)?;
+            b.node(EtKind::Op(*op), vec![ln, rn])
+        }
+    })
+}
+
+/// Selects and emits a single expression tree.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_statement(
+    et: &Et,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut BddManager,
+) -> Result<Vec<RtOp>, CodegenError> {
+    let cover = selector
+        .select(et)
+        .map_err(|e| CodegenError::Select(e.to_string()))?;
+    let mut emitter = Emitter::new(et, &cover, selector, base, binding, netlist, manager);
+    emitter.run()
+}
+
+/// Instruction fields encoding register-file cell choices.
+#[derive(Debug, Clone, Copy)]
+struct RfFields {
+    write: Option<(u16, u16)>,
+    read: Option<(u16, u16)>,
+}
+
+/// Extracts the address fields of every register file in the netlist.
+fn rf_fields(netlist: &Netlist) -> HashMap<StorageId, RfFields> {
+    use record_netlist::{DataExpr, ElabKind, Net};
+    let mut out = HashMap::new();
+    for s in netlist.storages() {
+        if s.kind != StorageKind::RegFile {
+            continue;
+        }
+        let def = netlist.def_of(s.inst);
+        let ElabKind::Memory { reads, writes, .. } = &def.kind else {
+            continue;
+        };
+        let field_of = |addr: &DataExpr| -> Option<(u16, u16)> {
+            let DataExpr::Port(p) = addr else { return None };
+            match netlist.driver_of(s.inst, *p) {
+                Some(Net::IField { hi, lo }) => Some((*hi, *lo)),
+                _ => None,
+            }
+        };
+        out.insert(
+            s.id,
+            RfFields {
+                write: writes.first().and_then(|w| field_of(&w.addr)),
+                read: reads.first().and_then(|r| field_of(&r.addr)),
+            },
+        );
+    }
+    out
+}
+
+type Value = (NodeIdx, NonTermId);
+
+struct Emitter<'a> {
+    et: &'a Et,
+    cover: &'a Cover,
+    selector: &'a Selector,
+    base: &'a TemplateBase,
+    binding: &'a mut Binding,
+    netlist: &'a Netlist,
+    manager: &'a mut BddManager,
+    rf: HashMap<StorageId, RfFields>,
+    /// Field constraints (hi, lo, value) collected for the op being built.
+    field_constraints: Vec<(u16, u16, u64)>,
+    /// Producer app index per value.
+    producer: HashMap<Value, usize>,
+    /// Current location of produced, not-yet-consumed values.
+    value_loc: HashMap<Value, Loc>,
+    /// Which value currently occupies a register-like location.
+    holder: HashMap<Loc, Value>,
+    /// Free register-file cells.
+    rf_free: HashMap<StorageId, Vec<u64>>,
+    /// Cells we allocated (to distinguish temp cells from variable cells).
+    rf_temp: HashMap<Value, (StorageId, u64)>,
+    out: Vec<RtOp>,
+}
+
+impl<'a> Emitter<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        et: &'a Et,
+        cover: &'a Cover,
+        selector: &'a Selector,
+        base: &'a TemplateBase,
+        binding: &'a mut Binding,
+        netlist: &'a Netlist,
+        manager: &'a mut BddManager,
+    ) -> Self {
+        let mut producer = HashMap::new();
+        for (i, app) in cover.apps.iter().enumerate() {
+            producer.insert((app.at, app.nt), i);
+        }
+        let mut rf_free = HashMap::new();
+        for s in netlist.storages() {
+            if s.kind == StorageKind::RegFile {
+                rf_free.insert(s.id, (0..s.size).rev().collect());
+            }
+        }
+        let rf = rf_fields(netlist);
+        Emitter {
+            et,
+            cover,
+            selector,
+            base,
+            binding,
+            netlist,
+            manager,
+            rf,
+            field_constraints: Vec::new(),
+            producer,
+            value_loc: HashMap::new(),
+            holder: HashMap::new(),
+            rf_free,
+            rf_temp: HashMap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> Result<Vec<RtOp>, CodegenError> {
+        let root = self.cover.apps.len() - 1;
+        self.emit_app(root)?;
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    fn grammar(&self) -> &record_grammar::TreeGrammar {
+        self.selector.grammar()
+    }
+
+    fn emit_app(&mut self, idx: usize) -> Result<(), CodegenError> {
+        let app = self.cover.apps[idx].clone();
+        let rule = self.grammar().rule(app.rule).clone();
+        match rule.origin {
+            RuleOrigin::Stop(_) => {
+                let loc = match self.et.kind(app.at) {
+                    EtKind::RegLeaf(s) => Loc::Reg(s),
+                    EtKind::RfLeaf(s, c) => Loc::Rf(s, c as u64),
+                    other => unreachable!("stop rule at non-leaf {other:?}"),
+                };
+                self.produce((app.at, app.nt), loc);
+                Ok(())
+            }
+            RuleOrigin::Start => {
+                let (nt, node) = app.operands[0];
+                let p = self.producer[&(node, nt)];
+                self.emit_app(p)?;
+                // The operand's derivation wrote the destination register;
+                // consume it.
+                self.consume((node, nt));
+                Ok(())
+            }
+            RuleOrigin::Template(tid) => self.emit_template(&app, tid),
+        }
+    }
+
+    fn emit_template(&mut self, app: &RuleApp, tid: TemplateId) -> Result<(), CodegenError> {
+        let rule = self.grammar().rule(app.rule).clone();
+        self.field_constraints.clear();
+
+        // 1. Order operand evaluation: an operand whose derivation clobbers
+        //    the register a sibling's value will occupy goes first.
+        let order = self.operand_order(app);
+        for &oi in &order {
+            let (nt, node) = app.operands[oi];
+            let p = self.producer[&(node, nt)];
+            self.emit_app(p)?;
+        }
+
+        // 2. Make sure every operand is where the pattern expects it
+        //    (reload spilled values).  Operands of this very operation are
+        //    protected: they are read from pre-state and must not be
+        //    spilled on each other's behalf — if that is unavoidable the
+        //    conflict is cyclic and unimplementable on this data path.
+        let protected: Vec<Value> = app.operands.iter().map(|&(nt, node)| (node, nt)).collect();
+        for &(nt, node) in &app.operands {
+            self.ensure_in_place((node, nt), &protected)?;
+        }
+
+        // 3. Build the concrete expression and destination.
+        let mut operand_iter = app.operands.iter();
+        let (dest, expr) = match &rule.rhs {
+            GPat::T(TermKey::Store(s), kids) => {
+                let root_children = self.et.children(app.at);
+                let addr =
+                    self.sim_of(&kids[0], root_children[0], &mut operand_iter)?;
+                let val = self.sim_of(&kids[1], root_children[1], &mut operand_iter)?;
+                (DestSim::MemAt(*s, addr), val)
+            }
+            rhs => {
+                let expr = self.sim_of(rhs, app.at, &mut operand_iter)?;
+                let dest_loc = self.dest_loc_for(app)?;
+                (DestSim::Loc(dest_loc), expr)
+            }
+        };
+
+        // 4. Spill whatever pending value occupies the destination — unless
+        //    it is one of this op's own operands (those are read from
+        //    pre-state, so overwriting is safe).
+        if let DestSim::Loc(loc) = &dest {
+            let loc = loc.clone();
+            self.evict(&loc, &protected)?;
+        }
+
+        // 5. Emit with the immediate-field values folded into the
+        //    execution condition (the binary *partial instruction* of the
+        //    paper includes operand fields; compaction relies on it).
+        if let DestSim::Loc(Loc::Rf(s, c)) = &dest {
+            if let Some(f) = self.rf.get(s).and_then(|f| f.write) {
+                self.field_constraints.push((f.0, f.1, *c));
+            }
+        }
+        let cond = self.conjoin_fields(self.base.template(tid).cond);
+        self.out.push(RtOp {
+            template: tid,
+            dest: dest.clone(),
+            expr,
+            cond,
+        });
+        // Operands are consumed by this op.
+        for &(nt, node) in &app.operands {
+            self.consume((node, nt));
+        }
+        if let DestSim::Loc(loc) = dest {
+            self.produce((app.at, app.nt), loc);
+        }
+        Ok(())
+    }
+
+    /// Conjoins the collected field constraints into `cond` and clears
+    /// them.
+    fn conjoin_fields(&mut self, cond: record_bdd::Bdd) -> record_bdd::Bdd {
+        let mut acc = cond;
+        for (hi, lo, v) in self.field_constraints.drain(..) {
+            let bits: Vec<record_bdd::Bdd> = (lo..=hi)
+                .map(|b| self.manager.var(&format!("I[{b}]")))
+                .collect();
+            let eq = self.manager.vector_equals(&bits, v);
+            acc = self.manager.and(acc, eq);
+        }
+        acc
+    }
+
+    /// Register the value as live at `loc`.
+    fn produce(&mut self, v: Value, loc: Loc) {
+        self.value_loc.insert(v, loc.clone());
+        self.holder.insert(loc, v);
+    }
+
+    /// The value has been consumed: free its location (and temp cell).
+    fn consume(&mut self, v: Value) {
+        if let Some(loc) = self.value_loc.remove(&v) {
+            if self.holder.get(&loc) == Some(&v) {
+                self.holder.remove(&loc);
+            }
+        }
+        if let Some((s, c)) = self.rf_temp.remove(&v) {
+            self.rf_free.get_mut(&s).expect("rf known").push(c);
+        }
+    }
+
+    /// Destination location for a non-store template application.
+    fn dest_loc_for(&mut self, app: &RuleApp) -> Result<Loc, CodegenError> {
+        let rule = self.grammar().rule(app.rule);
+        match self.grammar().nonterm_kind(rule.lhs) {
+            NonTermKind::Reg(s) => Ok(Loc::Reg(s)),
+            NonTermKind::Port(p) => Ok(Loc::Port(p)),
+            NonTermKind::RegFile(s) => {
+                // If this application produces the final ET value and the ET
+                // destination is a specific cell, write it directly.
+                if let EtDest::RegFile(ds, cell) = self.et.dest() {
+                    if *ds == s && self.is_final_value(app) {
+                        return Ok(Loc::Rf(s, *cell as u64));
+                    }
+                }
+                let cell = self
+                    .rf_free
+                    .get_mut(&s)
+                    .and_then(Vec::pop)
+                    .ok_or_else(|| {
+                        CodegenError::OutOfStorage(format!(
+                            "register file `{}` has no free cell",
+                            self.netlist.storage(s).name
+                        ))
+                    })?;
+                self.rf_temp.insert((app.at, app.nt), (s, cell));
+                Ok(Loc::Rf(s, cell))
+            }
+            NonTermKind::Start => unreachable!("templates never derive START directly"),
+        }
+    }
+
+    /// Is this application the one whose value the start rule consumes?
+    fn is_final_value(&self, app: &RuleApp) -> bool {
+        let root = self.cover.apps.last().expect("cover non-empty");
+        root.operands
+            .first()
+            .is_some_and(|&(nt, node)| nt == app.nt && node == app.at)
+    }
+
+    /// Chooses operand evaluation order to avoid clobbering conflicts.
+    fn operand_order(&self, app: &RuleApp) -> Vec<usize> {
+        let n = app.operands.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if n < 2 {
+            return order;
+        }
+        // Target register of each operand and clobber set of its subtree.
+        let targets: Vec<Option<Loc>> = app
+            .operands
+            .iter()
+            .map(|&(nt, _)| match self.grammar().nonterm_kind(nt) {
+                NonTermKind::Reg(s) => Some(Loc::Reg(s)),
+                _ => None,
+            })
+            .collect();
+        let clobbers: Vec<Vec<Loc>> = app
+            .operands
+            .iter()
+            .map(|&(nt, node)| {
+                let mut set = Vec::new();
+                self.collect_clobbers((node, nt), &mut set);
+                set
+            })
+            .collect();
+        // Pairwise: if evaluating j clobbers i's target, j must go first.
+        order.sort_by(|&a, &b| {
+            let a_kills_b = targets[b]
+                .as_ref()
+                .is_some_and(|t| clobbers[a].contains(t));
+            let b_kills_a = targets[a]
+                .as_ref()
+                .is_some_and(|t| clobbers[b].contains(t));
+            match (a_kills_b, b_kills_a) {
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                // Tie / cycle: deeper subtree first (Sethi-Ullman flavour).
+                _ => clobbers[b].len().cmp(&clobbers[a].len()),
+            }
+        });
+        order
+    }
+
+    /// Registers written while deriving `v`.
+    fn collect_clobbers(&self, v: Value, out: &mut Vec<Loc>) {
+        let Some(&p) = self.producer.get(&v) else {
+            return;
+        };
+        let app = &self.cover.apps[p];
+        let rule = self.grammar().rule(app.rule);
+        if matches!(rule.origin, RuleOrigin::Template(_)) {
+            if let NonTermKind::Reg(s) = self.grammar().nonterm_kind(app.nt) {
+                out.push(Loc::Reg(s));
+            }
+        }
+        for &(nt, node) in &app.operands {
+            if (node, nt) != v {
+                self.collect_clobbers((node, nt), out);
+            }
+        }
+    }
+
+    /// Spills the pending value occupying `loc`, if any.  If that value is
+    /// protected (an operand of the operation being emitted), the eviction
+    /// is either safely skipped (for writes: operands read pre-state) or a
+    /// cyclic conflict (for reloads) — `protected` holders are never
+    /// spilled, the caller decides what skipping means.
+    fn evict(&mut self, loc: &Loc, protected: &[Value]) -> Result<(), CodegenError> {
+        if matches!(loc, Loc::Port(_)) {
+            return Ok(()); // ports are write-only, nothing to preserve
+        }
+        let Some(&victim) = self.holder.get(loc) else {
+            return Ok(());
+        };
+        if protected.contains(&victim) {
+            return Ok(());
+        }
+        // Find a store template for this register.
+        let (store_tid, spill_reg) = self.find_spill_store(loc)?;
+        let addr = self.binding.scratch()?;
+        if let Dest::Mem(_, Pattern::Imm { hi, lo }) = &self.base.template(store_tid).dest {
+            self.field_constraints.push((*hi, *lo, addr));
+        }
+        let cond = self.conjoin_fields(self.base.template(store_tid).cond);
+        self.out.push(RtOp {
+            template: store_tid,
+            dest: DestSim::MemAt(self.binding.data_mem(), SimExpr::Const(addr)),
+            expr: SimExpr::Read(spill_reg),
+            cond,
+        });
+        self.holder.remove(loc);
+        self.value_loc
+            .insert(victim, Loc::Mem(self.binding.data_mem(), addr));
+        Ok(())
+    }
+
+    /// Reloads `v` into the register its consumer expects, spilling the
+    /// current occupant if necessary.
+    fn ensure_in_place(&mut self, v: Value, protected: &[Value]) -> Result<(), CodegenError> {
+        let loc = self.value_loc.get(&v).cloned().ok_or_else(|| {
+            CodegenError::Select("internal: operand value has no location".into())
+        })?;
+        let expected = match self.grammar().nonterm_kind(v.1) {
+            NonTermKind::Reg(s) => Loc::Reg(s),
+            // Regfile/port operands: any cell of the file is fine.
+            _ => return Ok(()),
+        };
+        if loc == expected {
+            return Ok(());
+        }
+        let Loc::Mem(dm, addr) = loc else {
+            // Value sits in a different register than expected: can only
+            // happen through spilling, which always goes via memory.
+            return Ok(());
+        };
+        // A protected value occupying the reload target means two operands
+        // of one operation need the same register: unimplementable.
+        if self
+            .holder
+            .get(&expected)
+            .is_some_and(|h| protected.contains(h) && *h != v)
+        {
+            return Err(CodegenError::NoSpillPath(format!(
+                "cyclic register conflict on {}",
+                expected.render(self.netlist)
+            )));
+        }
+        let reload_tid = self.find_reload(&expected, dm)?;
+        self.evict(&expected, protected)?;
+        if let Pattern::MemRead(_, a) = &self.base.template(reload_tid).src {
+            if let Pattern::Imm { hi, lo } = **a {
+                self.field_constraints.push((hi, lo, addr));
+            }
+        }
+        let cond = self.conjoin_fields(self.base.template(reload_tid).cond);
+        self.out.push(RtOp {
+            template: reload_tid,
+            dest: DestSim::Loc(expected.clone()),
+            expr: SimExpr::MemRead(dm, Box::new(SimExpr::Const(addr))),
+            cond,
+        });
+        self.produce(v, expected);
+        Ok(())
+    }
+
+    /// Finds `dm[#imm] := reg` for the register behind `loc`.
+    fn find_spill_store(&self, loc: &Loc) -> Result<(TemplateId, Loc), CodegenError> {
+        let dm = self.binding.data_mem();
+        for t in self.base.templates() {
+            let Dest::Mem(s, Pattern::Imm { .. }) = &t.dest else {
+                continue;
+            };
+            if *s != dm {
+                continue;
+            }
+            let matches = match (&t.src, loc) {
+                (Pattern::Reg(r), Loc::Reg(l)) => r == l,
+                (Pattern::RegFile(r), Loc::Rf(l, _)) => r == l,
+                _ => false,
+            };
+            if matches {
+                return Ok((t.id, loc.clone()));
+            }
+        }
+        Err(CodegenError::NoSpillPath(format!(
+            "no store template from {} to data memory",
+            loc.render(self.netlist)
+        )))
+    }
+
+    /// Finds `reg := dm[#imm]`.
+    fn find_reload(&self, expected: &Loc, dm: StorageId) -> Result<TemplateId, CodegenError> {
+        for t in self.base.templates() {
+            let dest_ok = match (&t.dest, expected) {
+                (Dest::Reg(r), Loc::Reg(l)) => r == l,
+                (Dest::RegFile(r), Loc::Rf(l, _)) => r == l,
+                _ => false,
+            };
+            if !dest_ok {
+                continue;
+            }
+            if let Pattern::MemRead(s, addr) = &t.src {
+                if *s == dm && matches!(**addr, Pattern::Imm { .. }) {
+                    return Ok(t.id);
+                }
+            }
+        }
+        Err(CodegenError::NoSpillPath(format!(
+            "no reload template into {} from data memory",
+            expected.render(self.netlist)
+        )))
+    }
+
+    /// Builds the concrete [`SimExpr`] for pattern `pat` matched at ET node
+    /// `node`; `operands` yields the operand list in pattern order.
+    fn sim_of(
+        &mut self,
+        pat: &GPat,
+        node: NodeIdx,
+        operands: &mut std::slice::Iter<'_, (NonTermId, NodeIdx)>,
+    ) -> Result<SimExpr, CodegenError> {
+        match pat {
+            GPat::NT(_) => {
+                let &(nt, at) = operands.next().expect("operand list matches pattern");
+                let loc = self.value_loc.get(&(at, nt)).cloned().ok_or_else(|| {
+                    CodegenError::Select("internal: operand not materialised".into())
+                })?;
+                if let Loc::Rf(s, c) = &loc {
+                    if let Some(f) = self.rf.get(s).and_then(|f| f.read) {
+                        self.field_constraints.push((f.0, f.1, *c));
+                    }
+                }
+                Ok(SimExpr::Read(loc))
+            }
+            GPat::T(key, kids) => {
+                let children = self.et.children(node);
+                match key {
+                    TermKey::ConstVal(v) => Ok(SimExpr::Const(*v)),
+                    TermKey::Imm { hi, lo } => match self.et.kind(node) {
+                        EtKind::Const(v) => {
+                            self.field_constraints.push((*hi, *lo, v));
+                            Ok(SimExpr::Const(v))
+                        }
+                        other => unreachable!("imm matched non-const {other:?}"),
+                    },
+                    TermKey::RegLeaf(s) => Ok(SimExpr::Read(Loc::Reg(*s))),
+                    TermKey::RfLeaf(s) => match self.et.kind(node) {
+                        EtKind::RfLeaf(_, c) => {
+                            if let Some(f) = self.rf.get(s).and_then(|f| f.read) {
+                                self.field_constraints.push((f.0, f.1, c as u64));
+                            }
+                            Ok(SimExpr::Read(Loc::Rf(*s, c as u64)))
+                        }
+                        other => unreachable!("rf leaf matched {other:?}"),
+                    },
+                    TermKey::PortLeaf(p) => Ok(SimExpr::Read(Loc::Port(*p))),
+                    TermKey::MemRead(s) => {
+                        let addr = self.sim_of(&kids[0], children[0], operands)?;
+                        Ok(SimExpr::MemRead(*s, Box::new(addr)))
+                    }
+                    TermKey::Op(op) => {
+                        let mut args = Vec::with_capacity(kids.len());
+                        for (k, &c) in kids.iter().zip(children) {
+                            args.push(self.sim_of(k, c, operands)?);
+                        }
+                        Ok(SimExpr::Op(*op, args))
+                    }
+                    TermKey::Assign(_) | TermKey::Store(_) => {
+                        unreachable!("designated root keys handled by caller")
+                    }
+                }
+            }
+        }
+    }
+}

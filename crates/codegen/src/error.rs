@@ -1,0 +1,33 @@
+//! Code-generation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while generating code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// No cover exists for an expression tree (missing operator, oversized
+    /// constant, unreachable destination).
+    Select(String),
+    /// A register conflict required a spill but the machine has no
+    /// store/reload templates for the register.
+    NoSpillPath(String),
+    /// The data memory cannot hold all variables and scratch slots, or the
+    /// register file ran out of cells.
+    OutOfStorage(String),
+    /// A variable was referenced that the binding does not know.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Select(s) => write!(f, "selection failed: {s}"),
+            CodegenError::NoSpillPath(s) => write!(f, "no spill path: {s}"),
+            CodegenError::OutOfStorage(s) => write!(f, "out of storage: {s}"),
+            CodegenError::UnboundVariable(s) => write!(f, "unbound variable `{s}`"),
+        }
+    }
+}
+
+impl Error for CodegenError {}

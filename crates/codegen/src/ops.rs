@@ -1,0 +1,150 @@
+//! Concrete RT operations: the output of code generation.
+
+use record_bdd::Bdd;
+use record_netlist::{Netlist, ProcPortId, StorageId};
+use record_rtl::{OpKind, TemplateId};
+
+/// A concrete storage location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A register.
+    Reg(StorageId),
+    /// A specific register-file cell.
+    Rf(StorageId, u64),
+    /// A memory word at a known address.
+    Mem(StorageId, u64),
+    /// A memory word at a run-time-computed address (conservative for
+    /// dependence analysis).
+    MemDyn(StorageId),
+    /// A primary port.
+    Port(ProcPortId),
+}
+
+impl Loc {
+    /// May `self` and `other` denote the same word?
+    pub fn may_alias(&self, other: &Loc) -> bool {
+        match (self, other) {
+            (Loc::Mem(a, x), Loc::Mem(b, y)) => a == b && x == y,
+            (Loc::Mem(a, _), Loc::MemDyn(b))
+            | (Loc::MemDyn(a), Loc::Mem(b, _))
+            | (Loc::MemDyn(a), Loc::MemDyn(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
+    /// Renders with storage names from `netlist`.
+    pub fn render(&self, n: &Netlist) -> String {
+        match self {
+            Loc::Reg(s) => n.storage(*s).name.clone(),
+            Loc::Rf(s, c) => format!("{}[{c}]", n.storage(*s).name),
+            Loc::Mem(s, a) => format!("{}[{a}]", n.storage(*s).name),
+            Loc::MemDyn(s) => format!("{}[*]", n.storage(*s).name),
+            Loc::Port(p) => n.proc_port(*p).name.clone(),
+        }
+    }
+}
+
+/// A concrete value expression, executable by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimExpr {
+    Const(u64),
+    /// Read a register / regfile cell / fixed memory word / input port.
+    Read(Loc),
+    /// Memory read at a computed address.
+    MemRead(StorageId, Box<SimExpr>),
+    Op(OpKind, Vec<SimExpr>),
+}
+
+impl SimExpr {
+    /// All locations this expression may read.
+    pub fn reads(&self) -> Vec<Loc> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<Loc>) {
+        match self {
+            SimExpr::Const(_) => {}
+            SimExpr::Read(l) => out.push(l.clone()),
+            SimExpr::MemRead(s, addr) => {
+                out.push(Loc::MemDyn(*s));
+                addr.collect_reads(out);
+            }
+            SimExpr::Op(_, args) => args.iter().for_each(|a| a.collect_reads(out)),
+        }
+    }
+}
+
+/// The destination of a concrete RT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DestSim {
+    /// A fixed location.
+    Loc(Loc),
+    /// A memory word at a computed address.
+    MemAt(StorageId, SimExpr),
+}
+
+impl DestSim {
+    /// The location written, conservatively.
+    pub fn loc(&self) -> Loc {
+        match self {
+            DestSim::Loc(l) => l.clone(),
+            DestSim::MemAt(s, addr) => match addr {
+                SimExpr::Const(a) => Loc::Mem(*s, *a),
+                _ => Loc::MemDyn(*s),
+            },
+        }
+    }
+}
+
+/// One emitted RT operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtOp {
+    /// The template this operation instantiates.
+    pub template: TemplateId,
+    /// Concrete destination.
+    pub dest: DestSim,
+    /// Concrete value expression.
+    pub expr: SimExpr,
+    /// Execution condition (copied from the template; used by compaction).
+    pub cond: Bdd,
+}
+
+impl RtOp {
+    /// All locations read.
+    pub fn reads(&self) -> Vec<Loc> {
+        let mut r = self.expr.reads();
+        if let DestSim::MemAt(_, addr) = &self.dest {
+            addr.collect_reads(&mut r);
+        }
+        r
+    }
+
+    /// The location written.
+    pub fn write(&self) -> Loc {
+        self.dest.loc()
+    }
+
+    /// Renders an assembly-like line.
+    pub fn render(&self, n: &Netlist) -> String {
+        fn expr(e: &SimExpr, n: &Netlist) -> String {
+            match e {
+                SimExpr::Const(v) => format!("{v}"),
+                SimExpr::Read(l) => l.render(n),
+                SimExpr::MemRead(s, a) => format!("{}[{}]", n.storage(*s).name, expr(a, n)),
+                SimExpr::Op(op, args) if op.arity() == 2 => {
+                    format!("({} {} {})", expr(&args[0], n), op.symbol(), expr(&args[1], n))
+                }
+                SimExpr::Op(op, args) => {
+                    format!("{}({})", op.mnemonic(), expr(&args[0], n))
+                }
+            }
+        }
+        let dest = match &self.dest {
+            DestSim::Loc(l) => l.render(n),
+            DestSim::MemAt(s, a) => format!("{}[{}]", n.storage(*s).name, expr(a, n)),
+        };
+        format!("{dest} := {}", expr(&self.expr, n))
+    }
+}

@@ -1,0 +1,142 @@
+//! Code compaction: vertical RT code → horizontal instruction words.
+//!
+//! Code selection produces *vertical* code — one RT per instruction.
+//! Machines with instruction-level parallelism (horizontal or partially
+//! encoded formats) can execute several RTs per word when their execution
+//! conditions are jointly satisfiable.  This crate implements the
+//! compaction phase the paper defers to its companion work (Leupers &
+//! Marwedel, "Time-constrained Code Compaction for DSPs", ISSS 1995) in its
+//! greedy list-scheduling form:
+//!
+//! * **Data dependences** are derived from the concrete read/write sets of
+//!   each RT.  Semantics are *time-stationary* (paper table 1): all RTs of
+//!   one word read pre-state, so an anti-dependence (write-after-read) may
+//!   share a word with the read, while flow (read-after-write) and output
+//!   (write-after-write) dependences force a later word.
+//! * **Encoding compatibility** is the satisfiability of the conjunction
+//!   of execution conditions — the same BDDs instruction-set extraction
+//!   built.  Two RTs whose partial instructions conflict in any bit can
+//!   never share a word, exactly as in the paper's §2.
+//!
+//! The number of words after compaction is the code-size metric of the
+//! paper's Figure 2.
+//!
+//! # Example
+//!
+//! See `record-core`'s `Target::compile`, which feeds emitted RT ops
+//! through [`compact`].
+
+use record_bdd::{Bdd, BddManager};
+use record_codegen::RtOp;
+
+/// One horizontal instruction word: indices into the original op sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    /// Positions (in the vertical sequence) of the RTs in this word.
+    pub ops: Vec<usize>,
+}
+
+/// The result of compaction.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    words: Vec<Word>,
+    moved: usize,
+}
+
+impl Schedule {
+    /// Instruction words in execution order.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Code size in instruction words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of RTs packed into an earlier word than their vertical
+    /// position (a parallelism measure).
+    pub fn packed(&self) -> usize {
+        self.moved
+    }
+
+    /// Materialises the schedule as owned op groups (for simulation).
+    pub fn materialize(&self, ops: &[RtOp]) -> Vec<Vec<RtOp>> {
+        self.words
+            .iter()
+            .map(|w| w.ops.iter().map(|&i| ops[i].clone()).collect())
+            .collect()
+    }
+}
+
+/// Greedy list-scheduling compaction of `ops`.
+///
+/// RTs are taken in order; each is placed into the earliest word that
+/// respects its dependences and whose accumulated execution condition stays
+/// satisfiable when conjoined with the RT's own condition.
+pub fn compact(ops: &[RtOp], manager: &mut BddManager) -> Schedule {
+    let mut words: Vec<Word> = Vec::new();
+    let mut word_conds: Vec<Bdd> = Vec::new();
+    let mut moved = 0usize;
+
+    for (i, op) in ops.iter().enumerate() {
+        let reads = op.reads();
+        let write = op.write();
+
+        // Earliest word by dependences.
+        let mut earliest = 0usize;
+        for (wi, word) in words.iter().enumerate() {
+            for &j in &word.ops {
+                let other = &ops[j];
+                let ow = other.write();
+                // Flow dependence: we read what an earlier op wrote.
+                if reads.iter().any(|r| r.may_alias(&ow)) {
+                    earliest = earliest.max(wi + 1);
+                }
+                // Output dependence: both write the same location.
+                if write.may_alias(&ow) {
+                    earliest = earliest.max(wi + 1);
+                }
+                // Anti dependence: an earlier op reads what we write.
+                // Time-stationary words read pre-state, so sharing the same
+                // word is legal; an earlier word is not.
+                if other.reads().iter().any(|r| r.may_alias(&write)) {
+                    earliest = earliest.max(wi);
+                }
+            }
+        }
+
+        // First encoding-compatible word at or after `earliest`.
+        let mut placed = None;
+        for wi in earliest..words.len() {
+            let joint = manager.and(word_conds[wi], op.cond);
+            if manager.is_sat(joint) {
+                placed = Some((wi, joint));
+                break;
+            }
+        }
+        match placed {
+            Some((wi, joint)) => {
+                words[wi].ops.push(i);
+                word_conds[wi] = joint;
+                if wi < words.len() - 1 || words[wi].ops.len() > 1 {
+                    moved += 1;
+                }
+            }
+            None => {
+                words.push(Word { ops: vec![i] });
+                word_conds.push(op.cond);
+            }
+        }
+    }
+
+    Schedule { words, moved }
+}
+
+#[cfg(test)]
+mod tests;

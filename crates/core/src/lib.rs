@@ -1,0 +1,36 @@
+//! `record-core` — the end-to-end retargetable compiler pipeline.
+//!
+//! This crate wires the paper's Figure 1 together:
+//!
+//! ```text
+//! HDL model --(frontend)--> netlist --(ISE)--> RT templates
+//!    --(algebraic extension)--> extended base --(§3.1)--> tree grammar
+//!    --(§3.2)--> code selector
+//! ```
+//!
+//! [`Record::retarget`] runs the whole retargeting procedure and returns a
+//! [`Target`]: a ready-to-use compiler for one processor.  The per-phase
+//! wall-clock times and template counts it records are the rows of the
+//! paper's Table 3.  [`Target::compile`] then maps mini-C kernels to
+//! machine code (selection, spill-aware emission, compaction), which powers
+//! the Figure 2 experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use record_core::{Record, RetargetOptions};
+//!
+//! let model = record_targets::models::model("bass_boost").unwrap();
+//! let target = Record::retarget(model.hdl, &RetargetOptions::default())?;
+//! assert!(target.stats().templates_extended > 0);
+//! # Ok::<(), record_core::PipelineError>(())
+//! ```
+
+mod pipeline;
+
+pub use pipeline::{
+    CompileOptions, CompiledKernel, PipelineError, Record, RetargetOptions, RetargetStats, Target,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,369 @@
+//! The retargeting and compilation pipeline.
+
+use record_bdd::BddManager;
+use record_codegen::{baseline_compile, compile, Binding, Machine, RtOp};
+use record_compact::{compact, Schedule};
+use record_grammar::TreeGrammar;
+use record_isex::{ExtractOptions, VarMap};
+use record_netlist::{Netlist, StorageId, StorageKind};
+use record_rtl::{ExtensionOptions, TemplateBase};
+use record_selgen::{emit_rust, Selector};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Any error of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    Hdl(String),
+    Netlist(String),
+    Extract(String),
+    Frontend(String),
+    Codegen(String),
+    /// The model has no memory suitable as data memory.
+    NoDataMemory,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Hdl(s) => write!(f, "HDL frontend: {s}"),
+            PipelineError::Netlist(s) => write!(f, "elaboration: {s}"),
+            PipelineError::Extract(s) => write!(f, "instruction-set extraction: {s}"),
+            PipelineError::Frontend(s) => write!(f, "mini-C frontend: {s}"),
+            PipelineError::Codegen(s) => write!(f, "code generation: {s}"),
+            PipelineError::NoDataMemory => write!(f, "model has no data memory"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+/// Options for [`Record::retarget`].
+#[derive(Debug, Clone, Default)]
+pub struct RetargetOptions {
+    /// ISE limits.
+    pub extract: ExtractOptions,
+    /// Algebraic extension configuration (§3 of the paper).
+    pub extension: ExtensionOptions,
+    /// Also emit the generated tree parser as Rust source (iburg's code
+    /// generation step; included in the measured retargeting time when on).
+    pub emit_parser_source: bool,
+}
+
+/// Per-phase retargeting statistics: one row of the paper's Table 3, plus
+/// the phase breakdown.
+#[derive(Debug, Clone)]
+pub struct RetargetStats {
+    /// Processor name from the HDL model.
+    pub processor: String,
+    /// Templates delivered by ISE (after validity filtering and merging).
+    pub templates_extracted: usize,
+    /// Templates after commutative/rewrite extension — the paper's
+    /// "number of RT templates" column.
+    pub templates_extended: usize,
+    /// Routes discarded for unsatisfiable conditions.
+    pub unsat_discarded: usize,
+    /// Grammar rules.
+    pub rules: usize,
+    /// Non-terminals.
+    pub nonterminals: usize,
+    /// Phase times.
+    pub t_frontend: Duration,
+    pub t_extract: Duration,
+    pub t_extend: Duration,
+    pub t_grammar: Duration,
+    pub t_selector: Duration,
+    /// Total retargeting time — the paper's "retargeting time" column.
+    pub t_total: Duration,
+}
+
+/// The retargetable compiler entry point.
+#[derive(Debug)]
+pub struct Record;
+
+impl Record {
+    /// Retargets the compiler to the processor described by `hdl`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed HDL, elaboration errors or extraction errors
+    /// (combinational cycles, route explosion).
+    pub fn retarget(hdl: &str, options: &RetargetOptions) -> Result<Target, PipelineError> {
+        let t0 = Instant::now();
+        let model = record_hdl::parse(hdl).map_err(|e| PipelineError::Hdl(e.to_string()))?;
+        let netlist =
+            record_netlist::elaborate(&model).map_err(|e| PipelineError::Netlist(e.to_string()))?;
+        let t_frontend = t0.elapsed();
+
+        let t1 = Instant::now();
+        let extraction = record_isex::extract(&netlist, &options.extract)
+            .map_err(|e| PipelineError::Extract(e.to_string()))?;
+        let t_extract = t1.elapsed();
+        let templates_extracted = extraction.base.len();
+
+        let t2 = Instant::now();
+        let mut base = extraction.base;
+        record_rtl::extend(&mut base, &options.extension);
+        let t_extend = t2.elapsed();
+
+        let t3 = Instant::now();
+        let grammar = TreeGrammar::from_base(&base, &netlist);
+        let t_grammar = t3.elapsed();
+
+        let t4 = Instant::now();
+        let selector = Selector::generate(&grammar);
+        let parser_source = if options.emit_parser_source {
+            Some(emit_rust(&grammar, netlist.name()))
+        } else {
+            None
+        };
+        let t_selector = t4.elapsed();
+
+        let stats = RetargetStats {
+            processor: netlist.name().to_owned(),
+            templates_extracted,
+            templates_extended: base.len(),
+            unsat_discarded: extraction.stats.unsat_discarded,
+            rules: grammar.rules().len(),
+            nonterminals: grammar.nonterm_count(),
+            t_frontend,
+            t_extract,
+            t_extend,
+            t_grammar,
+            t_selector,
+            t_total: t0.elapsed(),
+        };
+        Ok(Target {
+            netlist,
+            base,
+            grammar,
+            selector,
+            manager: extraction.manager,
+            varmap: extraction.varmap,
+            stats,
+            parser_source,
+        })
+    }
+}
+
+/// Options for [`Target::compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Use the naive per-operator baseline instead of tree-parsing
+    /// selection (the Figure 2 comparator).
+    pub baseline: bool,
+    /// Run code compaction after selection.
+    pub compaction: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            baseline: false,
+            compaction: true,
+        }
+    }
+}
+
+/// A compiled kernel: vertical RT code plus the compacted schedule.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Vertical RT operations in emission order.
+    pub ops: Vec<RtOp>,
+    /// Compacted instruction-word schedule (empty when compaction is off).
+    pub schedule: Option<Schedule>,
+    /// Variable binding used (for simulation set-up).
+    pub binding: Binding,
+}
+
+impl CompiledKernel {
+    /// Code size in instruction words: compacted size when available,
+    /// vertical size otherwise.
+    pub fn code_size(&self) -> usize {
+        match &self.schedule {
+            Some(s) => s.len(),
+            None => self.ops.len(),
+        }
+    }
+}
+
+/// A retargeted compiler for one processor.
+#[derive(Debug)]
+pub struct Target {
+    netlist: Netlist,
+    base: TemplateBase,
+    grammar: TreeGrammar,
+    selector: Selector,
+    manager: BddManager,
+    varmap: VarMap,
+    stats: RetargetStats,
+    parser_source: Option<String>,
+}
+
+impl Target {
+    /// Retargeting statistics (a Table 3 row).
+    pub fn stats(&self) -> &RetargetStats {
+        &self.stats
+    }
+
+    /// The elaborated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The extended template base.
+    pub fn base(&self) -> &TemplateBase {
+        &self.base
+    }
+
+    /// The constructed tree grammar.
+    pub fn grammar(&self) -> &TreeGrammar {
+        &self.grammar
+    }
+
+    /// The generated code selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// BDD variable layout (instruction width, mode bits).
+    pub fn varmap(&self) -> &VarMap {
+        &self.varmap
+    }
+
+    /// The BDD manager owning all execution conditions of this target.
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// The emitted tree-parser source, if requested at retarget time.
+    pub fn parser_source(&self) -> Option<&str> {
+        self.parser_source.as_deref()
+    }
+
+    /// The default data memory: the first (largest) `Memory` storage.
+    pub fn data_memory(&self) -> Result<StorageId, PipelineError> {
+        self.netlist
+            .storages()
+            .iter()
+            .filter(|s| s.kind == StorageKind::Memory)
+            .max_by_key(|s| s.size)
+            .map(|s| s.id)
+            .ok_or(PipelineError::NoDataMemory)
+    }
+
+    /// A data memory by instance name.
+    pub fn memory_named(&self, name: &str) -> Result<StorageId, PipelineError> {
+        self.netlist
+            .storage_by_name(name)
+            .map(|s| s.id)
+            .ok_or(PipelineError::NoDataMemory)
+    }
+
+    /// Compiles `function` of the mini-C translation unit `source`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mini-C errors and on code-generation failures (no cover,
+    /// storage exhaustion, missing spill paths).
+    pub fn compile(
+        &mut self,
+        source: &str,
+        function: &str,
+        options: &CompileOptions,
+    ) -> Result<CompiledKernel, PipelineError> {
+        let program =
+            record_ir::parse(source).map_err(|e| PipelineError::Frontend(e.to_string()))?;
+        let flat = record_ir::lower(&program, function)
+            .map_err(|e| PipelineError::Frontend(e.to_string()))?;
+        let dm = self.data_memory()?;
+        let width = self.netlist.storage(dm).width;
+        let mut binding = Binding::allocate(&program, function, &self.netlist, dm)
+            .map_err(|e| PipelineError::Codegen(e.to_string()))?;
+        let ops = if options.baseline {
+            baseline_compile(
+                &flat,
+                &self.selector,
+                &self.base,
+                &mut binding,
+                &self.netlist,
+                &mut self.manager,
+                width,
+            )
+        } else {
+            compile(
+                &flat,
+                &self.selector,
+                &self.base,
+                &mut binding,
+                &self.netlist,
+                &mut self.manager,
+                width,
+            )
+        }
+        .map_err(|e| PipelineError::Codegen(e.to_string()))?;
+        let schedule = options
+            .compaction
+            .then(|| compact(&ops, &mut self.manager));
+        Ok(CompiledKernel {
+            ops,
+            schedule,
+            binding,
+        })
+    }
+
+    /// Runs compiled code on a zeroed machine with `init` memory words
+    /// (`(variable, values)` pairs resolved through the kernel's binding)
+    /// and returns the machine afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `init` variable is not bound (programming error in the
+    /// caller).
+    pub fn execute(&self, kernel: &CompiledKernel, init: &[(&str, Vec<u64>)]) -> Machine {
+        let dm = self
+            .data_memory()
+            .expect("compile succeeded, data memory exists");
+        let mut machine = Machine::new(&self.netlist);
+        for (name, values) in init {
+            let base = kernel
+                .binding
+                .assignments()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("variable `{name}` is not bound"))
+                .1;
+            for (i, v) in values.iter().enumerate() {
+                machine.set_mem(dm, base + i as u64, *v);
+            }
+        }
+        match &kernel.schedule {
+            Some(s) => machine.run_compacted(&s.materialize(&kernel.ops)),
+            None => machine.run(&kernel.ops),
+        }
+        machine
+    }
+
+    /// Renders compiled code as an assembly-like listing.
+    pub fn listing(&self, kernel: &CompiledKernel) -> String {
+        let mut out = String::new();
+        match &kernel.schedule {
+            Some(s) => {
+                for (wi, word) in s.words().iter().enumerate() {
+                    let rts: Vec<String> = word
+                        .ops
+                        .iter()
+                        .map(|&i| kernel.ops[i].render(&self.netlist))
+                        .collect();
+                    out.push_str(&format!("{wi:>4}: {}\n", rts.join("  ||  ")));
+                }
+            }
+            None => {
+                for (i, op) in kernel.ops.iter().enumerate() {
+                    out.push_str(&format!("{i:>4}: {}\n", op.render(&self.netlist)));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,135 @@
+use crate::*;
+
+const TINY: &str = r#"
+    module Acc {
+        in d: bit(8);
+        ctrl en: bit(1);
+        out q: bit(8);
+        register q = d when en == 1;
+    }
+    module Ram {
+        in addr: bit(3);
+        in din: bit(8);
+        ctrl w: bit(1);
+        out dout: bit(8);
+        memory cells[8]: bit(8);
+        read dout = cells[addr];
+        write cells[addr] = din when w == 1;
+    }
+    processor Tiny {
+        instruction word: bit(8);
+        parts { acc: Acc; ram: Ram; }
+        connections {
+            acc.d = ram.dout;
+            acc.en = I[7];
+            ram.addr = I[2:0];
+            ram.din = acc.q;
+            ram.w = I[6];
+        }
+    }
+"#;
+
+#[test]
+fn retarget_reports_phase_times_and_counts() {
+    let target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let s = target.stats();
+    assert_eq!(s.processor, "Tiny");
+    assert_eq!(s.templates_extracted, 2); // acc := ram, ram := acc
+    assert!(s.templates_extended >= s.templates_extracted);
+    assert!(s.rules > s.templates_extended); // start + stop rules on top
+    assert!(s.t_total >= s.t_extract);
+    assert_eq!(s.nonterminals, 2); // START + acc
+}
+
+#[test]
+fn hdl_errors_are_wrapped() {
+    let err = Record::retarget("module {", &RetargetOptions::default()).unwrap_err();
+    assert!(matches!(err, PipelineError::Hdl(_)), "{err}");
+}
+
+#[test]
+fn elaboration_errors_are_wrapped() {
+    let src = r#"
+        processor P { instruction word: bit(4); parts { x: Missing; } connections { } }
+    "#;
+    let err = Record::retarget(src, &RetargetOptions::default()).unwrap_err();
+    assert!(matches!(err, PipelineError::Netlist(_)), "{err}");
+}
+
+#[test]
+fn frontend_errors_are_wrapped() {
+    let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let err = target
+        .compile("int x; void f() { x = ; }", "f", &CompileOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::Frontend(_)), "{err}");
+}
+
+#[test]
+fn missing_function_is_a_frontend_error() {
+    let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let err = target
+        .compile("int x; void f() { x = x; }", "nope", &CompileOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::Frontend(_)), "{err}");
+}
+
+#[test]
+fn no_data_memory_is_reported() {
+    let src = r#"
+        module Acc {
+            in d: bit(8);
+            ctrl en: bit(1);
+            out q: bit(8);
+            register q = d when en == 1;
+        }
+        processor P {
+            instruction word: bit(9);
+            parts { acc: Acc; }
+            connections { acc.d = I[7:0]; acc.en = I[8]; }
+        }
+    "#;
+    let mut target = Record::retarget(src, &RetargetOptions::default()).unwrap();
+    let err = target
+        .compile("int x; void f() { x = 1; }", "f", &CompileOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::NoDataMemory), "{err}");
+}
+
+#[test]
+fn compile_execute_round_trip() {
+    let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let kernel = target
+        .compile("int x, y; void f() { x = y; }", "f", &CompileOptions::default())
+        .unwrap();
+    assert_eq!(kernel.code_size(), 2); // load acc, store x
+    let machine = target.execute(&kernel, &[("y", vec![9])]);
+    let dm = target.data_memory().unwrap();
+    assert_eq!(machine.mem(dm, 0), 9);
+    let listing = target.listing(&kernel);
+    assert!(listing.contains("acc :="), "{listing}");
+}
+
+#[test]
+fn compaction_off_gives_vertical_code() {
+    let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let kernel = target
+        .compile(
+            "int x, y; void f() { x = y; }",
+            "f",
+            &CompileOptions {
+                baseline: false,
+                compaction: false,
+            },
+        )
+        .unwrap();
+    assert!(kernel.schedule.is_none());
+    assert_eq!(kernel.code_size(), kernel.ops.len());
+}
+
+#[test]
+fn memory_named_lookup() {
+    let target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    assert!(target.memory_named("ram").is_ok());
+    assert!(target.memory_named("nope").is_err());
+}

@@ -1,0 +1,316 @@
+//! Abstract syntax of the HDL.
+//!
+//! The AST mirrors the textual structure closely; all name resolution and
+//! consistency checking beyond duplicate detection happens during netlist
+//! elaboration in `record-netlist`.
+
+/// Identifier type used throughout the AST.
+pub type Ident = String;
+
+/// A complete HDL model: module definitions plus exactly one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    /// Module (component) definitions, in source order.
+    pub modules: Vec<ModuleDef>,
+    /// The single `processor` block instantiating and wiring the modules.
+    pub processor: ProcessorDef,
+}
+
+impl Model {
+    /// Looks up a module definition by name.
+    pub fn module(&self, name: &str) -> Option<&ModuleDef> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Data input.
+    In,
+    /// Data output.
+    Out,
+    /// Control input (settable only from instruction/mode/decoder logic).
+    Ctrl,
+}
+
+/// A port declaration `in name: bit(w);`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDef {
+    pub name: Ident,
+    pub dir: PortDir,
+    /// Bit width, `1..=64`.
+    pub width: u16,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleDef {
+    pub name: Ident,
+    pub ports: Vec<PortDef>,
+    pub body: ModuleBody,
+}
+
+impl ModuleDef {
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortDef> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// The behavioural body of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleBody {
+    /// Pure combinational behaviour: concurrent (possibly `case`-guarded)
+    /// assignments to output ports.
+    Combinational(Vec<Stmt>),
+    /// A single word of clocked storage.
+    Register(RegisterDef),
+    /// An addressable memory with read and write ports.
+    Memory(MemoryDef),
+}
+
+/// `register q = d when en == 1;` — a clocked storage element driving
+/// output `out` and loading `input` whenever `guard` holds (every cycle if
+/// absent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDef {
+    /// The output port continuously driven with the stored value.
+    pub out: Ident,
+    /// Next-value expression over data input ports.
+    pub input: Expr,
+    /// Load-enable condition over control ports (`None` = load every cycle).
+    pub guard: Option<Expr>,
+}
+
+/// `memory cells[256]: bit(16);` plus `read`/`write` clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryDef {
+    /// Name of the storage array (local to the module).
+    pub array: Ident,
+    /// Number of words.
+    pub size: u64,
+    /// Word width in bits.
+    pub width: u16,
+    /// Asynchronous read ports: `read dout = cells[addr];`.
+    pub reads: Vec<ReadPort>,
+    /// Synchronous write ports: `write cells[addr] = din when w == 1;`.
+    pub writes: Vec<WritePort>,
+}
+
+/// An asynchronous memory read clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPort {
+    /// Output port that exposes the read word.
+    pub out: Ident,
+    /// Address expression over input ports.
+    pub addr: Expr,
+}
+
+/// A synchronous memory write clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePort {
+    /// Address expression over input ports.
+    pub addr: Expr,
+    /// Data expression over input ports.
+    pub data: Expr,
+    /// Write-enable condition over control ports (`None` = write every
+    /// cycle).
+    pub guard: Option<Expr>,
+}
+
+/// A behavioural statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `y = expr;`
+    Assign { port: Ident, value: Expr },
+    /// `case sel { 0 => ...; 1, 2 => { ... } default => ... }`
+    Case {
+        /// Selector expression (must reduce to control ports; checked during
+        /// elaboration).
+        selector: Expr,
+        arms: Vec<CaseArm>,
+        /// Optional `default` arm body.
+        default: Option<Vec<Stmt>>,
+    },
+}
+
+/// One arm of a `case`; fires when the selector equals any label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    pub labels: Vec<u64>,
+    pub body: Vec<Stmt>,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement `~`.
+    Not,
+    /// Two's complement negation `-`.
+    Neg,
+    /// Logical negation `!` (used in guard conditions).
+    LogicNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A behavioural expression over module ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to a port of the enclosing module.
+    Port(Ident),
+    /// Integer constant.
+    Const(u64),
+    /// Bit slice `base[hi:lo]` (single-bit `base[i]` parses as `hi == lo`).
+    Slice { base: Box<Expr>, hi: u16, lo: u16 },
+    Unary { op: UnOp, arg: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processor-level syntax
+// ---------------------------------------------------------------------------
+
+/// The `processor` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorDef {
+    pub name: Ident,
+    /// Width of the instruction word register `I` in bits.
+    pub iword_width: u16,
+    /// Primary processor ports (`In`/`Out` only).
+    pub ports: Vec<PortDef>,
+    /// Module instances.
+    pub parts: Vec<PartDef>,
+    /// Tristate bus declarations.
+    pub busses: Vec<BusDef>,
+    /// Guarded bus drivers (`drive` statements).
+    pub drivers: Vec<BusDriver>,
+    /// Point-to-point connections.
+    pub connections: Vec<Connection>,
+    /// Instances designated as mode registers (paper §2: "registers which
+    /// store control signals that change only rarely").
+    pub modes: Vec<Ident>,
+    /// Memory instances designated as register files: their cells are
+    /// interchangeable from the compiler's point of view (homogeneous
+    /// register structure in the paper's target-class table).  A memory
+    /// addressed by instruction fields is *structurally* indistinguishable
+    /// from a direct-addressed data memory, so the distinction is declared.
+    pub regfiles: Vec<Ident>,
+}
+
+/// One instance declaration `acc: Acc;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartDef {
+    pub inst: Ident,
+    pub module: Ident,
+}
+
+/// A tristate bus `bus dbus: bit(16);`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusDef {
+    pub name: Ident,
+    pub width: u16,
+}
+
+/// `drive dbus = alu.y when I[3] == 1;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusDriver {
+    pub bus: Ident,
+    pub source: NetRef,
+    /// Enable condition (`None` = drives constantly, which conflicts with
+    /// any other constant driver of the same bus).
+    pub guard: Option<Cond>,
+}
+
+/// Something readable at processor level: the right-hand side of a
+/// connection or bus drive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRef {
+    /// `inst.port`
+    InstPort { inst: Ident, port: Ident },
+    /// A bare identifier: a bus or a primary processor input port
+    /// (disambiguated during elaboration).
+    Name(Ident),
+    /// `I[hi:lo]` — a field of the instruction word.
+    IField { hi: u16, lo: u16 },
+    /// Integer constant (hardwired).
+    Const(u64),
+    /// `base[hi:lo]`
+    Slice {
+        base: Box<NetRef>,
+        hi: u16,
+        lo: u16,
+    },
+}
+
+/// Left-hand side of a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnTarget {
+    /// `inst.port = ...` — an instance input or control port.
+    InstPort { inst: Ident, port: Ident },
+    /// `pout = ...` — a primary processor output port.
+    ProcPort(Ident),
+}
+
+/// One connection statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    pub target: ConnTarget,
+    pub source: NetRef,
+}
+
+/// Comparison operator in processor-level conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+}
+
+/// A processor-level Boolean condition (bus-driver guard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `net == const` / `net != const`
+    Cmp {
+        lhs: NetRef,
+        op: CmpOp,
+        rhs: u64,
+    },
+    Not(Box<Cond>),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+}

@@ -1,0 +1,78 @@
+//! Error reporting for the HDL frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while processing HDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdlErrorKind {
+    /// A character that cannot start any token.
+    Lex,
+    /// A structurally malformed construct.
+    Parse,
+    /// A static-semantics violation (duplicate name, undefined reference,
+    /// invalid width, malformed slice).
+    Semantic,
+}
+
+impl fmt::Display for HdlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlErrorKind::Lex => write!(f, "lexical error"),
+            HdlErrorKind::Parse => write!(f, "parse error"),
+            HdlErrorKind::Semantic => write!(f, "semantic error"),
+        }
+    }
+}
+
+/// An error produced by [`crate::parse`], with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdlError {
+    kind: HdlErrorKind,
+    line: u32,
+    col: u32,
+    message: String,
+}
+
+impl HdlError {
+    pub(crate) fn new(kind: HdlErrorKind, line: u32, col: u32, message: impl Into<String>) -> Self {
+        HdlError {
+            kind,
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// The category of the error.
+    pub fn kind(&self) -> &HdlErrorKind {
+        &self.kind
+    }
+
+    /// 1-based source line of the offending token.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based source column of the offending token.
+    pub fn column(&self) -> u32 {
+        self.col
+    }
+
+    /// Human-readable description without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}:{}: {}",
+            self.kind, self.line, self.col, self.message
+        )
+    }
+}
+
+impl Error for HdlError {}

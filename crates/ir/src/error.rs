@@ -1,0 +1,45 @@
+//! Frontend errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A mini-C frontend error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    line: u32,
+    col: u32,
+    message: String,
+}
+
+impl CError {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        CError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based source column.
+    pub fn column(&self) -> u32 {
+        self.col
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mini-C error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for CError {}

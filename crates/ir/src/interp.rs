@@ -1,0 +1,120 @@
+//! Reference interpreter: the semantic oracle for codegen tests.
+
+use crate::ast::*;
+use crate::error::CError;
+use std::collections::BTreeMap;
+
+/// Variable state: one `Vec<u64>` per variable (length 1 for scalars).
+/// Values are masked to the machine word width.
+pub type Memory = BTreeMap<String, Vec<u64>>;
+
+fn err(msg: impl Into<String>) -> CError {
+    CError::new(0, 0, msg)
+}
+
+/// Runs `function` of `program` on `memory` with `width`-bit modular
+/// arithmetic (the fixed-point semantics shared with the RT simulator).
+///
+/// Variables missing from `memory` are zero-initialised.
+///
+/// # Errors
+///
+/// Returns [`CError`] on undeclared variables or out-of-bounds indices.
+pub fn interp(
+    program: &Program,
+    function: &str,
+    memory: &mut Memory,
+    width: u16,
+) -> Result<(), CError> {
+    let Some(f) = program.function(function) else {
+        return Err(err(format!("no function `{function}`")));
+    };
+    for d in program.globals.iter().chain(&f.locals) {
+        memory
+            .entry(d.name.clone())
+            .or_insert_with(|| vec![0; d.words() as usize]);
+    }
+    run_block(&f.body, memory, width)
+}
+
+fn mask(width: u16) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16) -> Result<(), CError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                let v = eval(value, mem, width)?;
+                let (name, off) = match target {
+                    LValue::Scalar(n) => (n.clone(), 0u64),
+                    LValue::Elem(n, idx) => {
+                        let i = eval(idx, mem, width)?;
+                        (n.clone(), i)
+                    }
+                };
+                let cells = mem
+                    .get_mut(&name)
+                    .ok_or_else(|| err(format!("undeclared variable `{name}`")))?;
+                let slot = cells
+                    .get_mut(off as usize)
+                    .ok_or_else(|| err(format!("index {off} out of bounds for `{name}`")))?;
+                *slot = v & mask(width);
+            }
+            Stmt::For {
+                var,
+                start,
+                bound,
+                le,
+                step,
+                body,
+            } => {
+                let mut i = *start;
+                loop {
+                    let cont = if *le { i <= *bound } else { i < *bound };
+                    if !cont {
+                        break;
+                    }
+                    let cells = mem
+                        .get_mut(var)
+                        .ok_or_else(|| err(format!("undeclared loop variable `{var}`")))?;
+                    cells[0] = (i as u64) & mask(width);
+                    run_block(body, mem, width)?;
+                    i += *step;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval(e: &Expr, mem: &Memory, width: u16) -> Result<u64, CError> {
+    let m = mask(width);
+    Ok(match e {
+        Expr::Const(c) => (*c as u64) & m,
+        Expr::Var(name) => {
+            *mem.get(name)
+                .and_then(|c| c.first())
+                .ok_or_else(|| err(format!("undeclared variable `{name}`")))?
+        }
+        Expr::Elem(name, idx) => {
+            let i = eval(idx, mem, width)? as usize;
+            *mem.get(name)
+                .and_then(|c| c.get(i))
+                .ok_or_else(|| err(format!("bad element `{name}[{i}]`")))?
+        }
+        Expr::Unary(op, a) => {
+            let a = eval(a, mem, width)?;
+            op.eval(&[a], width)
+        }
+        Expr::Binary(op, a, b) => {
+            let a = eval(a, mem, width)?;
+            let b = eval(b, mem, width)?;
+            op.eval(&[a, b], width)
+        }
+    })
+}

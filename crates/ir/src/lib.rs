@@ -1,0 +1,52 @@
+//! Mini-C frontend: the source language of the compiler.
+//!
+//! The paper evaluates RECORD on *basic program blocks* from the DSPstone
+//! benchmark suite — small fixed-point C kernels (FIR, biquad, dot product,
+//! convolution, complex arithmetic).  This crate implements the C subset
+//! those kernels need:
+//!
+//! * global `int` scalars and one-dimensional arrays,
+//! * one or more `void` functions with straight-line assignments,
+//! * compound assignment sugar (`+=`, `-=`, ...),
+//! * counted `for` loops with constant bounds (fully unrolled during
+//!   lowering, matching the paper's basic-block evaluation),
+//! * the usual integer expression operators.
+//!
+//! Lowering produces destination-annotated flat statements whose leaves are
+//! scalar/array-element references with constant offsets — exactly the shape
+//! code selection consumes after variables are bound to storage locations.
+//! A reference [`interp`] interpreter provides the semantic oracle used by
+//! codegen correctness tests.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "int x; int a[4]; void f() { x = a[0] + a[1]; }";
+//! let prog = record_ir::parse(src)?;
+//! let flat = record_ir::lower(&prog, "f")?;
+//! assert_eq!(flat.len(), 1);
+//! # Ok::<(), record_ir::CError>(())
+//! ```
+
+mod ast;
+mod error;
+mod interp;
+mod lower;
+mod parser;
+
+pub use ast::*;
+pub use error::CError;
+pub use interp::{interp, Memory};
+pub use lower::{lower, FlatExpr, FlatStmt, Ref};
+
+/// Parses a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`CError`] with line/column info on malformed source.
+pub fn parse(source: &str) -> Result<Program, CError> {
+    parser::parse(source)
+}
+
+#[cfg(test)]
+mod tests;

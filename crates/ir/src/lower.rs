@@ -1,0 +1,221 @@
+//! Lowering: loop unrolling and flattening to destination-annotated
+//! statements with constant-offset variable references.
+
+use crate::ast::*;
+use crate::error::CError;
+use std::collections::BTreeMap;
+
+/// A reference to a storage word: variable name plus constant element
+/// offset (0 for scalars).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref {
+    pub name: String,
+    pub offset: u64,
+}
+
+/// A flattened expression: all indices folded to constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatExpr {
+    Const(i64),
+    /// Read of a storage word.
+    Load(Ref),
+    Unary(record_rtl::OpKind, Box<FlatExpr>),
+    Binary(record_rtl::OpKind, Box<FlatExpr>, Box<FlatExpr>),
+}
+
+impl FlatExpr {
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            FlatExpr::Const(_) | FlatExpr::Load(_) => 1,
+            FlatExpr::Unary(_, a) => 1 + a.size(),
+            FlatExpr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+/// One flattened statement `target = expr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatStmt {
+    pub target: Ref,
+    pub value: FlatExpr,
+}
+
+/// Lowers `function` of `program`: unrolls all loops and folds indices.
+///
+/// # Errors
+///
+/// Returns [`CError`] (without position — lowering works on the AST) when a
+/// referenced variable is undeclared, an index does not fold to a constant,
+/// an index is out of bounds, or loop trip counts explode past 4096
+/// iterations total.
+pub fn lower(program: &Program, function: &str) -> Result<Vec<FlatStmt>, CError> {
+    let Some(f) = program.function(function) else {
+        return Err(err(format!("no function `{function}`")));
+    };
+    let mut vars: BTreeMap<String, u64> = BTreeMap::new();
+    for d in program.globals.iter().chain(&f.locals) {
+        vars.insert(d.name.clone(), d.words());
+    }
+    let mut out = Vec::new();
+    let mut env: BTreeMap<String, i64> = BTreeMap::new();
+    let mut budget = 4096usize;
+    lower_block(&f.body, &vars, &mut env, &mut out, &mut budget)?;
+    Ok(out)
+}
+
+fn err(msg: impl Into<String>) -> CError {
+    CError::new(0, 0, msg)
+}
+
+fn lower_block(
+    stmts: &[Stmt],
+    vars: &BTreeMap<String, u64>,
+    env: &mut BTreeMap<String, i64>,
+    out: &mut Vec<FlatStmt>,
+    budget: &mut usize,
+) -> Result<(), CError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                let target = lower_ref(target, vars, env)?;
+                let value = lower_expr(value, vars, env)?;
+                out.push(FlatStmt { target, value });
+            }
+            Stmt::For {
+                var,
+                start,
+                bound,
+                le,
+                step,
+                body,
+            } => {
+                if !vars.contains_key(var) {
+                    return Err(err(format!("undeclared loop variable `{var}`")));
+                }
+                let mut i = *start;
+                loop {
+                    let cont = if *le { i <= *bound } else { i < *bound };
+                    if !cont {
+                        break;
+                    }
+                    if *budget == 0 {
+                        return Err(err("loop unrolling exceeds 4096 iterations"));
+                    }
+                    *budget -= 1;
+                    let shadow = env.insert(var.clone(), i);
+                    lower_block(body, vars, env, out, budget)?;
+                    match shadow {
+                        Some(v) => {
+                            env.insert(var.clone(), v);
+                        }
+                        None => {
+                            env.remove(var);
+                        }
+                    }
+                    i += *step;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lower_ref(
+    lv: &LValue,
+    vars: &BTreeMap<String, u64>,
+    env: &BTreeMap<String, i64>,
+) -> Result<Ref, CError> {
+    match lv {
+        LValue::Scalar(name) => {
+            check_var(name, vars, false)?;
+            Ok(Ref {
+                name: name.clone(),
+                offset: 0,
+            })
+        }
+        LValue::Elem(name, idx) => {
+            let size = check_var(name, vars, true)?;
+            let offset = fold_index(name, idx, env, size)?;
+            Ok(Ref {
+                name: name.clone(),
+                offset,
+            })
+        }
+    }
+}
+
+fn lower_expr(
+    e: &Expr,
+    vars: &BTreeMap<String, u64>,
+    env: &BTreeMap<String, i64>,
+) -> Result<FlatExpr, CError> {
+    // A loop variable used as a value becomes a constant after unrolling.
+    if let Expr::Var(name) = e {
+        if let Some(&v) = env.get(name) {
+            return Ok(FlatExpr::Const(v));
+        }
+    }
+    match e {
+        Expr::Const(c) => Ok(FlatExpr::Const(*c)),
+        Expr::Var(name) => {
+            check_var(name, vars, false)?;
+            Ok(FlatExpr::Load(Ref {
+                name: name.clone(),
+                offset: 0,
+            }))
+        }
+        Expr::Elem(name, idx) => {
+            let size = check_var(name, vars, true)?;
+            let offset = fold_index(name, idx, env, size)?;
+            Ok(FlatExpr::Load(Ref {
+                name: name.clone(),
+                offset,
+            }))
+        }
+        Expr::Unary(op, a) => Ok(FlatExpr::Unary(*op, Box::new(lower_expr(a, vars, env)?))),
+        Expr::Binary(op, a, b) => {
+            // Constant-fold fully-constant subtrees so shapes like `N-1-i`
+            // become leaf constants.
+            if let Some(v) = e.fold(&|n| env.get(n).copied()) {
+                return Ok(FlatExpr::Const(v));
+            }
+            Ok(FlatExpr::Binary(
+                *op,
+                Box::new(lower_expr(a, vars, env)?),
+                Box::new(lower_expr(b, vars, env)?),
+            ))
+        }
+    }
+}
+
+fn check_var(name: &str, vars: &BTreeMap<String, u64>, want_array: bool) -> Result<u64, CError> {
+    match vars.get(name) {
+        None => Err(err(format!("undeclared variable `{name}`"))),
+        Some(&size) => {
+            if want_array && size == 1 {
+                return Err(err(format!("`{name}` is a scalar, not an array")));
+            }
+            Ok(size)
+        }
+    }
+}
+
+fn fold_index(
+    name: &str,
+    idx: &Expr,
+    env: &BTreeMap<String, i64>,
+    size: u64,
+) -> Result<u64, CError> {
+    let Some(v) = idx.fold(&|n| env.get(n).copied()) else {
+        return Err(err(format!(
+            "index of `{name}` does not fold to a constant (only counted loops are supported)"
+        )));
+    };
+    if v < 0 || v as u64 >= size {
+        return Err(err(format!(
+            "index {v} out of bounds for `{name}[{size}]`"
+        )));
+    }
+    Ok(v as u64)
+}

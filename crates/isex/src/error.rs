@@ -1,0 +1,37 @@
+//! ISE errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised during instruction-set extraction.
+///
+/// Note that *unsatisfiable execution conditions* are not errors — such
+/// templates are silently discarded (and counted) per the paper.  Errors are
+/// structural problems: combinational cycles, control signals that cannot be
+/// traced to instruction or mode bits, or route explosion beyond the
+/// configured cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsexError {
+    message: String,
+}
+
+impl IsexError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        IsexError {
+            message: message.into(),
+        }
+    }
+
+    /// Human-readable description naming the offending netlist entity.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for IsexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instruction-set extraction error: {}", self.message)
+    }
+}
+
+impl Error for IsexError {}

@@ -1,0 +1,62 @@
+//! Instruction-set extraction (ISE) — paper §2.
+//!
+//! ISE turns the structural netlist into the behavioural RT template base in
+//! two steps:
+//!
+//! 1. **Enumeration of data transfer routes.**  For each RT destination
+//!    (register, register file, memory, primary output port) the netlist is
+//!    traversed backwards through module interconnect and combinational
+//!    modules, forking at every multi-input module (`case` arm, bus driver,
+//!    binary operator), until sequential boundaries — registers, memory
+//!    reads, input ports, constants, instruction immediates — are reached.
+//!    Every complete route yields one RT template tree.
+//!
+//! 2. **Analysis of control signals.**  Every module involved in a route
+//!    must have its control ports set compatibly.  Control nets are traced
+//!    back through arbitrary decoder logic to the primary control sources —
+//!    instruction-word bits and mode-register bits — and evaluated
+//!    *symbolically*: each control net becomes a vector of BDDs.  The
+//!    conjunction of all requirements is the template's **execution
+//!    condition**.  Templates whose condition is unsatisfiable (instruction
+//!    encoding conflicts, bus contention) are discarded.
+//!
+//! The output is an [`Extraction`]: the template base, the owning
+//! [`record_bdd::BddManager`] (conditions are handles into it), the variable layout and
+//! extraction statistics.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     module Acc {
+//!         in d: bit(8);
+//!         ctrl en: bit(1);
+//!         out q: bit(8);
+//!         register q = d when en == 1;
+//!     }
+//!     processor P {
+//!         instruction word: bit(4);
+//!         in pin: bit(8);
+//!         parts { acc: Acc; }
+//!         connections { acc.d = pin; acc.en = I[0]; }
+//!     }
+//! "#;
+//! let model = record_hdl::parse(src)?;
+//! let netlist = record_netlist::elaborate(&model)?;
+//! let ex = record_isex::extract(&netlist, &record_isex::ExtractOptions::default())?;
+//! assert_eq!(ex.base.len(), 1); // acc := pin
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod ctrl;
+mod error;
+mod routes;
+mod varmap;
+
+pub use ctrl::CtrlAnalysis;
+pub use error::IsexError;
+pub use routes::{extract, ExtractOptions, ExtractStats, Extraction};
+pub use varmap::VarMap;
+
+#[cfg(test)]
+mod tests;

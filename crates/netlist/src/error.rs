@@ -1,0 +1,34 @@
+//! Elaboration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while elaborating an HDL model into a netlist.
+///
+/// The message names the offending construct (instance, port, bus) so model
+/// authors can locate it in the HDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    message: String,
+}
+
+impl NetlistError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        NetlistError {
+            message: message.into(),
+        }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,61 @@
+//! The internal graph model of a target processor.
+//!
+//! Instruction-set extraction does not work on HDL syntax but on an
+//! elaborated *netlist* (paper §2): primitive entities are module instances
+//! whose I/O ports are interconnected by wires and tristate busses.  This
+//! crate turns a parsed [`record_hdl::Model`] into that graph:
+//!
+//! * module behaviour is normalised into per-output **guarded expressions**
+//!   (each `case` nesting becomes an explicit guard over control ports),
+//! * every instance input/control port is resolved to at most one driver
+//!   [`Net`] (instance output, primary input, instruction field, bus,
+//!   constant, or a slice thereof),
+//! * storages (registers, memories) are enumerated and classified; a memory
+//!   addressed exclusively by instruction fields is classified as a
+//!   **register file**, whose cells the code selector may use for
+//!   intermediate results,
+//! * widths are checked across connections, behaviours and bus drivers.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     module Acc {
+//!         in d: bit(8);
+//!         ctrl en: bit(1);
+//!         out q: bit(8);
+//!         register q = d when en == 1;
+//!     }
+//!     processor P {
+//!         instruction word: bit(4);
+//!         in pin: bit(8);
+//!         parts { acc: Acc; }
+//!         connections { acc.d = pin; acc.en = I[0]; }
+//!     }
+//! "#;
+//! let model = record_hdl::parse(src)?;
+//! let netlist = record_netlist::elaborate(&model)?;
+//! assert_eq!(netlist.storages().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod elab;
+mod error;
+mod types;
+
+pub use error::NetlistError;
+pub use types::*;
+
+/// Elaborates a parsed HDL model into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] for unresolved names, direction violations,
+/// multiply-driven ports, width mismatches and malformed behaviours (e.g. a
+/// `case` selector that mixes data and control ports).
+pub fn elaborate(model: &record_hdl::Model) -> Result<Netlist, NetlistError> {
+    elab::Elaborator::new(model).run()
+}
+
+#[cfg(test)]
+mod tests;

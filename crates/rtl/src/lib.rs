@@ -1,0 +1,48 @@
+//! Register-transfer (RT) templates: the behavioural processor view.
+//!
+//! An RT template represents one primitive processor operation executable in
+//! a single machine cycle — "`dest := exp`" together with an *execution
+//! condition* over instruction-word and mode-register bits (paper §2).  The
+//! template base extracted from the netlist is the tree-based processor
+//! model from which the code-selector grammar is built.
+//!
+//! This crate provides:
+//!
+//! * [`OpKind`] — the shared operator vocabulary of HDL data paths and
+//!   source expressions, with evaluation semantics used by both the RT-level
+//!   simulator and the mini-C interpreter,
+//! * [`Pattern`], [`Dest`], [`RtTemplate`], [`TemplateBase`] — the template
+//!   ADTs,
+//! * [`extend`] — the algebraic extension phase (paper §3): commutative
+//!   variants plus application-specific rewrite rules from a
+//!   [`TransformLibrary`].
+//!
+//! # Example
+//!
+//! ```
+//! use record_rtl::{OpKind, Pattern};
+//! use record_netlist::StorageId;
+//!
+//! // acc + mem-cell, as a tree pattern
+//! let p = Pattern::Op(
+//!     OpKind::Add,
+//!     vec![
+//!         Pattern::Reg(StorageId(0)),
+//!         Pattern::MemRead(StorageId(1), Box::new(Pattern::Imm { hi: 7, lo: 0 })),
+//!     ],
+//! );
+//! assert_eq!(p.size(), 4);
+//! ```
+
+mod extend;
+mod op;
+mod template;
+
+pub use extend::{
+    extend, ExtensionOptions, ExtensionStats, RulePat, TransformLibrary, TransformRule,
+};
+pub use op::OpKind;
+pub use template::{Dest, Pattern, RtTemplate, TemplateBase, TemplateId, TemplateOrigin};
+
+#[cfg(test)]
+mod tests;

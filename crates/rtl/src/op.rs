@@ -1,0 +1,231 @@
+//! The operator vocabulary shared by HDL data paths and source programs.
+
+use record_hdl::{BinOp, UnOp};
+use std::fmt;
+
+/// A hardware/IR operator.
+///
+/// `record` compiles fixed-point DSP code: all values are unsigned bit
+/// vectors of some width with two's-complement interpretation where order
+/// matters.  [`OpKind::eval`] defines the single semantics both the RT-level
+/// simulator and the mini-C interpreter use, so codegen correctness tests
+/// can compare the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Bitwise complement (unary).
+    Not,
+    /// Two's complement negation (unary).
+    Neg,
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Bit-field extraction (unary), parameters are bit positions.
+    Slice(u16, u16),
+}
+
+impl OpKind {
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Not | OpKind::Neg | OpKind::Slice(..) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Is `op(a, b) == op(b, a)` for all inputs?
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Eq | OpKind::Ne
+        )
+    }
+
+    /// Converts an HDL binary operator.
+    pub fn from_bin(op: BinOp) -> OpKind {
+        match op {
+            BinOp::Add => OpKind::Add,
+            BinOp::Sub => OpKind::Sub,
+            BinOp::Mul => OpKind::Mul,
+            BinOp::Div => OpKind::Div,
+            BinOp::Rem => OpKind::Rem,
+            BinOp::And => OpKind::And,
+            BinOp::Or => OpKind::Or,
+            BinOp::Xor => OpKind::Xor,
+            BinOp::Shl => OpKind::Shl,
+            BinOp::Shr => OpKind::Shr,
+            BinOp::Eq => OpKind::Eq,
+            BinOp::Ne => OpKind::Ne,
+            BinOp::Lt => OpKind::Lt,
+            BinOp::Le => OpKind::Le,
+            BinOp::Gt => OpKind::Gt,
+            BinOp::Ge => OpKind::Ge,
+        }
+    }
+
+    /// Converts an HDL unary operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`UnOp::LogicNot`], which only occurs in guards and is
+    /// eliminated during elaboration.
+    pub fn from_un(op: UnOp) -> OpKind {
+        match op {
+            UnOp::Not => OpKind::Not,
+            UnOp::Neg => OpKind::Neg,
+            UnOp::LogicNot => panic!("LogicNot has no data-path counterpart"),
+        }
+    }
+
+    /// Evaluates the operator on operands already masked to `width` bits,
+    /// returning a result masked to `width` bits.
+    ///
+    /// Division and remainder by zero return 0 (hardware convention chosen
+    /// for this model; real parts saturate or trap, which no kernel relies
+    /// on).  Comparisons return 0/1 and interpret operands as signed
+    /// two's-complement numbers of `width` bits.
+    pub fn eval(self, args: &[u64], width: u16) -> u64 {
+        let mask = mask(width);
+        let a = args[0] & mask;
+        let b = *args.get(1).unwrap_or(&0) & mask;
+        let signed = |x: u64| sign_extend(x, width);
+        let r = match self {
+            OpKind::Add => a.wrapping_add(b),
+            OpKind::Sub => a.wrapping_sub(b),
+            OpKind::Mul => a.wrapping_mul(b),
+            OpKind::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            OpKind::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            OpKind::And => a & b,
+            OpKind::Or => a | b,
+            OpKind::Xor => a ^ b,
+            OpKind::Shl => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a << b
+                }
+            }
+            OpKind::Shr => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a >> b
+                }
+            }
+            OpKind::Not => !a,
+            OpKind::Neg => a.wrapping_neg(),
+            OpKind::Eq => u64::from(a == b),
+            OpKind::Ne => u64::from(a != b),
+            OpKind::Lt => u64::from(signed(a) < signed(b)),
+            OpKind::Le => u64::from(signed(a) <= signed(b)),
+            OpKind::Gt => u64::from(signed(a) > signed(b)),
+            OpKind::Ge => u64::from(signed(a) >= signed(b)),
+            OpKind::Slice(hi, lo) => {
+                let w = hi - lo + 1;
+                (a >> lo) & crate::op::mask(w)
+            }
+        };
+        r & mask
+    }
+
+    /// A short mnemonic used in grammar terminal names and listings.
+    pub fn mnemonic(self) -> String {
+        match self {
+            OpKind::Add => "add".into(),
+            OpKind::Sub => "sub".into(),
+            OpKind::Mul => "mul".into(),
+            OpKind::Div => "div".into(),
+            OpKind::Rem => "rem".into(),
+            OpKind::And => "and".into(),
+            OpKind::Or => "or".into(),
+            OpKind::Xor => "xor".into(),
+            OpKind::Shl => "shl".into(),
+            OpKind::Shr => "shr".into(),
+            OpKind::Not => "not".into(),
+            OpKind::Neg => "neg".into(),
+            OpKind::Eq => "eq".into(),
+            OpKind::Ne => "ne".into(),
+            OpKind::Lt => "lt".into(),
+            OpKind::Le => "le".into(),
+            OpKind::Gt => "gt".into(),
+            OpKind::Ge => "ge".into(),
+            OpKind::Slice(hi, lo) => format!("slice_{hi}_{lo}"),
+        }
+    }
+
+    /// The infix symbol used when pretty-printing patterns.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Mul => "*",
+            OpKind::Div => "/",
+            OpKind::Rem => "%",
+            OpKind::And => "&",
+            OpKind::Or => "|",
+            OpKind::Xor => "^",
+            OpKind::Shl => "<<",
+            OpKind::Shr => ">>",
+            OpKind::Not => "~",
+            OpKind::Neg => "-",
+            OpKind::Eq => "==",
+            OpKind::Ne => "!=",
+            OpKind::Lt => "<",
+            OpKind::Le => "<=",
+            OpKind::Gt => ">",
+            OpKind::Ge => ">=",
+            OpKind::Slice(..) => "[:]",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// All-ones mask of `width` bits.
+pub(crate) fn mask(width: u16) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends the `width`-bit value `x` into an `i64`.
+pub(crate) fn sign_extend(x: u64, width: u16) -> i64 {
+    if width == 0 || width >= 64 {
+        return x as i64;
+    }
+    let shift = 64 - width as u32;
+    ((x << shift) as i64) >> shift
+}

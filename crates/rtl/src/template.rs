@@ -1,0 +1,297 @@
+//! RT template ADTs.
+
+use crate::op::OpKind;
+use record_bdd::Bdd;
+use record_netlist::{Netlist, ProcPortId, StorageId};
+use std::fmt;
+
+/// Identifier of a template inside a [`TemplateBase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// A tree pattern: the right-hand side of an RT template.
+///
+/// Leaves are storages, ports, constants or instruction immediates; inner
+/// nodes are operators or memory reads (whose address is itself a pattern,
+/// which is how indirect and post-modify addressing surface).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pattern {
+    /// Operator application.
+    Op(OpKind, Vec<Pattern>),
+    /// Value stored in a register.
+    Reg(StorageId),
+    /// Value stored in some cell of a register file (cell chosen by the
+    /// compiler, encoded in an instruction field).
+    RegFile(StorageId),
+    /// Memory read; the boxed pattern computes the address.
+    MemRead(StorageId, Box<Pattern>),
+    /// Primary processor input port.
+    Port(ProcPortId),
+    /// Hardwired constant.
+    Const(u64),
+    /// Instruction field used as data (an immediate operand).
+    Imm { hi: u16, lo: u16 },
+}
+
+impl Pattern {
+    /// Number of nodes in the pattern tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::Op(_, args) => 1 + args.iter().map(Pattern::size).sum::<usize>(),
+            Pattern::MemRead(_, addr) => 1 + addr.size(),
+            _ => 1,
+        }
+    }
+
+    /// Depth of the pattern tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Pattern::Op(_, args) => 1 + args.iter().map(Pattern::depth).max().unwrap_or(0),
+            Pattern::MemRead(_, addr) => 1 + addr.depth(),
+            _ => 1,
+        }
+    }
+
+    /// All storages read by this pattern (with duplicates).
+    pub fn reads(&self) -> Vec<StorageId> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<StorageId>) {
+        match self {
+            Pattern::Op(_, args) => args.iter().for_each(|a| a.collect_reads(out)),
+            Pattern::Reg(s) | Pattern::RegFile(s) => out.push(*s),
+            Pattern::MemRead(s, addr) => {
+                out.push(*s);
+                addr.collect_reads(out);
+            }
+            Pattern::Port(_) | Pattern::Const(_) | Pattern::Imm { .. } => {}
+        }
+    }
+
+    /// Renders the pattern with storage/port names from `netlist`.
+    pub fn display<'a>(&'a self, netlist: &'a Netlist) -> PatternDisplay<'a> {
+        PatternDisplay {
+            pattern: self,
+            netlist,
+        }
+    }
+}
+
+/// Helper for [`Pattern::display`].
+#[derive(Debug)]
+pub struct PatternDisplay<'a> {
+    pattern: &'a Pattern,
+    netlist: &'a Netlist,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pattern(self.pattern, self.netlist, f)
+    }
+}
+
+fn fmt_pattern(p: &Pattern, n: &Netlist, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Pattern::Op(op, args) if op.arity() == 2 => {
+            write!(f, "(")?;
+            fmt_pattern(&args[0], n, f)?;
+            write!(f, " {} ", op.symbol())?;
+            fmt_pattern(&args[1], n, f)?;
+            write!(f, ")")
+        }
+        Pattern::Op(OpKind::Slice(hi, lo), args) => {
+            fmt_pattern(&args[0], n, f)?;
+            write!(f, "[{hi}:{lo}]")
+        }
+        Pattern::Op(op, args) => {
+            write!(f, "{}(", op.mnemonic())?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_pattern(a, n, f)?;
+            }
+            write!(f, ")")
+        }
+        Pattern::Reg(s) => write!(f, "{}", n.storage(*s).name),
+        Pattern::RegFile(s) => write!(f, "{}[*]", n.storage(*s).name),
+        Pattern::MemRead(s, addr) => {
+            write!(f, "{}[", n.storage(*s).name)?;
+            fmt_pattern(addr, n, f)?;
+            write!(f, "]")
+        }
+        Pattern::Port(p) => write!(f, "{}", n.proc_port(*p).name),
+        Pattern::Const(v) => write!(f, "{v}"),
+        Pattern::Imm { hi, lo } => write!(f, "#I[{hi}:{lo}]"),
+    }
+}
+
+/// The destination of an RT template.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dest {
+    /// A register.
+    Reg(StorageId),
+    /// Some cell of a register file (chosen by the compiler).
+    RegFile(StorageId),
+    /// A memory cell; the pattern computes the address.
+    Mem(StorageId, Pattern),
+    /// A primary processor output port.
+    Port(ProcPortId),
+}
+
+impl Dest {
+    /// The storage written, if the destination is a storage.
+    pub fn storage(&self) -> Option<StorageId> {
+        match self {
+            Dest::Reg(s) | Dest::RegFile(s) | Dest::Mem(s, _) => Some(*s),
+            Dest::Port(_) => None,
+        }
+    }
+
+    /// Renders the destination with names from `netlist`.
+    pub fn display<'a>(&'a self, netlist: &'a Netlist) -> DestDisplay<'a> {
+        DestDisplay {
+            dest: self,
+            netlist,
+        }
+    }
+}
+
+/// Helper for [`Dest::display`].
+#[derive(Debug)]
+pub struct DestDisplay<'a> {
+    dest: &'a Dest,
+    netlist: &'a Netlist,
+}
+
+impl fmt::Display for DestDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dest {
+            Dest::Reg(s) => write!(f, "{}", self.netlist.storage(*s).name),
+            Dest::RegFile(s) => write!(f, "{}[*]", self.netlist.storage(*s).name),
+            Dest::Mem(s, addr) => {
+                write!(f, "{}[", self.netlist.storage(*s).name)?;
+                fmt_pattern(addr, self.netlist, f)?;
+                write!(f, "]")
+            }
+            Dest::Port(p) => write!(f, "{}", self.netlist.proc_port(*p).name),
+        }
+    }
+}
+
+/// Where a template came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateOrigin {
+    /// Extracted from the netlist by ISE.
+    Extracted,
+    /// Commutative variant of another template.
+    Commutative(TemplateId),
+    /// Produced by a transformation-library rewrite of another template.
+    Rewrite(TemplateId),
+}
+
+/// One RT template: `dest := src` under execution condition `cond`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtTemplate {
+    pub id: TemplateId,
+    pub dest: Dest,
+    pub src: Pattern,
+    /// Execution condition over instruction-word and mode-register bits.
+    pub cond: Bdd,
+    pub origin: TemplateOrigin,
+}
+
+impl RtTemplate {
+    /// Renders `dest := src` with names from `netlist`.
+    pub fn render(&self, netlist: &Netlist) -> String {
+        format!(
+            "{} := {}",
+            self.dest.display(netlist),
+            self.src.display(netlist)
+        )
+    }
+}
+
+/// The (extended) RT template base of a target processor.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateBase {
+    templates: Vec<RtTemplate>,
+}
+
+impl TemplateBase {
+    /// An empty base.
+    pub fn new() -> Self {
+        TemplateBase::default()
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Is the base empty?
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// All templates.
+    pub fn templates(&self) -> &[RtTemplate] {
+        &self.templates
+    }
+
+    /// A template by id.
+    pub fn template(&self, id: TemplateId) -> &RtTemplate {
+        &self.templates[id.0 as usize]
+    }
+
+    /// Adds a template, assigning its id.  Returns the id.
+    pub fn push(&mut self, dest: Dest, src: Pattern, cond: Bdd, origin: TemplateOrigin) -> TemplateId {
+        let id = TemplateId(self.templates.len() as u32);
+        self.templates.push(RtTemplate {
+            id,
+            dest,
+            src,
+            cond,
+            origin,
+        });
+        id
+    }
+
+    /// Widens the execution condition of `id` by OR-ing in `cond`.
+    ///
+    /// Used by ISE when several data-transfer routes produce the same
+    /// `dest := src` shape under different encodings: the merged template is
+    /// executable under either condition.
+    pub fn merge_cond(&mut self, id: TemplateId, cond: Bdd, manager: &mut record_bdd::BddManager) {
+        let t = &mut self.templates[id.0 as usize];
+        t.cond = manager.or(t.cond, cond);
+    }
+
+    /// Looks up a template with exactly this `dest`/`src` shape.
+    pub fn find(&self, dest: &Dest, src: &Pattern) -> Option<TemplateId> {
+        self.templates
+            .iter()
+            .find(|t| &t.dest == dest && &t.src == src)
+            .map(|t| t.id)
+    }
+
+    /// Iterates over templates writing storage `s`.
+    pub fn writing(&self, s: StorageId) -> impl Iterator<Item = &RtTemplate> {
+        self.templates
+            .iter()
+            .filter(move |t| t.dest.storage() == Some(s))
+    }
+}
+
+impl FromIterator<RtTemplate> for TemplateBase {
+    fn from_iter<I: IntoIterator<Item = RtTemplate>>(iter: I) -> Self {
+        let mut base = TemplateBase::new();
+        for t in iter {
+            base.push(t.dest, t.src, t.cond, t.origin);
+        }
+        base
+    }
+}

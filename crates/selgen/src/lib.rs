@@ -1,0 +1,62 @@
+//! Tree-parser generation and cost-optimal tree parsing (paper §3.2).
+//!
+//! The original system feeds the tree grammar to *iburg*, which emits a C
+//! tree parser doing dynamic programming at parse time.  This crate plays
+//! both roles:
+//!
+//! * [`Selector::generate`] is "parser generation": it compiles the grammar
+//!   into indexed dispatch tables (rules by root terminal, chain rules by
+//!   source non-terminal) — the moral equivalent of iburg's emitted tables.
+//! * [`Selector::select`] is the generated parser: a bottom-up labelling
+//!   pass computes, per ET node and non-terminal, the cheapest derivation
+//!   cost and the rule achieving it (with chain-rule closure), then a
+//!   top-down reduction emits the minimum-cost cover.
+//! * [`emit_rust`] additionally renders the grammar-specific matcher as a
+//!   standalone Rust source file, mirroring iburg's code-generation step;
+//!   retargeting-time measurements include this emission.
+//!
+//! Covers are optimal with respect to accumulated rule costs: chained
+//! operations (multiply-accumulate and friends) are exploited, pure data
+//! moves are minimised, and special-purpose registers for intermediate
+//! results fall out of the non-terminal assignment (paper §3.2).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     module Acc {
+//!         in d: bit(8);
+//!         ctrl en: bit(1);
+//!         out q: bit(8);
+//!         register q = d when en == 1;
+//!     }
+//!     processor P {
+//!         instruction word: bit(12);
+//!         parts { acc: Acc; }
+//!         connections { acc.d = I[7:0]; acc.en = I[8]; }
+//!     }
+//! "#;
+//! use record_grammar::{Et, EtBuilder, EtDest, EtKind, TreeGrammar};
+//! let model = record_hdl::parse(src)?;
+//! let netlist = record_netlist::elaborate(&model)?;
+//! let ex = record_isex::extract(&netlist, &Default::default())?;
+//! let grammar = TreeGrammar::from_base(&ex.base, &netlist);
+//! let selector = record_selgen::Selector::generate(&grammar);
+//!
+//! let acc = netlist.storage_by_name("acc").unwrap().id;
+//! let mut b = EtBuilder::new();
+//! b.leaf(EtKind::Const(42));
+//! let et = Et::assign(EtDest::Reg(acc), b);
+//! let cover = selector.select(&et)?;
+//! assert_eq!(cover.cost, 1); // one immediate-load RT
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod emit;
+mod selector;
+
+pub use emit::emit_rust;
+pub use selector::{Cover, RuleApp, SelectError, Selector};
+
+#[cfg(test)]
+mod tests;

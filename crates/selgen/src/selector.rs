@@ -1,0 +1,352 @@
+//! The dynamic-programming tree parser.
+
+use record_grammar::{
+    Et, EtKind, GPat, NodeIdx, NonTermId, RuleId, TermKey, TreeGrammar,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Code selection failed: some subtree has no derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectError {
+    /// Rendered subtree that could not be covered.
+    pub subtree: String,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no cover for `{}`: {}", self.subtree, self.reason)
+    }
+}
+
+impl Error for SelectError {}
+
+/// One rule application in a cover, in emission (post) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleApp {
+    /// The applied rule.
+    pub rule: RuleId,
+    /// ET node where the rule's root matched.
+    pub at: NodeIdx,
+    /// The non-terminal this application derives.
+    pub nt: NonTermId,
+    /// For every non-terminal leaf of the rule pattern (left-to-right): the
+    /// non-terminal and the ET node it derives.
+    pub operands: Vec<(NonTermId, NodeIdx)>,
+}
+
+/// A minimum-cost cover of an expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// Total accumulated cost (number of RT rules for unit costs).
+    pub cost: u32,
+    /// Applications in evaluation order: operands before consumers.
+    pub apps: Vec<RuleApp>,
+}
+
+impl Cover {
+    /// Applications that correspond to RT templates (cost-bearing rules).
+    pub fn template_apps<'a>(
+        &'a self,
+        grammar: &'a TreeGrammar,
+    ) -> impl Iterator<Item = &'a RuleApp> {
+        self.apps
+            .iter()
+            .filter(move |a| grammar.rule(a.rule).template().is_some())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Via {
+    Base(RuleId),
+    Chain(RuleId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LabelEntry {
+    cost: u32,
+    via: Via,
+    /// 1 if the rule's operand non-terminals are pairwise distinct.
+    diversity: u8,
+}
+
+/// A grammar-specific tree parser (see crate docs).
+#[derive(Debug, Clone)]
+pub struct Selector {
+    grammar: TreeGrammar,
+    /// Rules indexed by the exact root terminal.
+    by_key: HashMap<TermKey, Vec<RuleId>>,
+    /// Rules whose root is a hardwired constant or immediate terminal
+    /// (candidates for `Const` ET nodes).
+    const_root_rules: Vec<RuleId>,
+    /// Chain rules: (rule, target, source, cost).
+    chains: Vec<(RuleId, NonTermId, NonTermId, u32)>,
+    nt_count: usize,
+}
+
+impl Selector {
+    /// "Parser generation": compiles `grammar` into dispatch tables.
+    pub fn generate(grammar: &TreeGrammar) -> Selector {
+        let mut by_key: HashMap<TermKey, Vec<RuleId>> = HashMap::new();
+        let mut const_root_rules = Vec::new();
+        let mut chains = Vec::new();
+        for r in grammar.rules() {
+            match &r.rhs {
+                GPat::NT(src) => chains.push((r.id, r.lhs, *src, r.cost)),
+                GPat::T(key, _) => match key {
+                    TermKey::ConstVal(_) | TermKey::Imm { .. } => const_root_rules.push(r.id),
+                    other => by_key.entry(*other).or_default().push(r.id),
+                },
+            }
+        }
+        Selector {
+            grammar: grammar.clone(),
+            by_key,
+            const_root_rules,
+            chains,
+            nt_count: grammar.nonterm_count(),
+        }
+    }
+
+    /// The grammar this parser was generated from.
+    pub fn grammar(&self) -> &TreeGrammar {
+        &self.grammar
+    }
+
+    /// Number of rules reachable through the dispatch tables (diagnostic).
+    pub fn table_size(&self) -> usize {
+        self.by_key.values().map(Vec::len).sum::<usize>()
+            + self.const_root_rules.len()
+            + self.chains.len()
+    }
+
+    /// Computes a minimum-cost cover of `et`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError`] when no derivation of the whole tree from
+    /// `START` exists — e.g. an operator the data path lacks, or a constant
+    /// that fits no immediate field and no hardwired constant.
+    pub fn select(&self, et: &Et) -> Result<Cover, SelectError> {
+        let labels = self.label(et);
+        let root_entry = labels[et.root()][NonTermId::START.0 as usize];
+        if root_entry.is_none() {
+            return Err(self.diagnose(et, &labels));
+        }
+        let mut apps = Vec::new();
+        self.reduce(et, &labels, et.root(), NonTermId::START, &mut apps);
+        let cost = root_entry.expect("checked above").cost;
+        Ok(Cover { cost, apps })
+    }
+
+    /// Bottom-up labelling: per node, per non-terminal, cheapest cost and
+    /// the rule achieving it.  Nodes are created children-first by
+    /// [`record_grammar::EtBuilder`], so index order is a valid bottom-up
+    /// order.
+    fn label(&self, et: &Et) -> Vec<Vec<Option<LabelEntry>>> {
+        let mut labels: Vec<Vec<Option<LabelEntry>>> = vec![vec![None; self.nt_count]; et.len()];
+        for idx in 0..et.len() {
+            let mut entries = vec![None; self.nt_count];
+            for rid in self.candidates(et.kind(idx)) {
+                let rule = self.grammar.rule(rid);
+                if let Some(child_cost) = self.match_cost(&rule.rhs, et, idx, &labels) {
+                    let total = rule.cost.saturating_add(child_cost);
+                    let diversity = Self::operand_diversity(&rule.rhs);
+                    let slot: &mut Option<LabelEntry> = &mut entries[rule.lhs.0 as usize];
+                    // On cost ties prefer rules whose operand non-terminals
+                    // are pairwise distinct: tree parsing is interference-
+                    // blind, but a cover that needs the same register for
+                    // two simultaneously-live operands is unimplementable,
+                    // so diversity is a free anti-conflict heuristic.
+                    let better = match *slot {
+                        None => true,
+                        Some(e) => {
+                            total < e.cost || (total == e.cost && diversity > e.diversity)
+                        }
+                    };
+                    if better {
+                        *slot = Some(LabelEntry {
+                            cost: total,
+                            via: Via::Base(rid),
+                            diversity,
+                        });
+                    }
+                }
+            }
+            // Chain-rule closure (costs are non-negative; strict improvement
+            // guarantees termination).
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &(rid, tgt, src, cost) in &self.chains {
+                    let Some(src_entry) = entries[src.0 as usize] else {
+                        continue;
+                    };
+                    let total = src_entry.cost.saturating_add(cost);
+                    let slot = &mut entries[tgt.0 as usize];
+                    if slot.map_or(true, |e| total < e.cost) {
+                        *slot = Some(LabelEntry {
+                            cost: total,
+                            via: Via::Chain(rid),
+                            diversity: src_entry.diversity,
+                        });
+                        changed = true;
+                    }
+                }
+            }
+            labels[idx] = entries;
+        }
+        labels
+    }
+
+    /// Candidate rules whose root terminal may match `kind`.
+    fn candidates(&self, kind: EtKind) -> Vec<RuleId> {
+        match kind {
+            EtKind::Const(_) => self.const_root_rules.clone(),
+            EtKind::Assign(k) => self.lookup(TermKey::Assign(k)),
+            EtKind::Store(s) => self.lookup(TermKey::Store(s)),
+            EtKind::Op(o) => self.lookup(TermKey::Op(o)),
+            EtKind::MemRead(s) => self.lookup(TermKey::MemRead(s)),
+            EtKind::RegLeaf(s) => self.lookup(TermKey::RegLeaf(s)),
+            EtKind::RfLeaf(s, _) => self.lookup(TermKey::RfLeaf(s)),
+            EtKind::PortLeaf(p) => self.lookup(TermKey::PortLeaf(p)),
+        }
+    }
+
+    fn lookup(&self, key: TermKey) -> Vec<RuleId> {
+        self.by_key.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// 1 when the pattern's non-terminal leaves are pairwise distinct.
+    fn operand_diversity(rhs: &GPat) -> u8 {
+        let leaves = rhs.nonterm_leaves();
+        let mut sorted = leaves.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        u8::from(sorted.len() == leaves.len())
+    }
+
+    /// Cost of matching `pat` structurally at `idx` (sum of non-terminal
+    /// leaf costs), or `None` if it does not match.
+    fn match_cost(
+        &self,
+        pat: &GPat,
+        et: &Et,
+        idx: NodeIdx,
+        labels: &[Vec<Option<LabelEntry>>],
+    ) -> Option<u32> {
+        match pat {
+            GPat::NT(nt) => labels[idx][nt.0 as usize].map(|e| e.cost),
+            GPat::T(key, kids) => {
+                if !et.kind_matches(idx, key) {
+                    return None;
+                }
+                let children = et.children(idx);
+                if children.len() != kids.len() {
+                    return None;
+                }
+                let mut total = 0u32;
+                for (kpat, &kidx) in kids.iter().zip(children) {
+                    total = total.saturating_add(self.match_cost(kpat, et, kidx, labels)?);
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Collects non-terminal leaf bindings of a matching pattern.
+    fn bindings(&self, pat: &GPat, et: &Et, idx: NodeIdx, out: &mut Vec<(NonTermId, NodeIdx)>) {
+        match pat {
+            GPat::NT(nt) => out.push((*nt, idx)),
+            GPat::T(_, kids) => {
+                for (kpat, &kidx) in kids.iter().zip(et.children(idx)) {
+                    self.bindings(kpat, et, kidx, out);
+                }
+            }
+        }
+    }
+
+    /// Top-down reduction emitting applications in evaluation order.
+    fn reduce(
+        &self,
+        et: &Et,
+        labels: &[Vec<Option<LabelEntry>>],
+        idx: NodeIdx,
+        nt: NonTermId,
+        out: &mut Vec<RuleApp>,
+    ) {
+        let entry = labels[idx][nt.0 as usize].expect("reduce called on labelled goal");
+        match entry.via {
+            Via::Chain(rid) => {
+                let rule = self.grammar.rule(rid);
+                let src = rule.rhs.as_chain().expect("chain rule body");
+                self.reduce(et, labels, idx, src, out);
+                out.push(RuleApp {
+                    rule: rid,
+                    at: idx,
+                    nt,
+                    operands: vec![(src, idx)],
+                });
+            }
+            Via::Base(rid) => {
+                let rule = self.grammar.rule(rid);
+                let mut operands = Vec::new();
+                self.bindings(&rule.rhs, et, idx, &mut operands);
+                for &(op_nt, op_idx) in &operands {
+                    self.reduce(et, labels, op_idx, op_nt, out);
+                }
+                out.push(RuleApp {
+                    rule: rid,
+                    at: idx,
+                    nt,
+                    operands,
+                });
+            }
+        }
+    }
+
+    /// Builds a helpful error by finding the most informative unlabelled
+    /// node: an unlabelled node whose children are all labelled is where
+    /// derivation actually broke (bare constants such as addresses are
+    /// matched structurally inside patterns and are expected to be
+    /// unlabelled, so inner nodes are preferred over leaves).
+    fn diagnose(&self, et: &Et, labels: &[Vec<Option<LabelEntry>>]) -> SelectError {
+        let unlabelled = |i: NodeIdx| labels[i].iter().all(Option::is_none);
+        let mut best: Option<NodeIdx> = None;
+        for idx in 0..et.len() {
+            if !unlabelled(idx) {
+                continue;
+            }
+            // Children must be labelled or structural leaves (constants are
+            // matched inside patterns and are expected to be unlabelled).
+            if et
+                .children(idx)
+                .iter()
+                .any(|&c| unlabelled(c) && !et.children(c).is_empty())
+            {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // Prefer inner nodes; among equals, the later (outer) one.
+                Some(b) => !et.children(idx).is_empty() || et.children(b).is_empty(),
+            };
+            if better {
+                best = Some(idx);
+            }
+        }
+        match best {
+            Some(idx) => SelectError {
+                subtree: et.render(idx),
+                reason: "no rule matches this subtree for any location".into(),
+            },
+            None => SelectError {
+                subtree: et.render(et.root()),
+                reason: "subtrees are derivable but no start rule covers the destination".into(),
+            },
+        }
+    }
+}

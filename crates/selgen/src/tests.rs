@@ -1,0 +1,397 @@
+use crate::*;
+use proptest::prelude::*;
+use record_grammar::*;
+use record_netlist::Netlist;
+use record_rtl::OpKind;
+
+fn pipeline(src: &str) -> (Netlist, TreeGrammar) {
+    let model = record_hdl::parse(src).expect("parses");
+    let n = record_netlist::elaborate(&model).expect("elaborates");
+    let ex = record_isex::extract(&n, &Default::default()).expect("extracts");
+    let g = TreeGrammar::from_base(&ex.base, &n);
+    (n, g)
+}
+
+const ACC_MACHINE: &str = r#"
+    module Alu {
+        in a: bit(8);
+        in b: bit(8);
+        ctrl f: bit(2);
+        out y: bit(8);
+        behavior {
+            case f {
+                0 => y = a + b;
+                1 => y = a - b;
+                2 => y = a & b;
+                3 => y = a;
+            }
+        }
+    }
+    module Acc {
+        in d: bit(8);
+        ctrl en: bit(1);
+        out q: bit(8);
+        register q = d when en == 1;
+    }
+    module Ram {
+        in addr: bit(4);
+        in din: bit(8);
+        ctrl w: bit(1);
+        out dout: bit(8);
+        memory cells[16]: bit(8);
+        read dout = cells[addr];
+        write cells[addr] = din when w == 1;
+    }
+    processor AccMachine {
+        instruction word: bit(8);
+        out pout: bit(8);
+        parts { alu: Alu; acc: Acc; ram: Ram; }
+        connections {
+            alu.a = acc.q;
+            alu.b = ram.dout;
+            alu.f = I[1:0];
+            acc.d = alu.y;
+            acc.en = I[7];
+            ram.addr = I[5:2];
+            ram.din = acc.q;
+            ram.w = I[6];
+            pout = acc.q;
+        }
+    }
+"#;
+
+#[test]
+fn selects_single_rt_for_memory_operand_add() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+    let ram = n.storage_by_name("ram").unwrap().id;
+
+    // acc := acc + ram[5]
+    let mut b = EtBuilder::new();
+    let a = b.leaf(EtKind::RegLeaf(acc));
+    let addr = b.leaf(EtKind::Const(5));
+    let m = b.node(EtKind::MemRead(ram), vec![addr]);
+    b.node(EtKind::Op(OpKind::Add), vec![a, m]);
+    let et = Et::assign(EtDest::Reg(acc), b);
+
+    let cover = sel.select(&et).unwrap();
+    assert_eq!(cover.cost, 1, "memory-register add is one RT");
+    assert_eq!(cover.template_apps(&g).count(), 1);
+    // Evaluation order: operand derivations (the stop rule) come first.
+    assert!(cover.apps.len() >= 2);
+    let first = g.rule(cover.apps[0].rule);
+    assert!(matches!(first.origin, RuleOrigin::Stop(_)));
+}
+
+#[test]
+fn store_statement_selected() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+    let ram = n.storage_by_name("ram").unwrap().id;
+
+    // ram[7] := acc
+    let mut b = EtBuilder::new();
+    let addr = b.leaf(EtKind::Const(7));
+    let val = b.leaf(EtKind::RegLeaf(acc));
+    let et = Et::store(ram, addr, val, b);
+
+    let cover = sel.select(&et).unwrap();
+    assert_eq!(cover.cost, 1);
+}
+
+#[test]
+fn chained_mac_selected_as_one_template() {
+    let src = r#"
+        module Mul { in a: bit(16); in b: bit(16); out y: bit(16);
+                     behavior { y = a * b; } }
+        module Add { in a: bit(16); in b: bit(16); out y: bit(16);
+                     behavior { y = a + b; } }
+        module Reg16 { in d: bit(16); ctrl en: bit(1); out q: bit(16);
+                       register q = d when en == 1; }
+        module Ram {
+            in addr: bit(4); in din: bit(16); ctrl w: bit(1); out dout: bit(16);
+            memory cells[16]: bit(16);
+            read dout = cells[addr];
+            write cells[addr] = din when w == 1;
+        }
+        processor Mac {
+            instruction word: bit(8);
+            parts { mul: Mul; add: Add; acc: Reg16; t: Reg16; ram: Ram; }
+            connections {
+                mul.a = t.q;
+                mul.b = ram.dout;
+                add.a = acc.q;
+                add.b = mul.y;
+                acc.d = add.y;
+                acc.en = I[0];
+                t.d = ram.dout;
+                t.en = I[1];
+                ram.addr = I[7:4];
+                ram.din = acc.q;
+                ram.w = I[2];
+            }
+        }
+    "#;
+    let (n, g) = pipeline(src);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+    let t = n.storage_by_name("t").unwrap().id;
+    let ram = n.storage_by_name("ram").unwrap().id;
+
+    // acc := acc + t * ram[3]  — classic multiply-accumulate.
+    let mut b = EtBuilder::new();
+    let a = b.leaf(EtKind::RegLeaf(acc));
+    let tv = b.leaf(EtKind::RegLeaf(t));
+    let addr = b.leaf(EtKind::Const(3));
+    let m = b.node(EtKind::MemRead(ram), vec![addr]);
+    let mul = b.node(EtKind::Op(OpKind::Mul), vec![tv, m]);
+    b.node(EtKind::Op(OpKind::Add), vec![a, mul]);
+    let et = Et::assign(EtDest::Reg(acc), b);
+
+    let cover = sel.select(&et).unwrap();
+    assert_eq!(cover.cost, 1, "MAC must be exploited as a chained op");
+}
+
+#[test]
+fn chain_rules_reduce_in_order() {
+    let src = r#"
+        module R { in d: bit(8); ctrl en: bit(1); out q: bit(8);
+                   register q = d when en == 1; }
+        processor P {
+            instruction word: bit(4);
+            in pin: bit(8);
+            parts { r1: R; r2: R; }
+            connections {
+                r1.d = pin;
+                r1.en = I[0];
+                r2.d = r1.q;
+                r2.en = I[1];
+            }
+        }
+    "#;
+    let (n, g) = pipeline(src);
+    let sel = Selector::generate(&g);
+    let r2 = n.storage_by_name("r2").unwrap().id;
+
+    // r2 := pin — needs r1 := pin, then r2 := r1.
+    let mut b = EtBuilder::new();
+    b.leaf(EtKind::PortLeaf(record_netlist::ProcPortId(0)));
+    let et = Et::assign(EtDest::Reg(r2), b);
+    let cover = sel.select(&et).unwrap();
+    assert_eq!(cover.cost, 2);
+    let rts: Vec<_> = cover.template_apps(&g).collect();
+    assert_eq!(rts.len(), 2);
+    // First the load into r1, then the move into r2.
+    assert_eq!(g.nonterm_name(rts[0].nt), "r1");
+    assert_eq!(g.nonterm_name(rts[1].nt), "r2");
+}
+
+#[test]
+fn missing_operator_is_diagnosed() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+
+    // acc := acc * acc — the ALU has no multiplier.
+    let mut b = EtBuilder::new();
+    let a1 = b.leaf(EtKind::RegLeaf(acc));
+    let a2 = b.leaf(EtKind::RegLeaf(acc));
+    b.node(EtKind::Op(OpKind::Mul), vec![a1, a2]);
+    let et = Et::assign(EtDest::Reg(acc), b);
+    let err = sel.select(&et).unwrap_err();
+    assert!(err.subtree.contains("mul"), "{err}");
+}
+
+#[test]
+fn oversized_constant_is_diagnosed() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+    let ram = n.storage_by_name("ram").unwrap().id;
+
+    // Address 200 does not fit the 4-bit direct address field.
+    let mut b = EtBuilder::new();
+    let a = b.leaf(EtKind::RegLeaf(acc));
+    let addr = b.leaf(EtKind::Const(200));
+    let m = b.node(EtKind::MemRead(ram), vec![addr]);
+    b.node(EtKind::Op(OpKind::Add), vec![a, m]);
+    let et = Et::assign(EtDest::Reg(acc), b);
+    assert!(sel.select(&et).is_err());
+}
+
+#[test]
+fn cover_cost_equals_sum_of_rule_costs() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    let acc = n.storage_by_name("acc").unwrap().id;
+    let ram = n.storage_by_name("ram").unwrap().id;
+
+    // acc := (acc - ram[1]) & ram[2]  — two RTs.
+    let mut b = EtBuilder::new();
+    let a = b.leaf(EtKind::RegLeaf(acc));
+    let a1 = b.leaf(EtKind::Const(1));
+    let m1 = b.node(EtKind::MemRead(ram), vec![a1]);
+    let sub = b.node(EtKind::Op(OpKind::Sub), vec![a, m1]);
+    let a2 = b.leaf(EtKind::Const(2));
+    let m2 = b.node(EtKind::MemRead(ram), vec![a2]);
+    b.node(EtKind::Op(OpKind::And), vec![sub, m2]);
+    let et = Et::assign(EtDest::Reg(acc), b);
+
+    let cover = sel.select(&et).unwrap();
+    let total: u32 = cover.apps.iter().map(|a| g.rule(a.rule).cost).sum();
+    assert_eq!(cover.cost, total);
+    assert_eq!(cover.cost, 2);
+}
+
+#[test]
+fn table_size_reflects_rules() {
+    let (_, g) = pipeline(ACC_MACHINE);
+    let sel = Selector::generate(&g);
+    assert_eq!(sel.table_size(), g.rules().len());
+}
+
+#[test]
+fn emitted_rust_is_deterministic_and_complete() {
+    let (n, g) = pipeline(ACC_MACHINE);
+    let s1 = emit_rust(&g, "acc_machine");
+    let s2 = emit_rust(&g, "acc_machine");
+    assert_eq!(s1, s2);
+    assert!(s1.contains(&format!("pub const RULE_COUNT: usize = {};", g.rules().len())));
+    assert!(s1.contains("pub fn match_rule"));
+    assert!(s1.contains("Kind::Const"));
+    let _ = n;
+}
+
+// ---------------------------------------------------------------------------
+// Property: the DP cover never costs more than a random valid derivation of
+// the same tree (upper-bound witness for optimality), and covers are
+// structurally well-formed.
+// ---------------------------------------------------------------------------
+
+/// Builds a random ET by expanding the grammar from START, returning the
+/// derivation cost as an upper bound.  `choices` drives rule selection.
+fn random_derivation(
+    g: &TreeGrammar,
+    choices: &[u8],
+) -> Option<(Et, u32)> {
+    fn expand(
+        g: &TreeGrammar,
+        nt: NonTermId,
+        b: &mut EtBuilder,
+        choices: &[u8],
+        pos: &mut usize,
+        depth: usize,
+        cost: &mut u32,
+    ) -> Option<NodeIdx> {
+        let rules: Vec<_> = g.rules_for(nt).collect();
+        if rules.is_empty() {
+            return None;
+        }
+        // Prefer terminal (leaf-only) rules when out of depth budget.
+        let pick_from: Vec<_> = if depth == 0 {
+            let t: Vec<_> = rules
+                .iter()
+                .filter(|r| r.rhs.nonterm_leaves().is_empty() && r.rhs.as_chain().is_none())
+                .copied()
+                .collect();
+            if t.is_empty() {
+                return None;
+            }
+            t
+        } else {
+            rules
+        };
+        let c = choices.get(*pos).copied().unwrap_or(0) as usize;
+        *pos += 1;
+        let rule = pick_from[c % pick_from.len()];
+        *cost += rule.cost;
+        build_pat(g, &rule.rhs, b, choices, pos, depth.saturating_sub(1), cost)
+    }
+
+    fn build_pat(
+        g: &TreeGrammar,
+        pat: &GPat,
+        b: &mut EtBuilder,
+        choices: &[u8],
+        pos: &mut usize,
+        depth: usize,
+        cost: &mut u32,
+    ) -> Option<NodeIdx> {
+        match pat {
+            GPat::NT(nt) => expand(g, *nt, b, choices, pos, depth, cost),
+            GPat::T(key, kids) => {
+                let mut children = Vec::new();
+                for k in kids {
+                    children.push(build_pat(g, k, b, choices, pos, depth, cost)?);
+                }
+                let kind = match key {
+                    TermKey::Assign(_) | TermKey::Store(_) => return None, // only at root
+                    TermKey::Op(o) => EtKind::Op(*o),
+                    TermKey::MemRead(s) => EtKind::MemRead(*s),
+                    TermKey::RegLeaf(s) => EtKind::RegLeaf(*s),
+                    TermKey::RfLeaf(s) => EtKind::RfLeaf(*s, 0),
+                    TermKey::PortLeaf(p) => EtKind::PortLeaf(*p),
+                    TermKey::ConstVal(v) => EtKind::Const(*v),
+                    TermKey::Imm { hi, lo } => {
+                        // Any value that fits; pick 1 (or 0 for 0-bit).
+                        let w = hi - lo + 1;
+                        EtKind::Const(if w >= 1 { 1 } else { 0 })
+                    }
+                };
+                Some(b.node(kind, children))
+            }
+        }
+    }
+
+    // Choose a start rule (register destinations only, to keep it simple).
+    let start_rules: Vec<_> = g
+        .rules_for(NonTermId::START)
+        .filter(|r| matches!(r.origin, RuleOrigin::Start))
+        .collect();
+    if start_rules.is_empty() {
+        return None;
+    }
+    let rule = start_rules[choices.first().copied().unwrap_or(0) as usize % start_rules.len()];
+    let GPat::T(TermKey::Assign(key), kids) = &rule.rhs else {
+        return None;
+    };
+    let GPat::NT(dest_nt) = &kids[0] else {
+        return None;
+    };
+    let mut b = EtBuilder::new();
+    let mut cost = rule.cost;
+    let mut pos = 1usize;
+    expand(g, *dest_nt, &mut b, choices, &mut pos, 3, &mut cost)?;
+    let dest = match key {
+        AssignKey::Reg(s) => EtDest::Reg(*s),
+        AssignKey::RegFile(s) => EtDest::RegFile(*s, 0),
+        AssignKey::Port(p) => EtDest::Port(*p),
+    };
+    Some((Et::assign(dest, b), cost))
+}
+
+proptest! {
+    #[test]
+    fn dp_cover_is_no_worse_than_random_derivation(choices in prop::collection::vec(any::<u8>(), 1..40)) {
+        let (_, g) = pipeline(ACC_MACHINE);
+        let sel = Selector::generate(&g);
+        if let Some((et, upper)) = random_derivation(&g, &choices) {
+            let cover = sel.select(&et).expect("tree from the grammar language must be coverable");
+            prop_assert!(cover.cost <= upper, "DP {} > random {}", cover.cost, upper);
+            // Structural well-formedness: every app derives its own nt.
+            for app in &cover.apps {
+                prop_assert_eq!(g.rule(app.rule).lhs, app.nt);
+            }
+            // Operands are produced before their consumers.
+            let mut produced = std::collections::HashSet::new();
+            for app in &cover.apps {
+                for op in &app.operands {
+                    prop_assert!(produced.contains(op), "operand {op:?} not yet produced");
+                }
+                produced.insert((app.nt, app.at));
+            }
+        }
+    }
+}

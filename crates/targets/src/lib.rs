@@ -1,0 +1,20 @@
+//! Target processor models and benchmark workloads.
+//!
+//! This crate carries the *data* of the evaluation:
+//!
+//! * [`mod@models`] — HDL descriptions of the six target processors of the
+//!   paper's Table 3: `demo` and `ref` (horizontal/multi-bus machines),
+//!   `manocpu` (Mano's Basic Computer), `tanenbaum` (the Mac-1-style
+//!   accumulator machine), `bass_boost` (a Philips-style audio MAC ASIP)
+//!   and a TMS320C25-like DSP.  The paper does not reproduce its MIMOLA
+//!   sources, so these models are written from the cited references and
+//!   sized to yield template bases of comparable magnitude and ordering.
+//! * [`mod@kernels`] — the ten DSPstone basic blocks of Figure 2, in mini-C,
+//!   each with a hand-written reference code size for the C25-like model
+//!   (the paper's "hand-written code = 100 %" baselines).
+
+pub mod kernels;
+pub mod models;
+
+pub use kernels::{kernels, Kernel};
+pub use models::{models, TargetModel};

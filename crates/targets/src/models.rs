@@ -1,0 +1,781 @@
+//! The six HDL processor models of Table 3.
+
+/// A target processor model.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetModel {
+    /// Display name (matches the paper's Table 3 rows).
+    pub name: &'static str,
+    /// HDL source.
+    pub hdl: &'static str,
+    /// Data word width in bits.
+    pub data_width: u16,
+    /// Instance name of the data memory program variables live in.
+    pub data_mem: &'static str,
+}
+
+/// All six targets in Table 3 order.
+pub fn models() -> [TargetModel; 6] {
+    [
+        TargetModel {
+            name: "demo",
+            hdl: DEMO,
+            data_width: 16,
+            data_mem: "dmem",
+        },
+        TargetModel {
+            name: "ref",
+            hdl: REF_MACHINE,
+            data_width: 16,
+            data_mem: "dmem",
+        },
+        TargetModel {
+            name: "manocpu",
+            hdl: MANOCPU,
+            data_width: 16,
+            data_mem: "mem",
+        },
+        TargetModel {
+            name: "tanenbaum",
+            hdl: TANENBAUM,
+            data_width: 16,
+            data_mem: "mem",
+        },
+        TargetModel {
+            name: "bass_boost",
+            hdl: BASS_BOOST,
+            data_width: 16,
+            data_mem: "dmem",
+        },
+        TargetModel {
+            name: "tms320c25",
+            hdl: TMS320C25,
+            data_width: 16,
+            data_mem: "dmem",
+        },
+    ]
+}
+
+/// Looks up a model by name.
+pub fn model(name: &str) -> Option<TargetModel> {
+    models().into_iter().find(|m| m.name == name)
+}
+
+/// `demo` — a small horizontal-microcode machine: every control signal is a
+/// dedicated instruction field, two operand busses, a rich ALU.  Horizontal
+/// formats make many RT combinations satisfiable, so the template base is
+/// large relative to the datapath and compaction packs aggressively.
+pub const DEMO: &str = r#"
+module Alu8 {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(3);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a + b;
+            1 => y = a - b;
+            2 => y = a & b;
+            3 => y = a | b;
+            4 => y = a ^ b;
+            5 => y = a << b;
+            6 => y = a >> b;
+            7 => y = b;
+        }
+    }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Ram {
+    in addr: bit(6);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[64]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+processor Demo {
+    instruction word: bit(32);
+    in pin: bit(16);
+    out pout: bit(16);
+    bus abus: bit(16);
+    bus bbus: bit(16);
+    parts {
+        alu: Alu8; acc: Reg16; r0: Reg16; r1: Reg16; dmem: Ram;
+    }
+    connections {
+        -- Bus A drivers (field I[17:16])
+        drive abus = acc.q   when I[17:16] == 0;
+        drive abus = r0.q    when I[17:16] == 1;
+        drive abus = r1.q    when I[17:16] == 2;
+        drive abus = dmem.dout when I[17:16] == 3;
+        -- Bus B drivers (field I[20:18])
+        drive bbus = acc.q   when I[20:18] == 0;
+        drive bbus = r0.q    when I[20:18] == 1;
+        drive bbus = r1.q    when I[20:18] == 2;
+        drive bbus = dmem.dout when I[20:18] == 3;
+        drive bbus = I[15:8] when I[20:18] == 4;
+        drive bbus = pin     when I[20:18] == 5;
+        alu.a = abus;
+        alu.b = bbus;
+        alu.f = I[23:21];
+        acc.d = alu.y;
+        acc.en = I[24];
+        r0.d = alu.y;
+        r0.en = I[25];
+        r1.d = alu.y;
+        r1.en = I[26];
+        dmem.addr = I[5:0];
+        dmem.din = abus;
+        dmem.w = I[27];
+        pout = alu.y;
+    }
+}
+"#;
+
+/// `ref` — the large reference machine: three function units (ALU, shared
+/// multiplier path, barrel shifter), a homogeneous register file, two
+/// operand busses with many drivers.  The combinatorial product of bus
+/// drivers, ALU functions and chained multiplier routes makes this the
+/// largest template base, as in the paper.
+pub const REF_MACHINE: &str = r#"
+module Alu8 {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(3);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a + b;
+            1 => y = a - b;
+            2 => y = a & b;
+            3 => y = a | b;
+            4 => y = a ^ b;
+            5 => y = ~a;
+            6 => y = -a;
+            7 => y = b;
+        }
+    }
+}
+module Mul16 {
+    in a: bit(16);
+    in b: bit(16);
+    out y: bit(16);
+    behavior { y = a * b; }
+}
+module Shift {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(1);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a << b;
+            1 => y = a >> b;
+        }
+    }
+}
+module Mux2 {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl s: bit(1);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; } }
+}
+module Mux3 {
+    in a: bit(16);
+    in b: bit(16);
+    in c: bit(16);
+    ctrl s: bit(2);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; 2 => y = c; } }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Rf8 {
+    in raddr: bit(3);
+    in waddr: bit(3);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[8]: bit(16);
+    read dout = cells[raddr];
+    write cells[waddr] = din when w == 1;
+}
+module Ram {
+    in addr: bit(6);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[64]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+processor RefMachine {
+    instruction word: bit(40);
+    in pin: bit(16);
+    out pout: bit(16);
+    bus abus: bit(16);
+    bus bbus: bit(16);
+    parts {
+        alu: Alu8; mul: Mul16; sh: Shift; bmux: Mux2; resmux: Mux3;
+        acc: Reg16; t: Reg16; rf: Rf8; dmem: Ram;
+    }
+    regfiles { rf }
+    connections {
+        drive abus = acc.q     when I[17:16] == 0;
+        drive abus = rf.dout   when I[17:16] == 1;
+        drive abus = dmem.dout when I[17:16] == 2;
+        drive abus = t.q       when I[17:16] == 3;
+        drive bbus = rf.dout   when I[20:18] == 0;
+        drive bbus = dmem.dout when I[20:18] == 1;
+        drive bbus = I[15:8]   when I[20:18] == 2;
+        drive bbus = pin       when I[20:18] == 3;
+        drive bbus = acc.q     when I[20:18] == 4;
+        mul.a = t.q;
+        mul.b = bbus;
+        bmux.a = bbus;
+        bmux.b = mul.y;
+        bmux.s = I[21];
+        alu.a = abus;
+        alu.b = bmux.y;
+        alu.f = I[24:22];
+        sh.a = abus;
+        sh.b = bbus;
+        sh.f = I[25];
+        resmux.a = alu.y;
+        resmux.b = sh.y;
+        resmux.c = mul.y;
+        resmux.s = I[27:26];
+        acc.d = resmux.y;
+        acc.en = I[28];
+        t.d = resmux.y;
+        t.en = I[29];
+        rf.din = resmux.y;
+        rf.w = I[30];
+        rf.raddr = I[34:32];
+        rf.waddr = I[37:35];
+        dmem.addr = I[5:0];
+        dmem.din = abus;
+        dmem.w = I[31];
+        pout = alu.y;
+    }
+}
+"#;
+
+/// `manocpu` — Mano's Basic Computer (Computer System Architecture, 3rd
+/// ed.): accumulator AC with E-less simplification, data register DR, one
+/// memory addressed by the instruction's 8-bit address field, encoded 4-bit
+/// opcode driving a decoder.
+pub const MANOCPU: &str = r#"
+module Alu {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(3);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a & b;
+            1 => y = a + b;
+            2 => y = b;
+            3 => y = ~a;
+            4 => y = a >> 1;
+            5 => y = a << 1;
+            6 => y = a + 1;
+            7 => y = a;
+        }
+    }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Ram {
+    in addr: bit(8);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[256]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+module Dec {
+    ctrl op: bit(4);
+    out alu_f: bit(3);
+    out ac_en: bit(1);
+    out dr_en: bit(1);
+    out mem_w: bit(1);
+    behavior {
+        case op {
+            0  => { alu_f = 0; ac_en = 1; dr_en = 0; mem_w = 0; }  -- AND
+            1  => { alu_f = 1; ac_en = 1; dr_en = 0; mem_w = 0; }  -- ADD
+            2  => { alu_f = 2; ac_en = 1; dr_en = 0; mem_w = 0; }  -- LDA
+            3  => { alu_f = 7; ac_en = 0; dr_en = 0; mem_w = 1; }  -- STA
+            4  => { alu_f = 3; ac_en = 1; dr_en = 0; mem_w = 0; }  -- CMA
+            5  => { alu_f = 4; ac_en = 1; dr_en = 0; mem_w = 0; }  -- SHR
+            6  => { alu_f = 5; ac_en = 1; dr_en = 0; mem_w = 0; }  -- SHL
+            7  => { alu_f = 6; ac_en = 1; dr_en = 0; mem_w = 0; }  -- INC
+            8  => { alu_f = 2; ac_en = 0; dr_en = 1; mem_w = 0; }  -- LDD
+            default => { alu_f = 7; ac_en = 0; dr_en = 0; mem_w = 0; } -- NOP
+        }
+    }
+}
+processor ManoCpu {
+    instruction word: bit(12);
+    parts {
+        alu: Alu; ac: Reg16; dr: Reg16; mem: Ram; dec: Dec;
+    }
+    connections {
+        dec.op = I[11:8];
+        alu.a = ac.q;
+        alu.b = mem.dout;
+        alu.f = dec.alu_f;
+        ac.d = alu.y;
+        ac.en = dec.ac_en;
+        dr.d = mem.dout;
+        dr.en = dec.dr_en;
+        mem.addr = I[7:0];
+        mem.din = ac.q;
+        mem.w = dec.mem_w;
+    }
+}
+"#;
+
+/// `tanenbaum` — the Mac-1-flavoured accumulator machine from Structured
+/// Computer Organization (3rd ed.): AC plus a one-level stack register,
+/// memory-direct and immediate addressing, encoded 4-bit opcodes.
+pub const TANENBAUM: &str = r#"
+module Alu {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(2);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a + b;
+            1 => y = a - b;
+            2 => y = b;
+            3 => y = a;
+        }
+    }
+}
+module Mux3 {
+    in a: bit(16);
+    in b: bit(16);
+    in c: bit(16);
+    ctrl s: bit(2);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; 2 => y = c; } }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Ram {
+    in addr: bit(8);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[256]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+module Dec {
+    ctrl op: bit(4);
+    out alu_f: bit(2);
+    out bsel: bit(2);
+    out ac_en: bit(1);
+    out sp_en: bit(1);
+    out mem_w: bit(1);
+    out wsel: bit(1);
+    behavior {
+        case op {
+            0 => { alu_f = 2; bsel = 0; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- LODD
+            1 => { alu_f = 0; bsel = 0; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- ADDD
+            2 => { alu_f = 1; bsel = 0; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- SUBD
+            3 => { alu_f = 2; bsel = 1; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- LOCO
+            4 => { alu_f = 0; bsel = 1; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- ADDI
+            5 => { alu_f = 3; bsel = 0; ac_en = 0; sp_en = 0; mem_w = 1; wsel = 0; } -- STOD
+            6 => { alu_f = 2; bsel = 2; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- POP-ish
+            7 => { alu_f = 3; bsel = 0; ac_en = 0; sp_en = 1; mem_w = 0; wsel = 0; } -- PUSH-ish
+            8 => { alu_f = 0; bsel = 2; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- ADDS
+            9 => { alu_f = 1; bsel = 2; ac_en = 1; sp_en = 0; mem_w = 0; wsel = 0; } -- SUBS
+            10 => { alu_f = 3; bsel = 0; ac_en = 0; sp_en = 0; mem_w = 1; wsel = 1; } -- STOS
+            default => { alu_f = 3; bsel = 0; ac_en = 0; sp_en = 0; mem_w = 0; wsel = 0; }
+        }
+    }
+}
+processor Tanenbaum {
+    instruction word: bit(12);
+    parts {
+        alu: Alu; bmux: Mux3; ac: Reg16; sp: Reg16; mem: Ram; dec: Dec; wmux: Mux3;
+    }
+    connections {
+        dec.op = I[11:8];
+        bmux.a = mem.dout;
+        bmux.b = I[7:0];
+        bmux.c = sp.q;
+        bmux.s = dec.bsel;
+        alu.a = ac.q;
+        alu.b = bmux.y;
+        alu.f = dec.alu_f;
+        ac.d = alu.y;
+        ac.en = dec.ac_en;
+        sp.d = alu.y;
+        sp.en = dec.sp_en;
+        wmux.a = ac.q;
+        wmux.b = sp.q;
+        wmux.c = mem.dout;
+        wmux.s = dec.wsel;
+        mem.addr = I[7:0];
+        mem.din = wmux.y;
+        mem.w = dec.mem_w;
+    }
+}
+"#;
+
+/// `bass_boost` — a Philips-style in-house audio ASIP (Strik et al., ED&TC
+/// 1995): a bare MAC data path with a sample register, a coefficient ROM
+/// and a small state memory; the smallest template base of the set.
+pub const BASS_BOOST: &str = r#"
+module Mac {
+    in acc: bit(16);
+    in x: bit(16);
+    in c: bit(16);
+    ctrl f: bit(2);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = acc + x * c;
+            1 => y = acc - x * c;
+            2 => y = x * c;
+            3 => y = x;
+        }
+    }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Rom {
+    in addr: bit(4);
+    out dout: bit(16);
+    memory cells[16]: bit(16);
+    read dout = cells[addr];
+}
+module Ram {
+    in addr: bit(4);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[16]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+processor BassBoost {
+    instruction word: bit(12);
+    in sample_in: bit(16);
+    out sample_out: bit(16);
+    parts {
+        mac: Mac; acc: Reg16; x: Reg16; coef: Rom; dmem: Ram; xmux: Mux2i;
+    }
+    connections {
+        mac.acc = acc.q;
+        mac.x = x.q;
+        mac.c = coef.dout;
+        mac.f = I[1:0];
+        acc.d = mac.y;
+        acc.en = I[2];
+        xmux.a = sample_in;
+        xmux.b = dmem.dout;
+        xmux.s = I[3];
+        x.d = xmux.y;
+        x.en = I[4];
+        coef.addr = I[11:8];
+        dmem.addr = I[11:8];
+        dmem.din = acc.q;
+        dmem.w = I[5];
+        sample_out = acc.q;
+    }
+}
+module Mux2i {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl s: bit(1);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; } }
+}
+"#;
+
+/// TMS320C25-like DSP (TI user's guide, rev. B 1990), narrowed to 16-bit
+/// arithmetic: accumulator ACC, multiplier input register T, product
+/// register P, two auxiliary registers AR0/AR1 selected by the ARP mode
+/// register (indirect addressing), 8-bit direct address field, encoded
+/// 8-bit opcodes through an instruction decoder.
+pub const TMS320C25: &str = r#"
+module Alu {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(3);
+    out y: bit(16);
+    behavior {
+        case f {
+            0 => y = a + b;
+            1 => y = a - b;
+            2 => y = a & b;
+            3 => y = a | b;
+            4 => y = a ^ b;
+            5 => y = b;
+            6 => y = a << 1;
+            7 => y = a >> 1;
+        }
+    }
+}
+module Mul16 {
+    in a: bit(16);
+    in b: bit(16);
+    out y: bit(16);
+    behavior { y = a * b; }
+}
+module Mux3 {
+    in a: bit(16);
+    in b: bit(16);
+    in c: bit(16);
+    ctrl s: bit(2);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; 2 => y = c; } }
+}
+module AddrMux {
+    in direct: bit(8);
+    in ar0: bit(8);
+    in ar1: bit(8);
+    ctrl s: bit(1);
+    ctrl arp: bit(1);
+    out y: bit(8);
+    behavior {
+        case s {
+            0 => y = direct;
+            1 => case arp {
+                0 => y = ar0;
+                1 => y = ar1;
+            }
+        }
+    }
+}
+module ArUnit {
+    in cur: bit(8);
+    in imm: bit(8);
+    ctrl f: bit(2);
+    out y: bit(8);
+    behavior {
+        case f {
+            0 => y = imm;
+            1 => y = cur + 1;
+            2 => y = cur - 1;
+            3 => y = cur;
+        }
+    }
+}
+module Reg16 {
+    in d: bit(16);
+    ctrl en: bit(1);
+    out q: bit(16);
+    register q = d when en == 1;
+}
+module Reg8 {
+    in d: bit(8);
+    ctrl en: bit(1);
+    out q: bit(8);
+    register q = d when en == 1;
+}
+module Reg1 {
+    in d: bit(1);
+    ctrl en: bit(1);
+    out q: bit(1);
+    register q = d when en == 1;
+}
+module Ram {
+    in addr: bit(8);
+    in din: bit(16);
+    ctrl w: bit(1);
+    out dout: bit(16);
+    memory cells[256]: bit(16);
+    read dout = cells[addr];
+    write cells[addr] = din when w == 1;
+}
+module Dec {
+    ctrl op: bit(8);
+    out alu_f: bit(3);
+    out bsel: bit(2);
+    out acc_en: bit(1);
+    out t_en: bit(1);
+    out p_en: bit(1);
+    out mem_w: bit(1);
+    out msel: bit(1);
+    out wsel: bit(1);
+    out addr_s: bit(1);
+    out ar_f: bit(2);
+    out ar_en: bit(1);
+    out arp_en: bit(1);
+    behavior {
+        case op {
+            -- direct-addressing ALU group (b = dmem)
+            0  => { alu_f = 0; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ADD
+            1  => { alu_f = 1; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SUB
+            2  => { alu_f = 2; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- AND
+            3  => { alu_f = 3; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- OR
+            4  => { alu_f = 4; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- XOR
+            5  => { alu_f = 5; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- LAC
+            -- indirect-addressing ALU group
+            6  => { alu_f = 0; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ADD*
+            7  => { alu_f = 1; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SUB*
+            8  => { alu_f = 5; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- LAC*
+            -- accumulator/product group
+            9  => { alu_f = 0; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- APAC
+            10 => { alu_f = 1; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SPAC
+            11 => { alu_f = 5; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- PAC
+            12 => { alu_f = 5; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- LACK
+            13 => { alu_f = 6; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SFL
+            14 => { alu_f = 7; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SFR
+            -- T / P group
+            16 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 1; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- LT
+            17 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 1; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- LT*
+            18 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 1; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- MPY
+            19 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 1; mem_w = 0; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- MPY*
+            -- stores
+            20 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 1; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SACL
+            21 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 1; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SACL*
+            -- AR / ARP group
+            24 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 0; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- LARK
+            25 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- AR+
+            26 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 2; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- AR-
+            27 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 1; msel = 0; wsel = 0; } -- LARP
+            -- immediate ALU group
+            28 => { alu_f = 0; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ADDK
+            29 => { alu_f = 1; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- SUBK
+            30 => { alu_f = 2; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ANDK
+            31 => { alu_f = 3; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ORK
+            32 => { alu_f = 4; bsel = 2; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- XORK
+            -- multiply immediate
+            33 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 1; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 1; wsel = 0; } -- MPYK
+            -- indirect with post-modify (access and AR update in one word)
+            34 => { alu_f = 0; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- ADD*+
+            35 => { alu_f = 0; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 2; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- ADD*-
+            36 => { alu_f = 1; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- SUB*+
+            37 => { alu_f = 5; bsel = 0; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- LAC*+
+            38 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 1; p_en = 0; mem_w = 0; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- LT*+
+            39 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 1; mem_w = 0; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- MPY*+
+            40 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 1; addr_s = 1; ar_f = 1; ar_en = 1; arp_en = 0; msel = 0; wsel = 0; } -- SACL*+
+            -- store P (SPL) in all three addressing modes
+            41 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 1; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 1; } -- SPL
+            42 => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 1; addr_s = 1; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 1; } -- SPL*
+            -- accumulator logic with P (paper's chained-op family)
+            43 => { alu_f = 2; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ANDP
+            44 => { alu_f = 3; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- ORP
+            45 => { alu_f = 4; bsel = 1; acc_en = 1; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- XORP
+            default => { alu_f = 5; bsel = 0; acc_en = 0; t_en = 0; p_en = 0; mem_w = 0; addr_s = 0; ar_f = 3; ar_en = 0; arp_en = 0; msel = 0; wsel = 0; } -- NOP
+        }
+    }
+}
+module ArMux {
+    in a: bit(8);
+    in b: bit(8);
+    ctrl s: bit(1);
+    out y: bit(8);
+    behavior { case s { 0 => y = a; 1 => y = b; } }
+}
+module ArMux16 {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl s: bit(1);
+    out y: bit(16);
+    behavior { case s { 0 => y = a; 1 => y = b; } }
+}
+module ArGate {
+    ctrl en: bit(1);
+    ctrl sel: bit(1);
+    out e0: bit(1);
+    out e1: bit(1);
+    behavior {
+        case en {
+            0 => { e0 = 0; e1 = 0; }
+            1 => case sel {
+                0 => { e0 = 1; e1 = 0; }
+                1 => { e0 = 0; e1 = 1; }
+            }
+        }
+    }
+}
+processor Tms320c25 {
+    instruction word: bit(16);
+    out pout: bit(16);
+    parts {
+        alu: Alu; mul: Mul16; bmux: Mux3; amux: AddrMux; mmux: ArMux16; wmux: ArMux16;
+        acc: Reg16; t: Reg16; p: Reg16;
+        ar0: Reg8; ar1: Reg8; aru: ArUnit; armux: ArMux; argate: ArGate; arp: Reg1;
+        dmem: Ram; dec: Dec;
+    }
+    modes { arp }
+    connections {
+        dec.op = I[15:8];
+        amux.direct = I[7:0];
+        amux.ar0 = ar0.q;
+        amux.ar1 = ar1.q;
+        amux.s = dec.addr_s;
+        amux.arp = arp.q;
+        dmem.addr = amux.y;
+        mul.a = t.q;
+        mmux.a = dmem.dout;
+        mmux.b = I[7:0];
+        mmux.s = dec.msel;
+        mul.b = mmux.y;
+        bmux.a = dmem.dout;
+        bmux.b = p.q;
+        bmux.c = I[7:0];
+        bmux.s = dec.bsel;
+        alu.a = acc.q;
+        alu.b = bmux.y;
+        alu.f = dec.alu_f;
+        acc.d = alu.y;
+        acc.en = dec.acc_en;
+        t.d = dmem.dout;
+        t.en = dec.t_en;
+        p.d = mul.y;
+        p.en = dec.p_en;
+        wmux.a = acc.q;
+        wmux.b = p.q;
+        wmux.s = dec.wsel;
+        dmem.din = wmux.y;
+        dmem.w = dec.mem_w;
+        armux.a = ar0.q;
+        armux.b = ar1.q;
+        armux.s = I[0];
+        aru.cur = armux.y;
+        aru.imm = I[7:0];
+        aru.f = dec.ar_f;
+        argate.en = dec.ar_en;
+        argate.sel = I[0];
+        ar0.d = aru.y;
+        ar0.en = argate.e0;
+        ar1.d = aru.y;
+        ar1.en = argate.e1;
+        arp.d = I[0];
+        arp.en = dec.arp_en;
+        pout = acc.q;
+    }
+}
+"#;

@@ -1,0 +1,10 @@
+//! `record` — meta-crate re-exporting the retargetable-compiler pipeline.
+//!
+//! See the [`record_core`] documentation for the pipeline API, and the
+//! workspace `README.md` for an overview.  The `examples/` directory of
+//! this package contains runnable end-to-end walk-throughs.
+
+pub use record_core::{
+    CompileOptions, CompiledKernel, PipelineError, Record, RetargetOptions, RetargetStats, Target,
+};
+pub use record_targets as targets;
