@@ -174,8 +174,7 @@ fn bexp_strategy(nvars: usize) -> impl Strategy<Value = BExp> {
     leaf.prop_recursive(5, 64, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| BExp::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BExp::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExp::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BExp::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| BExp::Xor(Box::new(a), Box::new(b))),
         ]

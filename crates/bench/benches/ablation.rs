@@ -54,6 +54,7 @@ fn bench_compaction(c: &mut Criterion) {
                     &CompileOptions {
                         baseline: false,
                         compaction: false,
+                        ..CompileOptions::default()
                     },
                 )
                 .expect("compiles")
@@ -71,6 +72,7 @@ fn bench_compaction(c: &mut Criterion) {
             &CompileOptions {
                 baseline: false,
                 compaction: false,
+                ..CompileOptions::default()
             },
         )
         .expect("compiles");

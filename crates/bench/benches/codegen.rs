@@ -27,6 +27,7 @@ fn bench_codegen(c: &mut Criterion) {
                         &CompileOptions {
                             baseline: true,
                             compaction: false,
+                            ..CompileOptions::default()
                         },
                     )
                     .expect("compiles")

@@ -1,0 +1,91 @@
+//! Register-allocation benchmark: time of the value-placement phase alone
+//! per Figure 2 kernel, plus full compiles with the phase on vs off.
+//! Memory-traffic reduction itself is reported by the `figure2` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use record_core::{CompileOptions, Record};
+use record_targets::{kernels, models};
+
+fn bench_allocation_phase(c: &mut Criterion) {
+    let model = models::model("tms320c25").expect("model exists");
+    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let mut g = c.benchmark_group("regalloc/phase");
+    g.sample_size(20);
+    for k in kernels::kernels() {
+        // Pre-compile once without allocation; the bench then measures the
+        // rewriting pass in isolation.
+        let unalloc = target
+            .compile(
+                k.source,
+                k.function,
+                &CompileOptions {
+                    compaction: false,
+                    allocate_registers: false,
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compiles");
+        let flat = record_ir::lower(&record_ir::parse(k.source).unwrap(), k.function).unwrap();
+        let dm = target.data_memory().expect("data memory");
+        let pool = record_regalloc::RegisterPool::discover(target.netlist(), target.base(), dm);
+        let liveness = record_regalloc::Liveness::analyze(&flat);
+        let layout = record_regalloc::MemLayout::from_binding(&unalloc.binding);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(k.name),
+            &unalloc.ops,
+            |b, ops| {
+                b.iter(|| {
+                    record_regalloc::allocate(
+                        ops,
+                        &pool,
+                        &liveness,
+                        layout,
+                        &record_regalloc::AllocOptions::default(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_compile_with_and_without(c: &mut Criterion) {
+    let model = models::model("tms320c25").expect("model exists");
+    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let mut g = c.benchmark_group("regalloc/compile");
+    g.sample_size(20);
+    for k in [
+        kernels::kernel("dot_product").unwrap(),
+        kernels::kernel("fir").unwrap(),
+    ] {
+        g.bench_with_input(BenchmarkId::new("alloc-on", k.name), &k, |b, k| {
+            b.iter(|| {
+                target
+                    .compile(k.source, k.function, &CompileOptions::default())
+                    .expect("compiles")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("alloc-off", k.name), &k, |b, k| {
+            b.iter(|| {
+                target
+                    .compile(
+                        k.source,
+                        k.function,
+                        &CompileOptions {
+                            allocate_registers: false,
+                            ..CompileOptions::default()
+                        },
+                    )
+                    .expect("compiles")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocation_phase,
+    bench_compile_with_and_without
+);
+criterion_main!(benches);

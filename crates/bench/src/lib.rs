@@ -8,7 +8,7 @@
 //! * `cargo bench -p record-bench` measures retargeting and compilation
 //!   with criterion, plus the ablations called out in DESIGN.md.
 
-use record_core::{CompileOptions, PipelineError, Record, RetargetOptions, Target};
+use record_core::{mem_traffic, CompileOptions, PipelineError, Record, RetargetOptions, Target};
 use record_targets::{kernels, models, Kernel, TargetModel};
 
 /// One Figure 2 data point.
@@ -18,6 +18,18 @@ pub struct Figure2Row {
     pub hand_ops: usize,
     pub record_size: usize,
     pub baseline_size: usize,
+    /// Data-memory reads+writes of the allocated RECORD code.
+    pub record_mem: usize,
+    /// Data-memory reads+writes with the register allocator off.
+    pub unalloc_mem: usize,
+    /// Data-memory reads+writes of the baseline compiler's code.
+    pub baseline_mem: usize,
+    /// Identity reloads the allocator removed.
+    pub reloads_eliminated: usize,
+    /// Dead stores the allocator removed.
+    pub stores_eliminated: usize,
+    /// Residencies lost while still live (reloads forced to stay).
+    pub spills: usize,
 }
 
 impl Figure2Row {
@@ -29,6 +41,15 @@ impl Figure2Row {
     /// Baseline-compiler bar height in percent.
     pub fn baseline_pct(&self) -> f64 {
         100.0 * self.baseline_size as f64 / self.hand_ops as f64
+    }
+
+    /// Memory-traffic reduction of allocation in percent of the
+    /// unallocated traffic.
+    pub fn mem_reduction_pct(&self) -> f64 {
+        if self.unalloc_mem == 0 {
+            return 0.0;
+        }
+        100.0 * (self.unalloc_mem - self.record_mem) as f64 / self.unalloc_mem as f64
     }
 }
 
@@ -48,19 +69,43 @@ pub fn retarget(model: &TargetModel, options: &RetargetOptions) -> Result<Target
 /// Propagates pipeline errors.
 pub fn figure2_row(target: &mut Target, kernel: &Kernel) -> Result<Figure2Row, PipelineError> {
     let rec = target.compile(kernel.source, kernel.function, &CompileOptions::default())?;
+    // Only the vertical op list is read from this variant, so skip the
+    // compaction pass.
+    let unalloc = target.compile(
+        kernel.source,
+        kernel.function,
+        &CompileOptions {
+            compaction: false,
+            allocate_registers: false,
+            ..CompileOptions::default()
+        },
+    )?;
     let base = target.compile(
         kernel.source,
         kernel.function,
         &CompileOptions {
             baseline: true,
             compaction: false,
+            ..CompileOptions::default()
         },
     )?;
+    let dm = target.data_memory()?;
+    let traffic = |ops: &[record_core::RtOp]| {
+        let (r, w) = mem_traffic(ops, dm);
+        r + w
+    };
+    let alloc = rec.alloc.clone().unwrap_or_default();
     Ok(Figure2Row {
         kernel: kernel.name,
         hand_ops: kernel.hand_ops,
         record_size: rec.code_size(),
         baseline_size: base.code_size(),
+        record_mem: traffic(&rec.ops),
+        unalloc_mem: traffic(&unalloc.ops),
+        baseline_mem: traffic(&base.ops),
+        reloads_eliminated: alloc.reloads_eliminated,
+        stores_eliminated: alloc.stores_eliminated,
+        spills: alloc.spills,
     })
 }
 

@@ -15,9 +15,9 @@ use crate::binding::Binding;
 use crate::emit::compile_statement;
 use crate::error::CodegenError;
 use crate::ops::RtOp;
+use record_bdd::BddManager;
 use record_grammar::{Et, EtBuilder, EtKind, NodeIdx};
 use record_ir::{FlatExpr, FlatStmt};
-use record_bdd::BddManager;
 use record_netlist::Netlist;
 use record_rtl::TemplateBase;
 use record_selgen::Selector;
@@ -48,8 +48,18 @@ pub fn baseline_compile(
     for stmt in stmts {
         let mark = binding.scratch_mark();
         let target = binding.addr_of(&stmt.target)?;
-        expand(&stmt.value, Some(target), selector, base, binding, netlist, manager, width, &mut out)?;
-        binding.release_scratch(mark);
+        expand(
+            &stmt.value,
+            Some(target),
+            selector,
+            base,
+            binding,
+            netlist,
+            manager,
+            width,
+            &mut out,
+        )?;
+        binding.release_scratch(mark)?;
     }
     Ok(out)
 }
@@ -80,23 +90,33 @@ fn expand(
         FlatExpr::Const(c) => Operand::Const((*c as u64) & mask(width)),
         FlatExpr::Load(r) => Operand::Mem(binding.addr_of(r)?),
         FlatExpr::Unary(op, a) => {
-            let ao = expand(a, None, selector, base, binding, netlist, manager, width, out)?;
+            let ao = expand(
+                a, None, selector, base, binding, netlist, manager, width, out,
+            )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
             let an = leaf(&mut b, &ao, binding);
             let value = b.node(EtKind::Op(*op), vec![an]);
-            emit_step(b, value, dst, selector, base, binding, netlist, manager, out)?;
+            emit_step(
+                b, value, dst, selector, base, binding, netlist, manager, out,
+            )?;
             return Ok(Operand::Mem(dst));
         }
         FlatExpr::Binary(op, l, r) => {
-            let lo = expand(l, None, selector, base, binding, netlist, manager, width, out)?;
-            let ro = expand(r, None, selector, base, binding, netlist, manager, width, out)?;
+            let lo = expand(
+                l, None, selector, base, binding, netlist, manager, width, out,
+            )?;
+            let ro = expand(
+                r, None, selector, base, binding, netlist, manager, width, out,
+            )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
             let ln = leaf(&mut b, &lo, binding);
             let rn = leaf(&mut b, &ro, binding);
             let value = b.node(EtKind::Op(*op), vec![ln, rn]);
-            emit_step(b, value, dst, selector, base, binding, netlist, manager, out)?;
+            emit_step(
+                b, value, dst, selector, base, binding, netlist, manager, out,
+            )?;
             return Ok(Operand::Mem(dst));
         }
     };
@@ -142,6 +162,8 @@ fn emit_step(
 ) -> Result<(), CodegenError> {
     let addr = b.leaf(EtKind::Const(dst));
     let et = Et::store(binding.data_mem(), addr, value, b);
-    out.extend(compile_statement(&et, selector, base, binding, netlist, manager)?);
+    out.extend(compile_statement(
+        &et, selector, base, binding, netlist, manager,
+    )?);
     Ok(())
 }

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct Binding {
     data_mem: StorageId,
+    mem_name: String,
     mem_size: u64,
     map: BTreeMap<String, u64>,
     scratch_next: u64,
@@ -52,6 +53,7 @@ impl Binding {
         }
         Ok(Binding {
             data_mem,
+            mem_name: storage.name.clone(),
             mem_size: storage.size,
             map,
             scratch_next: next,
@@ -82,9 +84,10 @@ impl Binding {
     /// Returns [`CodegenError::OutOfStorage`] when the memory is full.
     pub fn scratch(&mut self) -> Result<u64, CodegenError> {
         if self.scratch_next >= self.mem_size {
-            return Err(CodegenError::OutOfStorage(
-                "no scratch space left in data memory".into(),
-            ));
+            return Err(CodegenError::OutOfStorage(format!(
+                "no scratch space left in `{}`: watermark {} of {} words",
+                self.mem_name, self.scratch_next, self.mem_size
+            )));
         }
         let a = self.scratch_next;
         self.scratch_next += 1;
@@ -104,8 +107,21 @@ impl Binding {
 
     /// Releases scratch slots back to `mark` (obtained from
     /// [`Binding::scratch_mark`]).
-    pub fn release_scratch(&mut self, mark: u64) {
-        debug_assert!(mark <= self.scratch_next);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::OutOfStorage`] when `mark` lies above the
+    /// current watermark — releasing space that was never reserved is a
+    /// caller bug that would silently leak scratch words in release
+    /// builds.
+    pub fn release_scratch(&mut self, mark: u64) -> Result<(), CodegenError> {
+        if mark > self.scratch_next {
+            return Err(CodegenError::OutOfStorage(format!(
+                "release_scratch(mark {mark}) above watermark {} in `{}`",
+                self.scratch_next, self.mem_name
+            )));
+        }
         self.scratch_next = mark;
+        Ok(())
     }
 }

@@ -12,7 +12,9 @@ use crate::binding::Binding;
 use crate::error::CodegenError;
 use crate::ops::{DestSim, Loc, RtOp, SimExpr};
 use record_bdd::BddManager;
-use record_grammar::{Et, EtDest, EtKind, GPat, NodeIdx, NonTermId, NonTermKind, RuleOrigin, TermKey};
+use record_grammar::{
+    Et, EtDest, EtKind, GPat, NodeIdx, NonTermId, NonTermKind, RuleOrigin, TermKey,
+};
 use record_ir::FlatStmt;
 use record_netlist::{Netlist, StorageId, StorageKind};
 use record_rtl::{Dest, Pattern, TemplateBase, TemplateId};
@@ -38,8 +40,10 @@ pub fn compile(
     let mut out = Vec::new();
     for stmt in stmts {
         let mark = binding.scratch_mark();
-        compile_split(stmt, selector, base, binding, netlist, manager, width, &mut out)?;
-        binding.release_scratch(mark);
+        compile_split(
+            stmt, selector, base, binding, netlist, manager, width, &mut out,
+        )?;
+        binding.release_scratch(mark)?;
     }
     Ok(out)
 }
@@ -83,12 +87,23 @@ fn compile_split(
         return Err(err);
     };
     let tmp = binding.scratch()?;
-    compile_split_expr(&hoisted, tmp, selector, base, binding, netlist, manager, width, out)?;
+    compile_split_expr(
+        &hoisted, tmp, selector, base, binding, netlist, manager, width, out,
+    )?;
     let remainder_stmt = FlatStmt {
         target: stmt.target.clone(),
         value: replace_marker(&remainder, tmp),
     };
-    compile_split(&remainder_stmt, selector, base, binding, netlist, manager, width, out)
+    compile_split(
+        &remainder_stmt,
+        selector,
+        base,
+        binding,
+        netlist,
+        manager,
+        width,
+        out,
+    )
 }
 
 /// Like [`compile_split`] but with an anonymous scratch target.
@@ -119,7 +134,9 @@ fn compile_split_expr(
         return Err(err);
     };
     let tmp2 = binding.scratch()?;
-    compile_split_expr(&hoisted, tmp2, selector, base, binding, netlist, manager, width, out)?;
+    compile_split_expr(
+        &hoisted, tmp2, selector, base, binding, netlist, manager, width, out,
+    )?;
     compile_split_expr(
         &replace_marker(&remainder, tmp2),
         tmp,
@@ -216,7 +233,11 @@ fn build_flat(
 ) -> Result<record_grammar::NodeIdx, CodegenError> {
     use record_grammar::EtKind;
     use record_ir::FlatExpr;
-    let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     Ok(match e {
         FlatExpr::Const(c) => b.leaf(EtKind::Const((*c as u64) & mask)),
         FlatExpr::Load(r) if r.name.starts_with("$scratch") => {
@@ -428,8 +449,7 @@ impl<'a> Emitter<'a> {
         let (dest, expr) = match &rule.rhs {
             GPat::T(TermKey::Store(s), kids) => {
                 let root_children = self.et.children(app.at);
-                let addr =
-                    self.sim_of(&kids[0], root_children[0], &mut operand_iter)?;
+                let addr = self.sim_of(&kids[0], root_children[0], &mut operand_iter)?;
                 let val = self.sim_of(&kids[1], root_children[1], &mut operand_iter)?;
                 (DestSim::MemAt(*s, addr), val)
             }
@@ -519,16 +539,12 @@ impl<'a> Emitter<'a> {
                         return Ok(Loc::Rf(s, *cell as u64));
                     }
                 }
-                let cell = self
-                    .rf_free
-                    .get_mut(&s)
-                    .and_then(Vec::pop)
-                    .ok_or_else(|| {
-                        CodegenError::OutOfStorage(format!(
-                            "register file `{}` has no free cell",
-                            self.netlist.storage(s).name
-                        ))
-                    })?;
+                let cell = self.rf_free.get_mut(&s).and_then(Vec::pop).ok_or_else(|| {
+                    CodegenError::OutOfStorage(format!(
+                        "register file `{}` has no free cell",
+                        self.netlist.storage(s).name
+                    ))
+                })?;
                 self.rf_temp.insert((app.at, app.nt), (s, cell));
                 Ok(Loc::Rf(s, cell))
             }
@@ -571,12 +587,8 @@ impl<'a> Emitter<'a> {
             .collect();
         // Pairwise: if evaluating j clobbers i's target, j must go first.
         order.sort_by(|&a, &b| {
-            let a_kills_b = targets[b]
-                .as_ref()
-                .is_some_and(|t| clobbers[a].contains(t));
-            let b_kills_a = targets[a]
-                .as_ref()
-                .is_some_and(|t| clobbers[b].contains(t));
+            let a_kills_b = targets[b].as_ref().is_some_and(|t| clobbers[a].contains(t));
+            let b_kills_a = targets[a].as_ref().is_some_and(|t| clobbers[b].contains(t));
             match (a_kills_b, b_kills_a) {
                 (true, false) => std::cmp::Ordering::Less,
                 (false, true) => std::cmp::Ordering::Greater,

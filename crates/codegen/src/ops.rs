@@ -134,7 +134,12 @@ impl RtOp {
                 SimExpr::Read(l) => l.render(n),
                 SimExpr::MemRead(s, a) => format!("{}[{}]", n.storage(*s).name, expr(a, n)),
                 SimExpr::Op(op, args) if op.arity() == 2 => {
-                    format!("({} {} {})", expr(&args[0], n), op.symbol(), expr(&args[1], n))
+                    format!(
+                        "({} {} {})",
+                        expr(&args[0], n),
+                        op.symbol(),
+                        expr(&args[1], n)
+                    )
                 }
                 SimExpr::Op(op, args) => {
                     format!("{}({})", op.mnemonic(), expr(&args[0], n))

@@ -113,7 +113,11 @@ impl Machine {
     }
 
     fn eval(&self, e: &SimExpr, width: u16) -> u64 {
-        let m = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let m = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         match e {
             SimExpr::Const(v) => *v & m,
             SimExpr::Read(l) => self.read(l) & m,

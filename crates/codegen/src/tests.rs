@@ -191,8 +191,16 @@ fn compile_and_check(r: &Rig, csrc: &str, init: &[(&str, Vec<u64>)]) -> usize {
         .expect("data memory")
         .id;
     let mut binding = Binding::allocate(&prog, "f", &r.netlist, dm).expect("binds");
-    let ops = compile(&flat, &r.selector, &r.base, &mut binding, &r.netlist, &mut r.manager.borrow_mut(), 16)
-        .expect("compiles");
+    let ops = compile(
+        &flat,
+        &r.selector,
+        &r.base,
+        &mut binding,
+        &r.netlist,
+        &mut r.manager.borrow_mut(),
+        16,
+    )
+    .expect("compiles");
 
     // Oracle: the mini-C interpreter.
     let mut mem = Memory::new();
@@ -242,11 +250,7 @@ fn compile_and_check(r: &Rig, csrc: &str, init: &[(&str, Vec<u64>)]) -> usize {
         }
         let want = &mem[name];
         for (i, w) in want.iter().enumerate() {
-            assert_eq!(
-                m.mem(dm, addr + i as u64),
-                *w,
-                "mismatch at {name}[{i}]"
-            );
+            assert_eq!(m.mem(dm, addr + i as u64), *w, "mismatch at {name}[{i}]");
         }
     }
     ops.len()
@@ -293,11 +297,7 @@ fn subtraction_order_is_respected() {
 #[test]
 fn copy_statement() {
     let r = rig(DSP8);
-    let n = compile_and_check(
-        &r,
-        "int x, y; void f() { x = y; }",
-        &[("y", vec![77])],
-    );
+    let n = compile_and_check(&r, "int x, y; void f() { x = y; }", &[("y", vec![77])]);
     // acc := ram[y]; ram[x] := acc.
     assert_eq!(n, 2);
 }
@@ -359,10 +359,28 @@ fn baseline_never_chains() {
     let dm = r.netlist.storage_by_name("ram").unwrap().id;
 
     let mut b1 = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap();
-    let smart = compile(&flat, &r.selector, &r.base, &mut b1, &r.netlist, &mut r.manager.borrow_mut(), 16).unwrap();
+    let smart = compile(
+        &flat,
+        &r.selector,
+        &r.base,
+        &mut b1,
+        &r.netlist,
+        &mut r.manager.borrow_mut(),
+        16,
+    )
+    .unwrap();
 
     let mut b2 = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap();
-    let naive = baseline_compile(&flat, &r.selector, &r.base, &mut b2, &r.netlist, &mut r.manager.borrow_mut(), 16).unwrap();
+    let naive = baseline_compile(
+        &flat,
+        &r.selector,
+        &r.base,
+        &mut b2,
+        &r.netlist,
+        &mut r.manager.borrow_mut(),
+        16,
+    )
+    .unwrap();
 
     assert!(
         naive.len() > smart.len(),
@@ -390,7 +408,16 @@ fn select_error_reports_subtree() {
     let flat = record_ir::lower(&prog, "f").unwrap();
     let dm = r.netlist.storage_by_name("ram").unwrap().id;
     let mut binding = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap();
-    let err = compile(&flat, &r.selector, &r.base, &mut binding, &r.netlist, &mut r.manager.borrow_mut(), 16).unwrap_err();
+    let err = compile(
+        &flat,
+        &r.selector,
+        &r.base,
+        &mut binding,
+        &r.netlist,
+        &mut r.manager.borrow_mut(),
+        16,
+    )
+    .unwrap_err();
     assert!(matches!(err, CodegenError::Select(_)), "{err}");
     assert!(err.to_string().contains("div"));
 }
@@ -423,7 +450,16 @@ fn rendered_listing_is_readable() {
     let flat = record_ir::lower(&prog, "f").unwrap();
     let dm = r.netlist.storage_by_name("ram").unwrap().id;
     let mut binding = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap();
-    let ops = compile(&flat, &r.selector, &r.base, &mut binding, &r.netlist, &mut r.manager.borrow_mut(), 16).unwrap();
+    let ops = compile(
+        &flat,
+        &r.selector,
+        &r.base,
+        &mut binding,
+        &r.netlist,
+        &mut r.manager.borrow_mut(),
+        16,
+    )
+    .unwrap();
     let listing: Vec<String> = ops.iter().map(|o| o.render(&r.netlist)).collect();
     assert!(listing.iter().any(|l| l.contains("acc :=")), "{listing:?}");
     assert!(listing.iter().any(|l| l.contains("t :=")), "{listing:?}");

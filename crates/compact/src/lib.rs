@@ -113,8 +113,8 @@ pub fn compact(ops: &[RtOp], manager: &mut BddManager) -> Schedule {
 
         // First encoding-compatible word at or after `earliest`.
         let mut placed = None;
-        for wi in earliest..words.len() {
-            let joint = manager.and(word_conds[wi], op.cond);
+        for (wi, &cond) in word_conds.iter().enumerate().skip(earliest) {
+            let joint = manager.and(cond, op.cond);
             if manager.is_sat(joint) {
                 placed = Some((wi, joint));
                 break;

@@ -110,7 +110,12 @@ fn independent_loads_share_a_word() {
     // Use x + x: both loads read the same address and can share.
     let (ops, _) = compile(&mut r, "int x; void f() { x = x + x; }");
     let schedule = compact(&ops, &mut r.manager);
-    assert!(schedule.len() < ops.len(), "{} < {}", schedule.len(), ops.len());
+    assert!(
+        schedule.len() < ops.len(),
+        "{} < {}",
+        schedule.len(),
+        ops.len()
+    );
 }
 
 #[test]

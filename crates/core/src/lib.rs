@@ -31,6 +31,8 @@ mod pipeline;
 pub use pipeline::{
     CompileOptions, CompiledKernel, PipelineError, Record, RetargetOptions, RetargetStats, Target,
 };
+pub use record_codegen::{Machine, RtOp};
+pub use record_regalloc::{mem_traffic, AllocStats, Liveness, RegisterPool};
 
 #[cfg(test)]
 mod tests;

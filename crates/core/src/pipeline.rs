@@ -6,6 +6,7 @@ use record_compact::{compact, Schedule};
 use record_grammar::TreeGrammar;
 use record_isex::{ExtractOptions, VarMap};
 use record_netlist::{Netlist, StorageId, StorageKind};
+use record_regalloc::{allocate, AllocOptions, AllocStats, Liveness, MemLayout, RegisterPool};
 use record_rtl::{ExtensionOptions, TemplateBase};
 use record_selgen::{emit_rust, Selector};
 use std::error::Error;
@@ -143,6 +144,7 @@ impl Record {
             varmap: extraction.varmap,
             stats,
             parser_source,
+            pool: None,
         })
     }
 }
@@ -155,6 +157,11 @@ pub struct CompileOptions {
     pub baseline: bool,
     /// Run code compaction after selection.
     pub compaction: bool,
+    /// Run the register-allocation / value-placement phase after emission
+    /// (`record-regalloc`): chained results stay register-resident across
+    /// statements instead of round-tripping through data memory.  Ignored
+    /// on the baseline path, which deliberately stays memory-bound.
+    pub allocate_registers: bool,
 }
 
 impl Default for CompileOptions {
@@ -162,6 +169,7 @@ impl Default for CompileOptions {
         CompileOptions {
             baseline: false,
             compaction: true,
+            allocate_registers: true,
         }
     }
 }
@@ -169,12 +177,15 @@ impl Default for CompileOptions {
 /// A compiled kernel: vertical RT code plus the compacted schedule.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    /// Vertical RT operations in emission order.
+    /// Vertical RT operations in emission order (post-allocation when the
+    /// register allocator ran).
     pub ops: Vec<RtOp>,
     /// Compacted instruction-word schedule (empty when compaction is off).
     pub schedule: Option<Schedule>,
     /// Variable binding used (for simulation set-up).
     pub binding: Binding,
+    /// Register-allocation counters (`None` when the phase did not run).
+    pub alloc: Option<AllocStats>,
 }
 
 impl CompiledKernel {
@@ -199,6 +210,9 @@ pub struct Target {
     varmap: VarMap,
     stats: RetargetStats,
     parser_source: Option<String>,
+    /// Lazily discovered register pool (fixed per target: the netlist and
+    /// template base never change after retargeting).
+    pool: Option<RegisterPool>,
 }
 
 impl Target {
@@ -303,13 +317,32 @@ impl Target {
             )
         }
         .map_err(|e| PipelineError::Codegen(e.to_string()))?;
-        let schedule = options
-            .compaction
-            .then(|| compact(&ops, &mut self.manager));
+        // Value placement: keep chained results register-resident.  The
+        // baseline path stays memory-bound on purpose — it models the
+        // Figure 2 target-specific compiler whose operands travel through
+        // memory.
+        let (ops, alloc) = if options.allocate_registers && !options.baseline {
+            let liveness = Liveness::analyze(&flat);
+            let pool = self
+                .pool
+                .get_or_insert_with(|| RegisterPool::discover(&self.netlist, &self.base, dm));
+            let (ops, stats) = allocate(
+                &ops,
+                pool,
+                &liveness,
+                MemLayout::from_binding(&binding),
+                &AllocOptions::default(),
+            );
+            (ops, Some(stats))
+        } else {
+            (ops, None)
+        };
+        let schedule = options.compaction.then(|| compact(&ops, &mut self.manager));
         Ok(CompiledKernel {
             ops,
             schedule,
             binding,
+            alloc,
         })
     }
 

@@ -69,7 +69,11 @@ fn frontend_errors_are_wrapped() {
 fn missing_function_is_a_frontend_error() {
     let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
     let err = target
-        .compile("int x; void f() { x = x; }", "nope", &CompileOptions::default())
+        .compile(
+            "int x; void f() { x = x; }",
+            "nope",
+            &CompileOptions::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, PipelineError::Frontend(_)), "{err}");
 }
@@ -91,7 +95,11 @@ fn no_data_memory_is_reported() {
     "#;
     let mut target = Record::retarget(src, &RetargetOptions::default()).unwrap();
     let err = target
-        .compile("int x; void f() { x = 1; }", "f", &CompileOptions::default())
+        .compile(
+            "int x; void f() { x = 1; }",
+            "f",
+            &CompileOptions::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, PipelineError::NoDataMemory), "{err}");
 }
@@ -100,7 +108,11 @@ fn no_data_memory_is_reported() {
 fn compile_execute_round_trip() {
     let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
     let kernel = target
-        .compile("int x, y; void f() { x = y; }", "f", &CompileOptions::default())
+        .compile(
+            "int x, y; void f() { x = y; }",
+            "f",
+            &CompileOptions::default(),
+        )
         .unwrap();
     assert_eq!(kernel.code_size(), 2); // load acc, store x
     let machine = target.execute(&kernel, &[("y", vec![9])]);
@@ -120,6 +132,7 @@ fn compaction_off_gives_vertical_code() {
             &CompileOptions {
                 baseline: false,
                 compaction: false,
+                ..CompileOptions::default()
             },
         )
         .unwrap();

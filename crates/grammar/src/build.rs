@@ -50,16 +50,17 @@ impl TreeGrammar {
         };
 
         let mut rules: Vec<Rule> = Vec::new();
-        let push = |lhs: NonTermId, rhs: GPat, cost: u32, origin: RuleOrigin, rules: &mut Vec<Rule>| {
-            let id = RuleId(rules.len() as u32);
-            rules.push(Rule {
-                id,
-                lhs,
-                rhs,
-                cost,
-                origin,
-            });
-        };
+        let push =
+            |lhs: NonTermId, rhs: GPat, cost: u32, origin: RuleOrigin, rules: &mut Vec<Rule>| {
+                let id = RuleId(rules.len() as u32);
+                rules.push(Rule {
+                    id,
+                    lhs,
+                    rhs,
+                    cost,
+                    origin,
+                });
+            };
 
         // 1. Start rules: START -> ASSIGN_dest(NonTerm(dest)), cost 0.
         for s in netlist.storages() {
@@ -99,7 +100,10 @@ impl TreeGrammar {
                 let dest_nt = nt(NonTermKind::Port(pid));
                 push(
                     NonTermId::START,
-                    GPat::T(TermKey::Assign(AssignKey::Port(pid)), vec![GPat::NT(dest_nt)]),
+                    GPat::T(
+                        TermKey::Assign(AssignKey::Port(pid)),
+                        vec![GPat::NT(dest_nt)],
+                    ),
                     0,
                     RuleOrigin::Start,
                     &mut rules,

@@ -54,7 +54,9 @@ mod et;
 mod types;
 
 pub use et::{Et, EtBuilder, EtDest, EtKind, NodeIdx};
-pub use types::{AssignKey, GPat, NonTermId, NonTermKind, Rule, RuleId, RuleOrigin, TermKey, TreeGrammar};
+pub use types::{
+    AssignKey, GPat, NonTermId, NonTermKind, Rule, RuleId, RuleOrigin, TermKey, TreeGrammar,
+};
 
 #[cfg(test)]
 mod tests;

@@ -182,8 +182,15 @@ pub enum Expr {
     /// Integer constant.
     Const(u64),
     /// Bit slice `base[hi:lo]` (single-bit `base[i]` parses as `hi == lo`).
-    Slice { base: Box<Expr>, hi: u16, lo: u16 },
-    Unary { op: UnOp, arg: Box<Expr> },
+    Slice {
+        base: Box<Expr>,
+        hi: u16,
+        lo: u16,
+    },
+    Unary {
+        op: UnOp,
+        arg: Box<Expr>,
+    },
     Binary {
         op: BinOp,
         lhs: Box<Expr>,
@@ -271,11 +278,7 @@ pub enum NetRef {
     /// Integer constant (hardwired).
     Const(u64),
     /// `base[hi:lo]`
-    Slice {
-        base: Box<NetRef>,
-        hi: u16,
-        lo: u16,
-    },
+    Slice { base: Box<NetRef>, hi: u16, lo: u16 },
 }
 
 /// Left-hand side of a connection.

@@ -223,9 +223,9 @@ impl Parser {
             }
             (None, None, Some(mut m)) => {
                 if reads.is_empty() {
-                    return Err(self.semantic_error(format!(
-                        "memory module `{name}` has no read clause"
-                    )));
+                    return Err(
+                        self.semantic_error(format!("memory module `{name}` has no read clause"))
+                    );
                 }
                 m.reads = reads;
                 m.writes = writes;
@@ -250,7 +250,12 @@ impl Parser {
             TokenKind::Ident(s) if s == "in" => PortDir::In,
             TokenKind::Ident(s) if s == "out" => PortDir::Out,
             TokenKind::Ident(s) if s == "ctrl" => PortDir::Ctrl,
-            other => return Err(self.error(format!("expected port direction, found {}", other.describe()))),
+            other => {
+                return Err(self.error(format!(
+                    "expected port direction, found {}",
+                    other.describe()
+                )))
+            }
         };
         self.bump();
         let name = self.ident()?;
@@ -526,7 +531,9 @@ impl Parser {
             } else if self.at_keyword("in") || self.at_keyword("out") {
                 let p = self.parse_port()?;
                 if ports.iter().any(|x| x.name == p.name) {
-                    return Err(self.semantic_error(format!("duplicate processor port `{}`", p.name)));
+                    return Err(
+                        self.semantic_error(format!("duplicate processor port `{}`", p.name))
+                    );
                 }
                 ports.push(p);
             } else if self.at_keyword("parts") {
@@ -584,8 +591,8 @@ impl Parser {
                 )));
             }
         }
-        let iword_width =
-            iword_width.ok_or_else(|| self.semantic_error("processor lacks instruction word declaration"))?;
+        let iword_width = iword_width
+            .ok_or_else(|| self.semantic_error("processor lacks instruction word declaration"))?;
         Ok(ProcessorDef {
             name,
             iword_width,

@@ -38,7 +38,11 @@ impl CError {
 
 impl fmt::Display for CError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mini-C error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "mini-C error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -96,11 +96,10 @@ fn eval(e: &Expr, mem: &Memory, width: u16) -> Result<u64, CError> {
     let m = mask(width);
     Ok(match e {
         Expr::Const(c) => (*c as u64) & m,
-        Expr::Var(name) => {
-            *mem.get(name)
-                .and_then(|c| c.first())
-                .ok_or_else(|| err(format!("undeclared variable `{name}`")))?
-        }
+        Expr::Var(name) => *mem
+            .get(name)
+            .and_then(|c| c.first())
+            .ok_or_else(|| err(format!("undeclared variable `{name}`")))?,
         Expr::Elem(name, idx) => {
             let i = eval(idx, mem, width)? as usize;
             *mem.get(name)

@@ -213,9 +213,7 @@ fn fold_index(
         )));
     };
     if v < 0 || v as u64 >= size {
-        return Err(err(format!(
-            "index {v} out of bounds for `{name}[{size}]`"
-        )));
+        return Err(err(format!("index {v} out of bounds for `{name}[{size}]`")));
     }
     Ok(v as u64)
 }

@@ -109,7 +109,11 @@ fn lex(src: &str) -> Result<Vec<Token>, CError> {
             }
         }
         let Some(p) = matched else {
-            return Err(CError::new(tline, tcol, format!("unexpected character `{}`", c as char)));
+            return Err(CError::new(
+                tline,
+                tcol,
+                format!("unexpected character `{}`", c as char),
+            ));
         };
         for _ in 0..p.len() {
             bump(&mut i, &mut line, &mut col, b);
@@ -458,7 +462,11 @@ impl P {
         if self.eat_punct("!") {
             // `!x` is `x == 0` in this integer subset.
             let e = self.unary()?;
-            return Ok(Expr::Binary(OpKind::Eq, Box::new(e), Box::new(Expr::Const(0))));
+            return Ok(Expr::Binary(
+                OpKind::Eq,
+                Box::new(e),
+                Box::new(Expr::Const(0)),
+            ));
         }
         self.primary()
     }

@@ -33,7 +33,8 @@ fn compound_assignment_desugars() {
 #[test]
 fn parses_for_loop_forms() {
     for step in ["i++", "i += 2", "i = i + 1"] {
-        let src = format!("int a[8]; void f() {{ int i; for (i = 0; i < 8; {step}) {{ a[i] = 0; }} }}");
+        let src =
+            format!("int a[8]; void f() {{ int i; for (i = 0; i < 8; {step}) {{ a[i] = 0; }} }}");
         let p = parse(&src).unwrap();
         let Stmt::For { start, bound, .. } = &p.function("f").unwrap().body[0] else {
             panic!("expected for loop");
@@ -73,7 +74,8 @@ fn comments_are_skipped() {
 
 #[test]
 fn lower_unrolls_loops() {
-    let src = "int a[4], b[4], s; void f() { int i; for (i = 0; i < 4; i++) { s += a[i] * b[i]; } }";
+    let src =
+        "int a[4], b[4], s; void f() { int i; for (i = 0; i < 4; i++) { s += a[i] * b[i]; } }";
     let p = parse(src).unwrap();
     let flat = lower(&p, "f").unwrap();
     assert_eq!(flat.len(), 4);
@@ -103,7 +105,8 @@ fn lower_unrolls_loops() {
 #[test]
 fn lower_folds_index_arithmetic() {
     // Convolution-style reversed indexing.
-    let src = "int h[4], x[4], y; void f() { int i; for (i = 0; i < 4; i++) { y += h[i] * x[3 - i]; } }";
+    let src =
+        "int h[4], x[4], y; void f() { int i; for (i = 0; i < 4; i++) { y += h[i] * x[3 - i]; } }";
     let p = parse(src).unwrap();
     let flat = lower(&p, "f").unwrap();
     let FlatExpr::Binary(_, _, rhs) = &flat[0].value else {
@@ -185,15 +188,18 @@ fn parse_error_positions() {
 // ---------------------------------------------------------------------------
 
 fn eval_flat(e: &FlatExpr, mem: &Memory, width: u16) -> u64 {
-    let m: u64 = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let m: u64 = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     match e {
         FlatExpr::Const(c) => (*c as u64) & m,
         FlatExpr::Load(r) => mem[&r.name][r.offset as usize],
         FlatExpr::Unary(op, a) => op.eval(&[eval_flat(a, mem, width)], width),
-        FlatExpr::Binary(op, a, b) => op.eval(
-            &[eval_flat(a, mem, width), eval_flat(b, mem, width)],
-            width,
-        ),
+        FlatExpr::Binary(op, a, b) => {
+            op.eval(&[eval_flat(a, mem, width), eval_flat(b, mem, width)], width)
+        }
     }
 }
 

@@ -118,12 +118,7 @@ impl<'n> CtrlAnalysis<'n> {
     }
 
     /// Symbolic value of a processor-level net, as a `width`-bit vector.
-    pub fn net_vec(
-        &mut self,
-        net: &Net,
-        width: u16,
-        m: &mut BddManager,
-    ) -> CtrlResult<SymVec> {
+    pub fn net_vec(&mut self, net: &Net, width: u16, m: &mut BddManager) -> CtrlResult<SymVec> {
         match net {
             Net::IField { hi, lo } => {
                 let bits = (*lo..=*hi)
@@ -160,7 +155,10 @@ impl<'n> CtrlAnalysis<'n> {
         // Collect everything needed from the netlist up front so the match
         // below holds no borrows while mutating `self`.
         enum OutKind {
-            ModeReg { sid: record_netlist::StorageId, width: u16 },
+            ModeReg {
+                sid: record_netlist::StorageId,
+                width: u16,
+            },
             PlainReg,
             Memory(&'static str),
             Comb,
@@ -310,21 +308,22 @@ impl<'n> CtrlAnalysis<'n> {
             }
             DataExpr::Binary { op, lhs, rhs } => {
                 use record_hdl::BinOp;
-                let bitwise = |m: &mut BddManager,
-                               a: SymVec,
-                               b: SymVec,
-                               f: fn(&mut BddManager, Bdd, Bdd) -> Bdd| {
-                    let defined = m.and(a.defined, b.defined);
-                    let n = a.bits.len().max(b.bits.len());
-                    let bits = (0..n)
-                        .map(|i| {
-                            let x = a.bits.get(i).copied().unwrap_or(Bdd::FALSE);
-                            let y = b.bits.get(i).copied().unwrap_or(Bdd::FALSE);
-                            f(m, x, y)
-                        })
-                        .collect();
-                    SymVec { bits, defined }
-                };
+                let bitwise =
+                    |m: &mut BddManager,
+                     a: SymVec,
+                     b: SymVec,
+                     f: fn(&mut BddManager, Bdd, Bdd) -> Bdd| {
+                        let defined = m.and(a.defined, b.defined);
+                        let n = a.bits.len().max(b.bits.len());
+                        let bits = (0..n)
+                            .map(|i| {
+                                let x = a.bits.get(i).copied().unwrap_or(Bdd::FALSE);
+                                let y = b.bits.get(i).copied().unwrap_or(Bdd::FALSE);
+                                f(m, x, y)
+                            })
+                            .collect();
+                        SymVec { bits, defined }
+                    };
                 match op {
                     BinOp::And => {
                         let a = self.data_vec(inst, lhs, width, m)?;

@@ -98,7 +98,14 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                 let routes = cx.expand_data_expr(inst, &input, 0)?;
                 for (pat, cond) in routes {
                     let cond = cx.m.and(cond, gcond);
-                    record(&mut base, &mut dedup, &mut cx, Dest::Reg(storage.id), pat, cond);
+                    record(
+                        &mut base,
+                        &mut dedup,
+                        &mut cx,
+                        Dest::Reg(storage.id),
+                        pat,
+                        cond,
+                    );
                 }
             }
             StorageKind::RegFile | StorageKind::Memory => {
@@ -324,12 +331,10 @@ impl Cx<'_> {
             let def = self.n.def_of(inst);
             match &def.kind {
                 ElabKind::Register { .. } => Expandee::Register,
-                ElabKind::Memory { reads, .. } => {
-                    match reads.iter().find(|r| r.out == port) {
-                        Some(r) => Expandee::MemRead(r.addr.clone()),
-                        None => Expandee::DeadOutput,
-                    }
-                }
+                ElabKind::Memory { reads, .. } => match reads.iter().find(|r| r.out == port) {
+                    Some(r) => Expandee::MemRead(r.addr.clone()),
+                    None => Expandee::DeadOutput,
+                },
                 ElabKind::Comb { outputs } => match outputs.iter().find(|o| o.port == port) {
                     Some(beh) => Expandee::Comb(beh.arms.clone()),
                     None => Expandee::DeadOutput,
@@ -479,7 +484,11 @@ fn slice_pattern(p: Pattern, hi: u16, lo: u16) -> Pattern {
         },
         Pattern::Const(v) => {
             let width = hi - lo + 1;
-            let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             Pattern::Const((v >> lo) & mask)
         }
         other => Pattern::Op(OpKind::Slice(hi, lo), vec![other]),

@@ -338,7 +338,13 @@ fn regfile_source_and_dest() {
     let ex = extract_src(src);
     let n = netlist(src);
     let rf = n.storage_by_name("rf").unwrap().id;
-    let add = Pattern::Op(OpKind::Add, vec![Pattern::RegFile(rf), Pattern::Port(record_netlist::ProcPortId(0))]);
+    let add = Pattern::Op(
+        OpKind::Add,
+        vec![
+            Pattern::RegFile(rf),
+            Pattern::Port(record_netlist::ProcPortId(0)),
+        ],
+    );
     assert!(ex.base.find(&Dest::RegFile(rf), &add).is_some());
 }
 

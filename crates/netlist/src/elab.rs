@@ -144,9 +144,7 @@ impl<'a> Elaborator<'a> {
                     };
                     let def = &self.defs[insts[iid.0 as usize].def.0 as usize];
                     let Some(pidx) = def.port_idx(port) else {
-                        return err(format!(
-                            "connection targets unknown port `{inst}.{port}`"
-                        ));
+                        return err(format!("connection targets unknown port `{inst}.{port}`"));
                     };
                     let pdef = &def.ports[pidx];
                     if pdef.dir == PortDir::Out {
@@ -176,7 +174,9 @@ impl<'a> Elaborator<'a> {
                 }
                 hdl::ConnTarget::ProcPort(name) => {
                     let Some(&pid) = port_index.get(name) else {
-                        return err(format!("connection targets unknown processor port `{name}`"));
+                        return err(format!(
+                            "connection targets unknown processor port `{name}`"
+                        ));
                     };
                     let pp = &proc_ports[pid.0 as usize];
                     if pp.dir != PortDir::Out {
@@ -298,7 +298,8 @@ fn validate_regfile(
             inst.name
         ));
     }
-    if reads.iter().all(|r| addr_is_ifield(&r.addr)) && writes.iter().all(|w| addr_is_ifield(&w.addr))
+    if reads.iter().all(|r| addr_is_ifield(&r.addr))
+        && writes.iter().all(|w| addr_is_ifield(&w.addr))
     {
         Ok(())
     } else {
@@ -589,10 +590,7 @@ fn data_expr(m: &hdl::ModuleDef, e: &hdl::Expr) -> Result<DataExpr> {
         },
         hdl::Expr::Unary { op, arg } => {
             if *op == UnOp::LogicNot {
-                return err(format!(
-                    "`!` is only valid in guards (module `{}`)",
-                    m.name
-                ));
+                return err(format!("`!` is only valid in guards (module `{}`)", m.name));
             }
             DataExpr::Unary {
                 op: *op,
@@ -656,7 +654,12 @@ fn guard_expr(m: &hdl::ModuleDef, e: &hdl::Expr) -> Result<Guard> {
                 sel: ctrl_expr(m, r)?,
                 value: *v,
             },
-            _ => return err(format!("guard comparison must be against a constant (module `{}`)", m.name)),
+            _ => {
+                return err(format!(
+                    "guard comparison must be against a constant (module `{}`)",
+                    m.name
+                ))
+            }
         },
         hdl::Expr::Binary {
             op: BinOp::Ne,
@@ -742,10 +745,7 @@ fn check_width(m: &hdl::ModuleDef, e: &DataExpr, want: u16, module: &str) -> Res
     if got == 0 || got == want {
         return Ok(());
     }
-    if let DataExpr::Binary {
-        op: BinOp::Mul, ..
-    } = e
-    {
+    if let DataExpr::Binary { op: BinOp::Mul, .. } = e {
         if got * 2 == want {
             return Ok(());
         }

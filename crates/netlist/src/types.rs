@@ -1,7 +1,7 @@
 //! Elaborated netlist data types.
 
-use record_hdl::{PortDef, UnOp};
 pub use record_hdl::PortDir;
+use record_hdl::{PortDef, UnOp};
 use std::fmt;
 
 /// Index of an elaborated module definition inside a [`Netlist`].
@@ -89,7 +89,10 @@ pub enum Guard {
     True,
     False,
     /// `sel == value`
-    Cmp { sel: CtrlExpr, value: u64 },
+    Cmp {
+        sel: CtrlExpr,
+        value: u64,
+    },
     Not(Box<Guard>),
     And(Box<Guard>, Box<Guard>),
     Or(Box<Guard>, Box<Guard>),
@@ -219,7 +222,11 @@ pub struct BusDriver {
 pub enum BusGuard {
     True,
     /// `net == value` (`eq = true`) or `net != value` (`eq = false`).
-    Cmp { net: Net, eq: bool, value: u64 },
+    Cmp {
+        net: Net,
+        eq: bool,
+        value: u64,
+    },
     Not(Box<BusGuard>),
     And(Box<BusGuard>, Box<BusGuard>),
     Or(Box<BusGuard>, Box<BusGuard>),

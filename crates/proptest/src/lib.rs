@@ -1,0 +1,539 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! property tests link against this vendored subset instead of the real
+//! crate.  It implements the API surface `tests/properties.rs` uses —
+//! `Strategy` with `prop_map` / `prop_recursive`, ranges and tuples as
+//! strategies, `prop_oneof!`, `prop::collection::vec`, the `proptest!`
+//! test macro and the `prop_assert*` macros — over a deterministic
+//! xorshift generator.  There is no shrinking: a failing case reports the
+//! seed and case number instead of a minimised input.  Swap the
+//! `[workspace.dependencies]` entry for the real crate to get shrinking.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed with this message.
+        Fail(String),
+        /// The case asked to be rejected/skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic xorshift64* generator; the per-test seed is derived from
+/// the test name so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values of one type.  Unlike real proptest there is no
+/// value tree: `new_value` directly produces a value, and no shrinking
+/// happens on failure.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `depth` levels of `recurse` applied on
+    /// top of `self` (the leaf strategy).  The `_desired_size` and
+    /// `_expected_branch_size` parameters of the real API are accepted and
+    /// ignored.
+    fn prop_recursive<S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: impl Fn(BoxedStrategy<Self::Value>) -> S,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut strat: BoxedStrategy<Self::Value> = self.boxed();
+        for _ in 0..depth {
+            // Each level either stays at the previous depth or recurses
+            // once more; mixing keeps generated sizes varied.
+            let deeper = recurse(strat.clone()).boxed();
+            strat = Union {
+                options: vec![strat, deeper],
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.new_value(rng)),
+        }
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String literals are regex strategies in proptest.  The shim supports
+/// the subset the workspace tests use: `ATOM{lo,hi}` where `ATOM` is `.`
+/// (any printable ASCII character) or a `[...]` class with ranges and
+/// backslash escapes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported regex strategy `{self}`"));
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `.{lo,hi}` / `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (atom, rep) = if let Some(rest) = pat.strip_prefix('.') {
+        let printable: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        (printable, rest)
+    } else if let Some(rest) = pat.strip_prefix('[') {
+        let end = {
+            let mut escaped = false;
+            rest.char_indices()
+                .find(|&(_, c)| {
+                    let is_end = c == ']' && !escaped;
+                    escaped = c == '\\' && !escaped;
+                    is_end
+                })?
+                .0
+        };
+        let class: Vec<char> = {
+            let mut out = Vec::new();
+            let chars: Vec<char> = rest[..end].chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    out.push(chars[i + 1]);
+                    i += 2;
+                } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (a, b) = (chars[i], chars[i + 2]);
+                    for c in a..=b {
+                        out.push(c);
+                    }
+                    i += 3;
+                } else {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out
+        };
+        (class, &rest[end + 1..])
+    } else {
+        return None;
+    };
+    let rep = rep.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rep.split_once(',')?;
+    Some((atom, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                lo + (rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Vec`s with lengths drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector strategy over `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        let len = len.into();
+        VecStrategy {
+            element,
+            min: len.min,
+            max: len.max,
+        }
+    }
+
+    /// Inclusive-min, exclusive-max length range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.min + rng.below((self.max - self.min) as u64) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    /// Mirror of real proptest's `pub use crate as prop` prelude alias, so
+    /// `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "condition failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Uniform choice between strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests.  Each `fn name(pat in strategy, ...) { body }`
+/// runs its body over generated inputs; attributes (including the user's
+/// `#[test]`) are passed through unchanged, as in real proptest.
+#[macro_export]
+macro_rules! proptest {
+    // Argument binder: normalises `x in strategy` and `x: Type` forms.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $arg:ident in $strategy:expr $(,)?) => {
+        let $arg = $crate::Strategy::new_value(&($strategy), $rng);
+    };
+    (@bind $rng:ident, $arg:ident in $strategy:expr, $($rest:tt)+) => {
+        let $arg = $crate::Strategy::new_value(&($strategy), $rng);
+        $crate::proptest!(@bind $rng, $($rest)+);
+    };
+    (@bind $rng:ident, $arg:ident: $ty:ty $(,)?) => {
+        let $arg = $crate::Strategy::new_value(&$crate::any::<$ty>(), $rng);
+    };
+    (@bind $rng:ident, $arg:ident: $ty:ty, $($rest:tt)+) => {
+        let $arg = $crate::Strategy::new_value(&$crate::any::<$ty>(), $rng);
+        $crate::proptest!(@bind $rng, $($rest)+);
+    };
+    (@cfg ($config:expr) $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let rng = &mut $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $crate::proptest!(@bind rng, $($args)*);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property `{}` failed at case {case}: {msg}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

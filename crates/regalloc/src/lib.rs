@@ -1,0 +1,37 @@
+//! Register allocation & value placement: keep operands out of memory.
+//!
+//! The code selector emits *memory-bound* vertical code: each statement's
+//! result is stored to data memory and each operand starts as a memory
+//! read, because tree parsing works statement-at-a-time (paper §3.2 notes
+//! that "limitations of tree parsing mainly concern incorporation of
+//! register spills").  On real DSPs the hand-written reference code of the
+//! paper's Figure 2 keeps chained values in the accumulator across
+//! statements; this crate closes that gap as a separate backend phase:
+//!
+//! * [`Liveness`] computes def/use intervals per storage word over the
+//!   flattened mini-C statements — which values are worth keeping
+//!   resident.
+//! * [`RegisterPool`] discovers, per target, the registers and register
+//!   files the extracted RT templates can actually route values through,
+//!   along with their spill/reload templates into data memory.
+//! * [`Allocator`] rewrites the emitted [`record_codegen::RtOp`] sequence:
+//!   values stay register-resident across statements, identity reloads
+//!   disappear, dead result stores disappear, and reload/spill RTs remain
+//!   in the output only where residency was genuinely lost ([`Residency`]
+//!   overflow or clobbering).
+//!
+//! The phase is driven by `record-core`'s `Target::compile` (option
+//! `allocate_registers`, on by default) and validated against the RT-level
+//! machine simulator oracle for every Figure 2 kernel on all Table 3
+//! models.
+
+mod alloc;
+mod liveness;
+mod pool;
+
+pub use alloc::{allocate, mem_traffic, AllocOptions, AllocStats, Allocator, MemLayout};
+pub use liveness::{Interval, Liveness};
+pub use pool::{Evicted, RegClass, RegisterPool, Residency, Resident};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,136 @@
+//! Statement-level liveness: def/use intervals per storage word.
+//!
+//! The unit of analysis is the [`Ref`] — one word of a bound program
+//! variable (scalars are offset 0, array elements carry their constant
+//! offset).  For straight-line flattened code an interval is simply the
+//! span of statement indices between the first and last access; a value is
+//! worth keeping register-resident exactly when it is accessed more than
+//! once, or defined and then used later (the accumulator pattern).
+
+use record_ir::{FlatExpr, FlatStmt, Ref};
+use std::collections::BTreeMap;
+
+/// Def/use profile of one storage word across a statement list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// The word this interval describes.
+    pub reference: Ref,
+    /// Statement indices that write the word, ascending.
+    pub defs: Vec<usize>,
+    /// Statement indices that read the word, ascending (a statement reading
+    /// the word several times appears once).
+    pub uses: Vec<usize>,
+}
+
+impl Interval {
+    /// First statement touching the word.
+    pub fn start(&self) -> usize {
+        self.defs
+            .first()
+            .copied()
+            .into_iter()
+            .chain(self.uses.first().copied())
+            .min()
+            .expect("intervals are never empty")
+    }
+
+    /// Last statement touching the word.
+    pub fn end(&self) -> usize {
+        self.defs
+            .last()
+            .copied()
+            .into_iter()
+            .chain(self.uses.last().copied())
+            .max()
+            .expect("intervals are never empty")
+    }
+
+    /// Total number of accesses.
+    pub fn accesses(&self) -> usize {
+        self.defs.len() + self.uses.len()
+    }
+
+    /// Is the value read after `stmt` (exclusive)?
+    pub fn used_after(&self, stmt: usize) -> bool {
+        self.uses.last().is_some_and(|&u| u > stmt)
+    }
+
+    /// The next statement reading the word strictly after `stmt`.
+    pub fn next_use_after(&self, stmt: usize) -> Option<usize> {
+        let i = self.uses.partition_point(|&u| u <= stmt);
+        self.uses.get(i).copied()
+    }
+
+    /// Would keeping this word in a register pay off?  True when the word
+    /// is accessed more than once — every repeated access is a memory
+    /// round-trip the allocator can try to remove.
+    pub fn reused(&self) -> bool {
+        self.accesses() > 1
+    }
+}
+
+/// Liveness information for a flattened function body.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    intervals: BTreeMap<Ref, Interval>,
+    statements: usize,
+}
+
+impl Liveness {
+    /// Computes def/use intervals over `stmts`.
+    pub fn analyze(stmts: &[FlatStmt]) -> Liveness {
+        let mut intervals: BTreeMap<Ref, Interval> = BTreeMap::new();
+        let mut record = |r: &Ref, stmt: usize, is_def: bool| {
+            let e = intervals.entry(r.clone()).or_insert_with(|| Interval {
+                reference: r.clone(),
+                defs: Vec::new(),
+                uses: Vec::new(),
+            });
+            let sites = if is_def { &mut e.defs } else { &mut e.uses };
+            if sites.last() != Some(&stmt) {
+                sites.push(stmt);
+            }
+        };
+        for (i, s) in stmts.iter().enumerate() {
+            collect_uses(&s.value, &mut |r| record(r, i, false));
+            record(&s.target, i, true);
+        }
+        Liveness {
+            intervals,
+            statements: stmts.len(),
+        }
+    }
+
+    /// Interval for one word, if the program touches it.
+    pub fn interval(&self, r: &Ref) -> Option<&Interval> {
+        self.intervals.get(r)
+    }
+
+    /// All intervals in `Ref` order.
+    pub fn intervals(&self) -> impl Iterator<Item = &Interval> {
+        self.intervals.values()
+    }
+
+    /// Number of analysed statements.
+    pub fn statements(&self) -> usize {
+        self.statements
+    }
+
+    /// Number of words accessed more than once — the allocator's upper
+    /// bound on profitable register residency.
+    pub fn reused_values(&self) -> usize {
+        self.intervals.values().filter(|i| i.reused()).count()
+    }
+}
+
+fn collect_uses(e: &FlatExpr, f: &mut impl FnMut(&Ref)) {
+    match e {
+        FlatExpr::Const(_) => {}
+        FlatExpr::Load(r) => f(r),
+        FlatExpr::Unary(_, a) => collect_uses(a, f),
+        FlatExpr::Binary(_, a, b) => {
+            collect_uses(a, f);
+            collect_uses(b, f);
+        }
+    }
+}

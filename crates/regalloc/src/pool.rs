@@ -1,0 +1,313 @@
+//! The register pool: which storages can hold values between statements.
+//!
+//! Discovered per target from the elaborated netlist and the extracted RT
+//! template base: a register (or register file) is allocatable when the
+//! templates can actually *route* values through it — something writes it,
+//! something reads it.  Spill and reload templates (`dmem[#imm] := r`,
+//! `r := dmem[#imm]`) are recorded when the instruction set provides them;
+//! a register without them can hold values but never migrate them to
+//! memory, so residency lost there is unrecoverable.
+
+use record_codegen::Loc;
+use record_netlist::{Netlist, StorageId, StorageKind};
+use record_rtl::{Dest, Pattern, TemplateBase, TemplateId};
+use std::collections::HashMap;
+
+/// One allocatable register resource (a register, or a whole register file
+/// whose cells are interchangeable).
+#[derive(Debug, Clone)]
+pub struct RegClass {
+    /// The storage behind this class.
+    pub storage: StorageId,
+    /// Instance name (for diagnostics).
+    pub name: String,
+    /// Word width in bits.
+    pub width: u16,
+    /// Number of independently allocatable cells (1 for plain registers).
+    pub cells: u64,
+    /// `r := dmem[#imm]` template, when the ISA has one.  Informational:
+    /// the current rewriter only ever deletes ops, so this records the
+    /// target capability (for diagnostics and the planned
+    /// template-switching follow-on) rather than something the allocator
+    /// instantiates.
+    pub reload: Option<TemplateId>,
+    /// `dmem[#imm] := r` template, when the ISA has one (same caveat).
+    pub spill: Option<TemplateId>,
+}
+
+/// The set of register resources the allocator may place values in.
+#[derive(Debug, Clone)]
+pub struct RegisterPool {
+    data_mem: StorageId,
+    mem_width: u16,
+    classes: Vec<RegClass>,
+    by_storage: HashMap<StorageId, usize>,
+}
+
+impl RegisterPool {
+    /// A pool from explicit classes (tests and tools; production targets
+    /// use [`RegisterPool::discover`]).
+    pub fn new(data_mem: StorageId, mem_width: u16, classes: Vec<RegClass>) -> RegisterPool {
+        let by_storage = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.storage, i))
+            .collect();
+        RegisterPool {
+            data_mem,
+            mem_width,
+            classes,
+            by_storage,
+        }
+    }
+
+    /// Discovers allocatable registers of `netlist` reachable by `base`'s
+    /// templates, with spills targeting `data_mem`.
+    pub fn discover(netlist: &Netlist, base: &TemplateBase, data_mem: StorageId) -> RegisterPool {
+        let mut classes = Vec::new();
+        let mut by_storage = HashMap::new();
+        for s in netlist.storages() {
+            if s.is_mode || !matches!(s.kind, StorageKind::Register | StorageKind::RegFile) {
+                continue;
+            }
+            let written = base.writing(s.id).next().is_some();
+            let read = base
+                .templates()
+                .iter()
+                .any(|t| t.src.reads().contains(&s.id));
+            if !written || !read {
+                continue;
+            }
+            let reload = base
+                .templates()
+                .iter()
+                .find(|t| {
+                    t.dest.storage() == Some(s.id)
+                        && matches!(t.dest, Dest::Reg(_) | Dest::RegFile(_))
+                        && matches!(
+                            &t.src,
+                            Pattern::MemRead(m, a)
+                                if *m == data_mem && matches!(**a, Pattern::Imm { .. })
+                        )
+                })
+                .map(|t| t.id);
+            let spill = base
+                .templates()
+                .iter()
+                .find(|t| {
+                    matches!(&t.dest, Dest::Mem(m, a)
+                        if *m == data_mem && matches!(a, Pattern::Imm { .. }))
+                        && matches!(&t.src,
+                            Pattern::Reg(r) | Pattern::RegFile(r) if *r == s.id)
+                })
+                .map(|t| t.id);
+            by_storage.insert(s.id, classes.len());
+            classes.push(RegClass {
+                storage: s.id,
+                name: s.name.clone(),
+                width: s.width,
+                cells: if s.kind == StorageKind::RegFile {
+                    s.size
+                } else {
+                    1
+                },
+                reload,
+                spill,
+            });
+        }
+        RegisterPool {
+            data_mem,
+            mem_width: netlist.storage(data_mem).width,
+            classes,
+            by_storage,
+        }
+    }
+
+    /// The data memory spills go to.
+    pub fn data_mem(&self) -> StorageId {
+        self.data_mem
+    }
+
+    /// Width of the data memory in bits.
+    pub fn mem_width(&self) -> u16 {
+        self.mem_width
+    }
+
+    /// All register classes.
+    pub fn classes(&self) -> &[RegClass] {
+        &self.classes
+    }
+
+    /// The class of a storage, if allocatable.
+    pub fn class_of(&self, s: StorageId) -> Option<&RegClass> {
+        self.by_storage.get(&s).map(|&i| &self.classes[i])
+    }
+
+    /// Total number of allocatable cells.
+    pub fn capacity(&self) -> u64 {
+        self.classes.iter().map(|c| c.cells).sum()
+    }
+
+    /// Is `loc` a register resource of this pool?
+    pub fn is_allocatable(&self, loc: &Loc) -> bool {
+        match loc {
+            Loc::Reg(s) | Loc::Rf(s, _) => self.by_storage.contains_key(s),
+            _ => false,
+        }
+    }
+
+    /// May a value stored from register `s` be considered an exact copy of
+    /// the memory word?  True when no bits are truncated by the store.
+    pub fn store_preserves_value(&self, s: StorageId) -> bool {
+        self.class_of(s).is_some_and(|c| c.width <= self.mem_width)
+    }
+}
+
+/// One tracked residency: a register currently holding the value of a
+/// memory word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resident {
+    /// The memory address whose value the register holds.
+    pub addr: u64,
+    /// Next op index reading that address, for Belady-style ranking.
+    pub next_use: Option<usize>,
+}
+
+/// What [`Residency::insert`] displaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    /// The register whose association was dropped.
+    pub loc: Loc,
+    /// The association it held.
+    pub resident: Resident,
+    /// Was the association still profitable (a later read existed)?
+    pub was_live: bool,
+}
+
+/// The allocator's residency ledger: which registers hold which memory
+/// words, bounded by a capacity.  A register may mirror *several* words at
+/// once (storing it to two addresses makes all three locations equal —
+/// `x = a; y = a;` leaves the accumulator equal to `a`, `x` and `y`), so
+/// entries are (register, address) pairs.  When full, the association with
+/// the *farthest* next use is evicted (Belady's optimal replacement, exact
+/// as long as the caller refreshes `next_use` via
+/// [`Residency::refresh_next_uses`] before inserting); never-read-again
+/// entries go first, and ties fall to the earliest-inserted entry.
+#[derive(Debug, Clone)]
+pub struct Residency {
+    capacity: usize,
+    /// Insertion-ordered (determinism matters for reproducible eviction).
+    entries: Vec<(Loc, Resident)>,
+}
+
+impl Residency {
+    /// An empty ledger tracking at most `capacity` associations.
+    pub fn with_capacity(capacity: usize) -> Residency {
+        Residency {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of live associations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the ledger empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The association capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The addresses register `loc` currently mirrors, oldest first.
+    pub fn lookup<'a>(&'a self, loc: &'a Loc) -> impl Iterator<Item = &'a Resident> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(l, _)| l == loc)
+            .map(|(_, r)| r)
+    }
+
+    /// Does `loc` hold the value of `addr`?
+    pub fn holds(&self, loc: &Loc, addr: u64) -> bool {
+        self.lookup(loc).any(|r| r.addr == addr)
+    }
+
+    /// All live associations, oldest first.
+    pub fn residents(&self) -> impl Iterator<Item = &(Loc, Resident)> {
+        self.entries.iter()
+    }
+
+    /// Recomputes every entry's `next_use` (eviction key) via `f`.  Call
+    /// before an insertion that may overflow: `next_use` values recorded
+    /// at insertion time go stale as the pass advances, and stale keys
+    /// would make Belady eviction pick live entries over dead ones.
+    pub fn refresh_next_uses(&mut self, f: impl Fn(u64) -> Option<usize>) {
+        for (_, r) in &mut self.entries {
+            r.next_use = f(r.addr);
+        }
+    }
+
+    /// Records that `loc` now holds `addr`'s value, alongside any other
+    /// words it already mirrors.  Returns the evicted association when the
+    /// ledger was full (pool overflow).
+    pub fn insert(&mut self, loc: Loc, resident: Resident) -> Option<Evicted> {
+        if let Some((_, r)) = self
+            .entries
+            .iter_mut()
+            .find(|(l, r)| *l == loc && r.addr == resident.addr)
+        {
+            r.next_use = resident.next_use;
+            return None;
+        }
+        let displaced = if self.entries.len() >= self.capacity {
+            // Overflow: evict the association read farthest in the future
+            // (never-again-read entries first); earliest-inserted on ties.
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, (_, r))| (r.next_use.map_or((1, 0), |u| (0, u)), usize::MAX - i))
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, ledger non-empty");
+            let (loc, old) = self.entries.remove(victim);
+            Some(Evicted {
+                was_live: old.next_use.is_some(),
+                loc,
+                resident: old,
+            })
+        } else {
+            None
+        };
+        self.entries.push((loc, resident));
+        displaced
+    }
+
+    /// Drops every association of one register (it was overwritten).
+    pub fn forget(&mut self, loc: &Loc) -> Vec<Resident> {
+        let mut removed = Vec::new();
+        self.entries.retain(|(l, r)| {
+            if l == loc {
+                removed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Drops every association to `addr` (the memory word was overwritten).
+    pub fn forget_addr(&mut self, addr: u64) {
+        self.entries.retain(|(_, r)| r.addr != addr);
+    }
+
+    /// Drops everything (a write to an unknown address).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}

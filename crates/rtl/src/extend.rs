@@ -194,7 +194,12 @@ pub fn extend(base: &mut TemplateBase, opts: &ExtensionOptions) -> ExtensionStat
         for t in &after_comm {
             for rewritten in apply_rule(rule, &t.src) {
                 if base.find(&t.dest, &rewritten).is_none() {
-                    base.push(t.dest.clone(), rewritten, t.cond, TemplateOrigin::Rewrite(t.id));
+                    base.push(
+                        t.dest.clone(),
+                        rewritten,
+                        t.cond,
+                        TemplateOrigin::Rewrite(t.id),
+                    );
                     stats.rewrite_added += 1;
                 }
             }
@@ -263,10 +268,7 @@ fn match_rule(rule: &RulePat, p: &Pattern, bind: &mut Bindings) -> bool {
         (RulePat::Op(op, rargs), Pattern::Op(pop, pargs)) => {
             op == pop
                 && rargs.len() == pargs.len()
-                && rargs
-                    .iter()
-                    .zip(pargs)
-                    .all(|(r, q)| match_rule(r, q, bind))
+                && rargs.iter().zip(pargs).all(|(r, q)| match_rule(r, q, bind))
         }
         _ => false,
     }

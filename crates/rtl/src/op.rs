@@ -52,7 +52,13 @@ impl OpKind {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Eq | OpKind::Ne
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Eq
+                | OpKind::Ne
         )
     }
 
@@ -108,13 +114,7 @@ impl OpKind {
             OpKind::Add => a.wrapping_add(b),
             OpKind::Sub => a.wrapping_sub(b),
             OpKind::Mul => a.wrapping_mul(b),
-            OpKind::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            OpKind::Div => a.checked_div(b).unwrap_or(0),
             OpKind::Rem => {
                 if b == 0 {
                     0

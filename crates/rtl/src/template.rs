@@ -248,7 +248,13 @@ impl TemplateBase {
     }
 
     /// Adds a template, assigning its id.  Returns the id.
-    pub fn push(&mut self, dest: Dest, src: Pattern, cond: Bdd, origin: TemplateOrigin) -> TemplateId {
+    pub fn push(
+        &mut self,
+        dest: Dest,
+        src: Pattern,
+        cond: Bdd,
+        origin: TemplateOrigin,
+    ) -> TemplateId {
         let id = TemplateId(self.templates.len() as u32);
         self.templates.push(RtTemplate {
             id,

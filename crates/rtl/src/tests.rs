@@ -103,12 +103,20 @@ fn commutative_extension_adds_swapped_mac() {
             reg(0),
             Pattern::Op(
                 OpKind::Mul,
-                vec![reg(1), Pattern::MemRead(StorageId(2), Box::new(Pattern::Imm { hi: 7, lo: 0 }))],
+                vec![
+                    reg(1),
+                    Pattern::MemRead(StorageId(2), Box::new(Pattern::Imm { hi: 7, lo: 0 })),
+                ],
             ),
         ],
     );
     let mut base = TemplateBase::new();
-    base.push(Dest::Reg(StorageId(0)), mac, Bdd::TRUE, TemplateOrigin::Extracted);
+    base.push(
+        Dest::Reg(StorageId(0)),
+        mac,
+        Bdd::TRUE,
+        TemplateOrigin::Extracted,
+    );
     let stats = extend(
         &mut base,
         &ExtensionOptions {
@@ -184,7 +192,12 @@ fn variant_cap_limits_blowup() {
         p = Pattern::Op(OpKind::Add, vec![p, reg(i)]);
     }
     let mut base = TemplateBase::new();
-    base.push(Dest::Reg(StorageId(9)), p, Bdd::TRUE, TemplateOrigin::Extracted);
+    base.push(
+        Dest::Reg(StorageId(9)),
+        p,
+        Bdd::TRUE,
+        TemplateOrigin::Extracted,
+    );
     let stats = extend(
         &mut base,
         &ExtensionOptions {

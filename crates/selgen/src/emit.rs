@@ -27,8 +27,16 @@ pub fn emit_rust(grammar: &TreeGrammar, module_name: &str) -> String {
         grammar.nonterm_count(),
         grammar.rules().len()
     );
-    let _ = writeln!(out, "pub const NONTERM_COUNT: usize = {};", grammar.nonterm_count());
-    let _ = writeln!(out, "pub const RULE_COUNT: usize = {};\n", grammar.rules().len());
+    let _ = writeln!(
+        out,
+        "pub const NONTERM_COUNT: usize = {};",
+        grammar.nonterm_count()
+    );
+    let _ = writeln!(
+        out,
+        "pub const RULE_COUNT: usize = {};\n",
+        grammar.rules().len()
+    );
 
     // Non-terminal names.
     let _ = writeln!(out, "pub const NONTERM_NAMES: [&str; NONTERM_COUNT] = [");
@@ -45,7 +53,13 @@ pub fn emit_rust(grammar: &TreeGrammar, module_name: &str) -> String {
     let _ = writeln!(out, "/// `(lhs, cost)` per rule id.");
     let _ = writeln!(out, "pub const RULES: [(u32, u32); RULE_COUNT] = [");
     for r in grammar.rules() {
-        let _ = writeln!(out, "    ({}, {}), // {}", r.lhs.0, r.cost, describe_rhs(&r.rhs));
+        let _ = writeln!(
+            out,
+            "    ({}, {}), // {}",
+            r.lhs.0,
+            r.cost,
+            describe_rhs(&r.rhs)
+        );
     }
     let _ = writeln!(out, "];\n");
 
@@ -116,7 +130,10 @@ fn key_check(key: &TermKey, at: &str) -> String {
             "if nodes[{at}].kind != Kind::Assign({}) {{ return None; }}",
             assign_code(k)
         ),
-        TermKey::Store(s) => format!("if nodes[{at}].kind != Kind::Store({}) {{ return None; }}", s.0),
+        TermKey::Store(s) => format!(
+            "if nodes[{at}].kind != Kind::Store({}) {{ return None; }}",
+            s.0
+        ),
         TermKey::Op(op) => format!(
             "if nodes[{at}].kind != Kind::Op({:?}) {{ return None; }}",
             op.mnemonic()
@@ -137,9 +154,9 @@ fn key_check(key: &TermKey, at: &str) -> String {
             "if nodes[{at}].kind != Kind::PortLeaf({}) {{ return None; }}",
             p.0
         ),
-        TermKey::ConstVal(v) => format!(
-            "if nodes[{at}].kind != Kind::Const({v}) {{ return None; }}"
-        ),
+        TermKey::ConstVal(v) => {
+            format!("if nodes[{at}].kind != Kind::Const({v}) {{ return None; }}")
+        }
         TermKey::Imm { hi, lo } => {
             let width = hi - lo + 1;
             format!(

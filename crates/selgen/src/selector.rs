@@ -1,8 +1,6 @@
 //! The dynamic-programming tree parser.
 
-use record_grammar::{
-    Et, EtKind, GPat, NodeIdx, NonTermId, RuleId, TermKey, TreeGrammar,
-};
+use record_grammar::{Et, EtKind, GPat, NodeIdx, NonTermId, RuleId, TermKey, TreeGrammar};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -163,9 +161,7 @@ impl Selector {
                     // so diversity is a free anti-conflict heuristic.
                     let better = match *slot {
                         None => true,
-                        Some(e) => {
-                            total < e.cost || (total == e.cost && diversity > e.diversity)
-                        }
+                        Some(e) => total < e.cost || (total == e.cost && diversity > e.diversity),
                     };
                     if better {
                         *slot = Some(LabelEntry {
@@ -187,7 +183,7 @@ impl Selector {
                     };
                     let total = src_entry.cost.saturating_add(cost);
                     let slot = &mut entries[tgt.0 as usize];
-                    if slot.map_or(true, |e| total < e.cost) {
+                    if slot.is_none_or(|e| total < e.cost) {
                         *slot = Some(LabelEntry {
                             cost: total,
                             via: Via::Chain(rid),

@@ -258,7 +258,10 @@ fn emitted_rust_is_deterministic_and_complete() {
     let s1 = emit_rust(&g, "acc_machine");
     let s2 = emit_rust(&g, "acc_machine");
     assert_eq!(s1, s2);
-    assert!(s1.contains(&format!("pub const RULE_COUNT: usize = {};", g.rules().len())));
+    assert!(s1.contains(&format!(
+        "pub const RULE_COUNT: usize = {};",
+        g.rules().len()
+    )));
     assert!(s1.contains("pub fn match_rule"));
     assert!(s1.contains("Kind::Const"));
     let _ = n;
@@ -272,10 +275,7 @@ fn emitted_rust_is_deterministic_and_complete() {
 
 /// Builds a random ET by expanding the grammar from START, returning the
 /// derivation cost as an upper bound.  `choices` drives rule selection.
-fn random_derivation(
-    g: &TreeGrammar,
-    choices: &[u8],
-) -> Option<(Et, u32)> {
+fn random_derivation(g: &TreeGrammar, choices: &[u8]) -> Option<(Et, u32)> {
     fn expand(
         g: &TreeGrammar,
         nt: NonTermId,

@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // With the standard library (shl-to-mul-pow2): compiles.
     let mut target = Record::retarget(HDL, &RetargetOptions::default())?;
     let kernel = target.compile(program, "f", &CompileOptions::default())?;
-    println!("\nwith the standard library ({} words):", kernel.code_size());
+    println!(
+        "\nwith the standard library ({} words):",
+        kernel.code_size()
+    );
     println!("{}", target.listing(&kernel));
 
     // A user-defined linear rule: the machine's `x + x` also computes

@@ -72,7 +72,10 @@ fn variant(mac: bool, imm: bool) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = "int s, a[4], b[4];
                   void f() { int i; s = 0; for (i = 0; i < 4; i++) { s += a[i] * b[i]; } }";
-    println!("{:<28} {:>9} {:>10} {:>10}", "data-path variant", "templates", "retarget", "code size");
+    println!(
+        "{:<28} {:>9} {:>10} {:>10}",
+        "data-path variant", "templates", "retarget", "code size"
+    );
     for (name, mac, imm) in [
         ("MAC chained + immediates", true, true),
         ("no MAC chaining", false, true),

@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "f",
         &CompileOptions::default(),
     )?;
-    println!("\ncompiled `x = x + a * b;` to {} words:", kernel.code_size());
+    println!(
+        "\ncompiled `x = x + a * b;` to {} words:",
+        kernel.code_size()
+    );
     println!("{}", target.listing(&kernel));
 
     // Execute it: x=10, a=3, b=4 -> x=22.

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|(n, _)| *n == "s")
         .expect("s bound")
         .1;
-    println!("machine result s = {} (expected {expect})", machine.mem(dm, s_addr));
+    println!(
+        "machine result s = {} (expected {expect})",
+        machine.mem(dm, s_addr)
+    );
     assert_eq!(machine.mem(dm, s_addr), expect & 0xFFFF);
     println!("simulation matches the mini-C interpreter semantics.");
     Ok(())

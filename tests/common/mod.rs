@@ -1,0 +1,84 @@
+//! Shared oracle helpers for the integration tests: deterministic input
+//! data and the interpreter-vs-machine comparison used to validate every
+//! code-transforming phase.
+
+use record_core::{CompiledKernel, Target};
+use std::collections::BTreeSet;
+
+/// Deterministic non-trivial input data for a program's globals.
+pub fn init_data(program: &record_ir::Program) -> Vec<(String, Vec<u64>)> {
+    program
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let vals = (0..g.words())
+                .map(|i| (gi as u64 * 37 + i * 11 + 3) & 0xFF)
+                .collect();
+            (g.name.clone(), vals)
+        })
+        .collect()
+}
+
+/// Variables the flattened program actually touches (loop variables fold
+/// away during unrolling and never reach machine memory).
+pub fn touched_variables(flat: &[record_ir::FlatStmt]) -> BTreeSet<String> {
+    fn collect(e: &record_ir::FlatExpr, out: &mut BTreeSet<String>) {
+        match e {
+            record_ir::FlatExpr::Load(r) => {
+                out.insert(r.name.clone());
+            }
+            record_ir::FlatExpr::Unary(_, a) => collect(a, out),
+            record_ir::FlatExpr::Binary(_, a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+            record_ir::FlatExpr::Const(_) => {}
+        }
+    }
+    let mut set = BTreeSet::new();
+    for st in flat {
+        set.insert(st.target.name.clone());
+        collect(&st.value, &mut set);
+    }
+    set
+}
+
+/// Runs `kernel` on the machine simulator from [`init_data`] inputs and
+/// asserts every touched variable equals what the mini-C interpreter
+/// computes; `label` names the kernel/model pair in failure messages.
+pub fn assert_matches_interpreter(
+    target: &Target,
+    kernel: &CompiledKernel,
+    source: &str,
+    function: &str,
+    label: &str,
+) {
+    let program = record_ir::parse(source).unwrap();
+    let flat = record_ir::lower(&program, function).unwrap();
+    let init = init_data(&program);
+
+    let mut mem = record_ir::Memory::new();
+    for (name, vals) in &init {
+        mem.insert(name.clone(), vals.clone());
+    }
+    record_ir::interp(&program, function, &mut mem, 16).unwrap();
+
+    let init_refs: Vec<(&str, Vec<u64>)> =
+        init.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let machine = target.execute(kernel, &init_refs);
+    let dm = target.data_memory().expect("data memory");
+    let touched = touched_variables(&flat);
+    for (name, addr) in kernel.binding.assignments() {
+        if !touched.contains(name) {
+            continue;
+        }
+        for (i, want) in mem[name].iter().enumerate() {
+            assert_eq!(
+                machine.mem(dm, addr + i as u64),
+                *want,
+                "{label}: machine disagrees with the interpreter at {name}[{i}]"
+            );
+        }
+    }
+}

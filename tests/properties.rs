@@ -74,10 +74,7 @@ thread_local! {
 fn program_strategy() -> impl Strategy<Value = String> {
     let vars = ["a", "b", "c", "d"];
     let var_leaf = (0usize..4).prop_map(move |i| vars[i].to_owned());
-    let any_leaf = prop_oneof![
-        var_leaf.clone(),
-        (0u64..15).prop_map(|v| v.to_string()),
-    ];
+    let any_leaf = prop_oneof![var_leaf.clone(), (0u64..15).prop_map(|v| v.to_string()),];
     // Keep a variable on every left spine so constant folding can never
     // collapse a subtree into a constant wider than the immediate field.
     let mul_term = (var_leaf.clone(), any_leaf.clone()).prop_map(|(l, r)| format!("({l} * {r})"));
@@ -146,7 +143,7 @@ proptest! {
                 .map(|(n, v)| (*n, vec![*v]))
                 .collect();
             let vertical = target
-                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false })
+                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false, ..CompileOptions::default() })
                 .expect("compiles");
             let compacted = target
                 .compile(&src, "f", &CompileOptions::default())
@@ -176,10 +173,10 @@ proptest! {
             record_ir::interp(&program, "f", &mut mem, 16).unwrap();
 
             let smart = target
-                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false })
+                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false, ..CompileOptions::default() })
                 .expect("compiles");
             let naive = target
-                .compile(&src, "f", &CompileOptions { baseline: true, compaction: false })
+                .compile(&src, "f", &CompileOptions { baseline: true, compaction: false, ..CompileOptions::default() })
                 .expect("compiles");
             prop_assert!(naive.ops.len() >= smart.ops.len());
             let init: Vec<(&str, Vec<u64>)> = ["a", "b", "c", "d"]

@@ -16,7 +16,11 @@ fn retarget(name: &str) -> record_core::Target {
 fn fixed_point_arithmetic() {
     let mut t = retarget("tms320c25");
     let k = t
-        .compile("int x, a; void f() { x = a + a; }", "f", &CompileOptions::default())
+        .compile(
+            "int x, a; void f() { x = a + a; }",
+            "f",
+            &CompileOptions::default(),
+        )
         .unwrap();
     let machine = t.execute(&k, &[("a", vec![0x9000])]);
     let dm = t.data_memory().unwrap();
@@ -158,5 +162,8 @@ fn jump_templates_extract_from_pc_models() {
     );
     assert!(t.base().find(&Dest::Reg(pc), &seq).is_some(), "pc := pc+1");
     let jmp = Pattern::Imm { hi: 7, lo: 0 };
-    assert!(t.base().find(&Dest::Reg(pc), &jmp).is_some(), "pc := #target");
+    assert!(
+        t.base().find(&Dest::Reg(pc), &jmp).is_some(),
+        "pc := #target"
+    );
 }
