@@ -10,6 +10,14 @@
 //! their conditions.  Both uses need cheap `and`/`not` plus a constant-time
 //! unsatisfiability check, which is exactly what hash-consed ROBDDs give us.
 //!
+//! The crate separates the *retarget-time* mutable store from *compile-time*
+//! scratch: [`BddManager`] owns nodes while the instruction set is being
+//! extracted, [`BddManager::freeze`] turns it into an immutable, shareable
+//! [`FrozenBdd`], and each compilation session layers a private
+//! [`BddOverlay`] arena on top for the nodes its conjunctions create.  Code
+//! that only combines conditions is generic over [`BddOps`], implemented by
+//! both the manager and the overlay.
+//!
 //! # Example
 //!
 //! ```
@@ -25,9 +33,11 @@
 //! ```
 
 mod manager;
+mod overlay;
 mod sat;
 
-pub use manager::{Bdd, BddManager, VarId};
+pub use manager::{Bdd, BddManager, BddOps, VarId};
+pub use overlay::{BddOverlay, FrozenBdd};
 pub use sat::Assignment;
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ pub struct VarId(pub u32);
 /// handles from the same manager represent the same Boolean function if and
 /// only if they are equal (canonicity of ROBDDs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bdd(u32);
+pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
     /// The constant-false function.
@@ -26,20 +26,20 @@ impl Bdd {
     /// The constant-true function.
     pub const TRUE: Bdd = Bdd(1);
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Node {
-    var: VarId,
-    lo: Bdd,
-    hi: Bdd,
+pub(crate) struct Node {
+    pub(crate) var: VarId,
+    pub(crate) lo: Bdd,
+    pub(crate) hi: Bdd,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum OpKey {
+pub(crate) enum OpKey {
     And(Bdd, Bdd),
     Or(Bdd, Bdd),
     Xor(Bdd, Bdd),
@@ -65,11 +65,11 @@ enum OpKey {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    cache: HashMap<OpKey, Bdd>,
-    names: Vec<String>,
-    by_name: HashMap<String, VarId>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, Bdd>,
+    pub(crate) cache: HashMap<OpKey, Bdd>,
+    pub(crate) names: Vec<String>,
+    pub(crate) by_name: HashMap<String, VarId>,
 }
 
 impl Default for BddManager {
@@ -187,131 +187,24 @@ impl BddManager {
         b
     }
 
-    fn top_var(&self, f: Bdd) -> Option<VarId> {
-        if f == Bdd::FALSE || f == Bdd::TRUE {
-            None
-        } else {
-            Some(self.nodes[f.index()].var)
-        }
-    }
-
-    /// Shannon cofactors of `f` with respect to `var` (assumes `var` is at or
-    /// above the top variable of `f`).
-    fn cofactors(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
-        match self.top_var(f) {
-            Some(v) if v == var => {
-                let n = self.nodes[f.index()];
-                (n.lo, n.hi)
-            }
-            _ => (f, f),
-        }
-    }
-
     /// Conjunction `a && b`.
     pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        // Terminal cases.
-        if a == Bdd::FALSE || b == Bdd::FALSE {
-            return Bdd::FALSE;
-        }
-        if a == Bdd::TRUE {
-            return b;
-        }
-        if b == Bdd::TRUE || a == b {
-            return a;
-        }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.cache.get(&OpKey::And(a, b)) {
-            return r;
-        }
-        let va = self.nodes[a.index()].var;
-        let vb = self.nodes[b.index()].var;
-        let v = va.min(vb);
-        let (a0, a1) = self.cofactors(a, v);
-        let (b0, b1) = self.cofactors(b, v);
-        let lo = self.and(a0, b0);
-        let hi = self.and(a1, b1);
-        let r = self.mk(v, lo, hi);
-        self.cache.insert(OpKey::And(a, b), r);
-        r
+        Apply::and_rec(self, a, b)
     }
 
     /// Disjunction `a || b`.
     pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        if a == Bdd::TRUE || b == Bdd::TRUE {
-            return Bdd::TRUE;
-        }
-        if a == Bdd::FALSE {
-            return b;
-        }
-        if b == Bdd::FALSE || a == b {
-            return a;
-        }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.cache.get(&OpKey::Or(a, b)) {
-            return r;
-        }
-        let va = self.nodes[a.index()].var;
-        let vb = self.nodes[b.index()].var;
-        let v = va.min(vb);
-        let (a0, a1) = self.cofactors(a, v);
-        let (b0, b1) = self.cofactors(b, v);
-        let lo = self.or(a0, b0);
-        let hi = self.or(a1, b1);
-        let r = self.mk(v, lo, hi);
-        self.cache.insert(OpKey::Or(a, b), r);
-        r
+        Apply::or_rec(self, a, b)
     }
 
     /// Exclusive or `a ^ b`.
     pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        if a == b {
-            return Bdd::FALSE;
-        }
-        if a == Bdd::FALSE {
-            return b;
-        }
-        if b == Bdd::FALSE {
-            return a;
-        }
-        if a == Bdd::TRUE {
-            return self.not(b);
-        }
-        if b == Bdd::TRUE {
-            return self.not(a);
-        }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.cache.get(&OpKey::Xor(a, b)) {
-            return r;
-        }
-        let va = self.nodes[a.index()].var;
-        let vb = self.nodes[b.index()].var;
-        let v = va.min(vb);
-        let (a0, a1) = self.cofactors(a, v);
-        let (b0, b1) = self.cofactors(b, v);
-        let lo = self.xor(a0, b0);
-        let hi = self.xor(a1, b1);
-        let r = self.mk(v, lo, hi);
-        self.cache.insert(OpKey::Xor(a, b), r);
-        r
+        Apply::xor_rec(self, a, b)
     }
 
     /// Negation `!a`.
     pub fn not(&mut self, a: Bdd) -> Bdd {
-        if a == Bdd::FALSE {
-            return Bdd::TRUE;
-        }
-        if a == Bdd::TRUE {
-            return Bdd::FALSE;
-        }
-        if let Some(&r) = self.cache.get(&OpKey::Not(a)) {
-            return r;
-        }
-        let n = self.nodes[a.index()];
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.var, lo, hi);
-        self.cache.insert(OpKey::Not(a), r);
-        r
+        Apply::not_rec(self, a)
     }
 
     /// Logical equivalence `a <-> b`.
@@ -491,8 +384,213 @@ impl BddManager {
     /// Builds the condition "the bit-vector `bits` equals `value`", i.e.
     /// the conjunction over all bit positions of `bits[i] <-> value_i`.
     ///
-    /// `bits[0]` is the least significant bit.
+    /// `bits[0]` is the least significant bit.  The algorithm lives in the
+    /// [`BddOps`] default so manager and overlay can never diverge.
     pub fn vector_equals(&mut self, bits: &[Bdd], value: u64) -> Bdd {
+        BddOps::vector_equals(self, bits, value)
+    }
+
+    /// Freezes this manager into an immutable, shareable node store.
+    ///
+    /// Every handle handed out so far stays valid against the frozen store;
+    /// new nodes can only be created through per-session
+    /// [`BddOverlay`](crate::BddOverlay)s layered on top of it.
+    pub fn freeze(self) -> crate::FrozenBdd {
+        crate::FrozenBdd::new(self)
+    }
+}
+
+/// The shared apply recursion behind `and`/`or`/`xor`/`not`.
+///
+/// [`BddManager`] and [`crate::BddOverlay`] differ only in where nodes and
+/// cache entries are *stored* (one flat store vs frozen-base-plus-local
+/// pages); the reduction algorithm itself must be byte-identical in both,
+/// or an overlay would stop producing the canonical handles its
+/// unique-table lookups assume.  It therefore exists exactly once, as
+/// default methods over the four storage primitives.
+pub(crate) trait Apply {
+    /// The node behind a non-terminal handle.
+    fn node_of(&self, f: Bdd) -> Node;
+    /// Operation-cache lookup.
+    fn cached(&self, key: OpKey) -> Option<Bdd>;
+    /// Operation-cache insert.
+    fn cache_insert(&mut self, key: OpKey, r: Bdd);
+    /// Hash-consing node constructor.
+    fn mk_node(&mut self, var: VarId, lo: Bdd, hi: Bdd) -> Bdd;
+
+    /// Shannon cofactors of `f` with respect to `var` (assumes `var` is
+    /// at or above the top variable of `f`).
+    fn cofactors_of(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
+        if f == Bdd::FALSE || f == Bdd::TRUE {
+            return (f, f);
+        }
+        let n = self.node_of(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    fn and_rec(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        // Terminal cases.
+        if a == Bdd::FALSE || b == Bdd::FALSE {
+            return Bdd::FALSE;
+        }
+        if a == Bdd::TRUE {
+            return b;
+        }
+        if b == Bdd::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.cached(OpKey::And(a, b)) {
+            return r;
+        }
+        let v = self.node_of(a).var.min(self.node_of(b).var);
+        let (a0, a1) = self.cofactors_of(a, v);
+        let (b0, b1) = self.cofactors_of(b, v);
+        let lo = self.and_rec(a0, b0);
+        let hi = self.and_rec(a1, b1);
+        let r = self.mk_node(v, lo, hi);
+        self.cache_insert(OpKey::And(a, b), r);
+        r
+    }
+
+    fn or_rec(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        if a == Bdd::TRUE || b == Bdd::TRUE {
+            return Bdd::TRUE;
+        }
+        if a == Bdd::FALSE {
+            return b;
+        }
+        if b == Bdd::FALSE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.cached(OpKey::Or(a, b)) {
+            return r;
+        }
+        let v = self.node_of(a).var.min(self.node_of(b).var);
+        let (a0, a1) = self.cofactors_of(a, v);
+        let (b0, b1) = self.cofactors_of(b, v);
+        let lo = self.or_rec(a0, b0);
+        let hi = self.or_rec(a1, b1);
+        let r = self.mk_node(v, lo, hi);
+        self.cache_insert(OpKey::Or(a, b), r);
+        r
+    }
+
+    fn xor_rec(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        if a == b {
+            return Bdd::FALSE;
+        }
+        if a == Bdd::FALSE {
+            return b;
+        }
+        if b == Bdd::FALSE {
+            return a;
+        }
+        if a == Bdd::TRUE {
+            return self.not_rec(b);
+        }
+        if b == Bdd::TRUE {
+            return self.not_rec(a);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.cached(OpKey::Xor(a, b)) {
+            return r;
+        }
+        let v = self.node_of(a).var.min(self.node_of(b).var);
+        let (a0, a1) = self.cofactors_of(a, v);
+        let (b0, b1) = self.cofactors_of(b, v);
+        let lo = self.xor_rec(a0, b0);
+        let hi = self.xor_rec(a1, b1);
+        let r = self.mk_node(v, lo, hi);
+        self.cache_insert(OpKey::Xor(a, b), r);
+        r
+    }
+
+    fn not_rec(&mut self, a: Bdd) -> Bdd {
+        if a == Bdd::FALSE {
+            return Bdd::TRUE;
+        }
+        if a == Bdd::TRUE {
+            return Bdd::FALSE;
+        }
+        if let Some(r) = self.cached(OpKey::Not(a)) {
+            return r;
+        }
+        let n = self.node_of(a);
+        let lo = self.not_rec(n.lo);
+        let hi = self.not_rec(n.hi);
+        let r = self.mk_node(n.var, lo, hi);
+        self.cache_insert(OpKey::Not(a), r);
+        r
+    }
+}
+
+impl Apply for BddManager {
+    fn node_of(&self, f: Bdd) -> Node {
+        self.nodes[f.index()]
+    }
+
+    fn cached(&self, key: OpKey) -> Option<Bdd> {
+        self.cache.get(&key).copied()
+    }
+
+    fn cache_insert(&mut self, key: OpKey, r: Bdd) {
+        self.cache.insert(key, r);
+    }
+
+    fn mk_node(&mut self, var: VarId, lo: Bdd, hi: Bdd) -> Bdd {
+        self.mk(var, lo, hi)
+    }
+}
+
+/// The node-creating Boolean operations shared by [`BddManager`] (the
+/// retarget-time owner) and [`BddOverlay`](crate::BddOverlay) (the
+/// per-compilation scratch arena).
+///
+/// Code that only *combines* conditions — emission folding instruction
+/// fields into execution conditions, compaction conjoining word conditions
+/// — is generic over this trait, so it runs unchanged against a mutable
+/// manager (unit tests, retargeting) or a session overlay (compilation
+/// against a frozen target).
+pub trait BddOps {
+    /// The function of a single variable, registering `name` on first use.
+    fn var(&mut self, name: &str) -> Bdd;
+    /// Registers (or looks up) a variable by name.
+    fn var_id(&mut self, name: &str) -> VarId;
+    /// The positive or negative literal of `id`.
+    fn literal(&mut self, id: VarId, phase: bool) -> Bdd;
+    /// Conjunction `a && b`.
+    fn and(&mut self, a: Bdd, b: Bdd) -> Bdd;
+    /// Disjunction `a || b`.
+    fn or(&mut self, a: Bdd, b: Bdd) -> Bdd;
+    /// Exclusive or `a ^ b`.
+    fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd;
+    /// Negation `!a`.
+    fn not(&mut self, a: Bdd) -> Bdd;
+
+    /// Is `f` satisfiable?
+    fn is_sat(&self, f: Bdd) -> bool {
+        f != Bdd::FALSE
+    }
+
+    /// Is `f` the constant-false function?
+    fn is_false(&self, f: Bdd) -> bool {
+        f == Bdd::FALSE
+    }
+
+    /// Is `f` the constant-true function?
+    fn is_true(&self, f: Bdd) -> bool {
+        f == Bdd::TRUE
+    }
+
+    /// The condition "bit-vector `bits` equals `value`" (`bits[0]` is the
+    /// least significant bit).
+    fn vector_equals(&mut self, bits: &[Bdd], value: u64) -> Bdd {
         let mut acc = Bdd::TRUE;
         for (i, &b) in bits.iter().enumerate() {
             let want = (value >> i) & 1 == 1;
@@ -503,6 +601,36 @@ impl BddManager {
             }
         }
         acc
+    }
+}
+
+impl BddOps for BddManager {
+    fn var(&mut self, name: &str) -> Bdd {
+        BddManager::var(self, name)
+    }
+
+    fn var_id(&mut self, name: &str) -> VarId {
+        BddManager::var_id(self, name)
+    }
+
+    fn literal(&mut self, id: VarId, phase: bool) -> Bdd {
+        BddManager::literal(self, id, phase)
+    }
+
+    fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        BddManager::and(self, a, b)
+    }
+
+    fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        BddManager::or(self, a, b)
+    }
+
+    fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        BddManager::xor(self, a, b)
+    }
+
+    fn not(&mut self, a: Bdd) -> Bdd {
+        BddManager::not(self, a)
     }
 }
 

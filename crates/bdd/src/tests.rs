@@ -1,4 +1,4 @@
-use crate::{Assignment, Bdd, BddManager};
+use crate::{Assignment, Bdd, BddManager, BddOps, BddOverlay, FrozenBdd};
 use proptest::prelude::*;
 
 fn three_vars() -> (BddManager, Bdd, Bdd, Bdd) {
@@ -150,6 +150,105 @@ fn ite_matches_definition() {
     assert_eq!(i, expect);
 }
 
+// ------------------------------------------------------------ frozen/overlay
+
+#[test]
+fn frozen_is_send_sync_and_overlay_is_send() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<FrozenBdd>();
+    assert_send::<BddOverlay<'_>>();
+}
+
+#[test]
+fn frozen_preserves_handles_and_queries() {
+    let (mut m, a, b, _) = three_vars();
+    let ab = m.and(a, b);
+    let count = m.node_count();
+    let frozen = m.freeze();
+    assert_eq!(frozen.node_count(), count);
+    assert_eq!(frozen.var_count(), 3);
+    assert!(frozen.is_sat(ab));
+    assert_eq!(frozen.sat_count(ab), 2); // a&b over 3 vars
+    assert_eq!(frozen.to_cubes(ab), "a&b");
+    assert_eq!(frozen.var_id_of("a"), Some(crate::VarId(0)));
+    assert_eq!(frozen.var_id_of("nope"), None);
+    let sup = frozen.support(ab);
+    assert_eq!(sup.len(), 2);
+}
+
+#[test]
+fn overlay_reuses_frozen_nodes() {
+    let (mut m, a, b, _) = three_vars();
+    let ab = m.and(a, b);
+    let frozen = m.freeze();
+    let mut s = frozen.overlay();
+    // Recreating a function the base owns yields the canonical frozen
+    // handle and allocates nothing locally.
+    assert_eq!(s.and(a, b), ab);
+    assert_eq!(s.local_node_count(), 0);
+    // A genuinely new function lands in the session page.
+    let c = s.var("c");
+    let abc = s.and(ab, c);
+    assert!(s.local_node_count() > 0);
+    assert!(s.is_sat(abc));
+    assert!(s.eval(abc, &[true, true, true]));
+    assert!(!s.eval(abc, &[true, true, false]));
+}
+
+#[test]
+fn overlays_are_isolated_and_deterministic() {
+    let (m, a, b, c) = three_vars();
+    let frozen = m.freeze();
+    let (f1, n1) = {
+        let mut s = frozen.overlay();
+        let ab = s.and(a, b);
+        (s.and(ab, c), s.local_node_count())
+    };
+    let (f2, n2) = {
+        let mut s = frozen.overlay();
+        let ab = s.and(a, b);
+        (s.and(ab, c), s.local_node_count())
+    };
+    // Same base, same operations: byte-identical handles and page sizes,
+    // regardless of what other overlays did in between.
+    assert_eq!(f1, f2);
+    assert_eq!(n1, n2);
+}
+
+#[test]
+fn overlay_registers_new_variables_above_frozen_ones() {
+    let (m, _, _, _) = three_vars();
+    let frozen = m.freeze();
+    let mut s = frozen.overlay();
+    // Frozen variables resolve to their frozen ids.
+    assert_eq!(s.var_id("a"), crate::VarId(0));
+    // New names go above the frozen range, idempotently.
+    let d1 = s.var_id("d");
+    let d2 = s.var_id("d");
+    assert_eq!(d1, d2);
+    assert_eq!(d1, crate::VarId(3));
+    assert_eq!(s.var_name(d1), "d");
+    assert_eq!(s.var_name(crate::VarId(0)), "a");
+    assert_eq!(s.var_count(), 4);
+    let lit = s.literal(d1, false);
+    assert!(s.is_sat(lit));
+}
+
+#[test]
+fn overlay_vector_equals_matches_manager() {
+    let mut m = BddManager::new();
+    let bits: Vec<_> = (0..4).map(|i| m.var(&format!("I[{i}]"))).collect();
+    let f5 = m.vector_equals(&bits, 5);
+    let frozen = m.freeze();
+    let mut s = frozen.overlay();
+    let again = BddOps::vector_equals(&mut s, &bits, 5);
+    assert_eq!(again, f5);
+    let f3 = BddOps::vector_equals(&mut s, &bits, 3);
+    let both = s.and(f5, f3);
+    assert!(s.is_false(both));
+}
+
 // ---------------------------------------------------------------------------
 // Property tests: BDD operations agree with a brute-force truth-table oracle
 // over up to 5 variables.
@@ -213,6 +312,38 @@ fn build_bdd(m: &mut BddManager, e: &BExp) -> Bdd {
         BExp::Xor(a, b) => {
             let x = build_bdd(m, a);
             let y = build_bdd(m, b);
+            m.xor(x, y)
+        }
+    }
+}
+
+fn build_bdd_ops<M: BddOps>(m: &mut M, e: &BExp) -> Bdd {
+    match e {
+        BExp::Var(i) => m.var(&format!("v{i}")),
+        BExp::Const(c) => {
+            if *c {
+                Bdd::TRUE
+            } else {
+                Bdd::FALSE
+            }
+        }
+        BExp::Not(a) => {
+            let x = build_bdd_ops(m, a);
+            m.not(x)
+        }
+        BExp::And(a, b) => {
+            let x = build_bdd_ops(m, a);
+            let y = build_bdd_ops(m, b);
+            m.and(x, y)
+        }
+        BExp::Or(a, b) => {
+            let x = build_bdd_ops(m, a);
+            let y = build_bdd_ops(m, b);
+            m.or(x, y)
+        }
+        BExp::Xor(a, b) => {
+            let x = build_bdd_ops(m, a);
+            let y = build_bdd_ops(m, b);
             m.xor(x, y)
         }
     }
@@ -287,6 +418,38 @@ proptest! {
         } else {
             prop_assert_eq!(f, Bdd::FALSE);
         }
+    }
+
+    /// An overlay over a frozen base computes exactly what a lone mutable
+    /// manager computes, for any split of the work between base and
+    /// session: `a` is built (and frozen) in the manager, `b` and the
+    /// combination in the overlay.
+    #[test]
+    fn overlay_agrees_with_manager(a in bexp_strategy(NVARS), b in bexp_strategy(NVARS)) {
+        // Oracle: everything in one mutable manager.
+        let mut m1 = fresh_manager();
+        let fa1 = build_bdd(&mut m1, &a);
+        let fb1 = build_bdd(&mut m1, &b);
+        let and1 = m1.and(fa1, fb1);
+        let or1 = m1.or(fa1, fb1);
+
+        // Split: `a` is retarget-time (frozen), `b` is compile-time.
+        let mut m2 = fresh_manager();
+        let fa2 = build_bdd(&mut m2, &a);
+        let frozen = m2.freeze();
+        let mut s = frozen.overlay();
+        let fb2 = build_bdd_ops(&mut s, &b);
+        let and2 = s.and(fa2, fb2);
+        let or2 = s.or(fa2, fb2);
+
+        for bits in 0u32..(1 << NVARS) {
+            let asg: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(s.eval(and2, &asg), m1.eval(and1, &asg));
+            prop_assert_eq!(s.eval(or2, &asg), m1.eval(or1, &asg));
+            prop_assert_eq!(s.eval(fb2, &asg), m1.eval(fb1, &asg));
+        }
+        // Satisfiability agrees too (constant-time check used by compaction).
+        prop_assert_eq!(s.is_sat(and2), m1.is_sat(and1));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!  B. compaction on/off on the horizontal `demo` machine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 use record_rtl::{ExtensionOptions, TransformLibrary};
 use record_targets::models;
 
@@ -31,7 +31,7 @@ fn bench_commutativity(c: &mut Criterion) {
 
 fn bench_compaction(c: &mut Criterion) {
     let model = models::model("demo").expect("model exists");
-    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
     // Both subtrees of the subtraction compute the same expression into
     // different registers: on the horizontal demo format the two ALU
     // operations pack into one word.
@@ -41,40 +41,24 @@ fn bench_compaction(c: &mut Criterion) {
     g.bench_function("with-compaction", |b| {
         b.iter(|| {
             target
-                .compile(src, "f", &CompileOptions::default())
+                .compile(&CompileRequest::new(src, "f"))
                 .expect("compiles")
         });
     });
     g.bench_function("without-compaction", |b| {
         b.iter(|| {
             target
-                .compile(
-                    src,
-                    "f",
-                    &CompileOptions {
-                        baseline: false,
-                        compaction: false,
-                        ..CompileOptions::default()
-                    },
-                )
+                .compile(&CompileRequest::new(src, "f").compaction(false))
                 .expect("compiles")
         });
     });
     // Print the code-size ablation once (criterion measures time; the size
     // delta is the interesting number for DESIGN.md).
     let with = target
-        .compile(src, "f", &CompileOptions::default())
+        .compile(&CompileRequest::new(src, "f"))
         .expect("compiles");
     let without = target
-        .compile(
-            src,
-            "f",
-            &CompileOptions {
-                baseline: false,
-                compaction: false,
-                ..CompileOptions::default()
-            },
-        )
+        .compile(&CompileRequest::new(src, "f").compaction(false))
         .expect("compiles");
     println!(
         "\nablation B (demo machine): {} words compacted vs {} vertical RTs\n",

@@ -2,19 +2,19 @@
 //! model, RECORD pipeline vs naive baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use record_core::{CompileOptions, Record};
+use record_core::{CompileRequest, Record};
 use record_targets::{kernels, models};
 
 fn bench_codegen(c: &mut Criterion) {
     let model = models::model("tms320c25").expect("model exists");
-    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
     let mut g = c.benchmark_group("codegen");
     g.sample_size(20);
     for k in kernels::kernels() {
         g.bench_with_input(BenchmarkId::new("record", k.name), &k, |b, k| {
             b.iter(|| {
                 target
-                    .compile(k.source, k.function, &CompileOptions::default())
+                    .compile(&CompileRequest::new(k.source, k.function))
                     .expect("compiles")
             });
         });
@@ -22,13 +22,9 @@ fn bench_codegen(c: &mut Criterion) {
             b.iter(|| {
                 target
                     .compile(
-                        k.source,
-                        k.function,
-                        &CompileOptions {
-                            baseline: true,
-                            compaction: false,
-                            ..CompileOptions::default()
-                        },
+                        &CompileRequest::new(k.source, k.function)
+                            .baseline(true)
+                            .compaction(false),
                     )
                     .expect("compiles")
             });

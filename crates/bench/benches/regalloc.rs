@@ -3,12 +3,12 @@
 //! Memory-traffic reduction itself is reported by the `figure2` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use record_core::{CompileOptions, Record};
+use record_core::{CompileRequest, Record};
 use record_targets::{kernels, models};
 
 fn bench_allocation_phase(c: &mut Criterion) {
     let model = models::model("tms320c25").expect("model exists");
-    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
     let mut g = c.benchmark_group("regalloc/phase");
     g.sample_size(20);
     for k in kernels::kernels() {
@@ -16,18 +16,14 @@ fn bench_allocation_phase(c: &mut Criterion) {
         // rewriting pass in isolation.
         let unalloc = target
             .compile(
-                k.source,
-                k.function,
-                &CompileOptions {
-                    compaction: false,
-                    allocate_registers: false,
-                    ..CompileOptions::default()
-                },
+                &CompileRequest::new(k.source, k.function)
+                    .compaction(false)
+                    .allocate_registers(false),
             )
             .expect("compiles");
         let flat = record_ir::lower(&record_ir::parse(k.source).unwrap(), k.function).unwrap();
-        let dm = target.data_memory().expect("data memory");
-        let pool = record_regalloc::RegisterPool::discover(target.netlist(), target.base(), dm);
+        // The pool is part of the frozen artifact now: no re-discovery.
+        let pool = target.register_pool().expect("data memory").clone();
         let liveness = record_regalloc::Liveness::analyze(&flat);
         let layout = record_regalloc::MemLayout::from_binding(&unalloc.binding);
         g.bench_with_input(
@@ -51,7 +47,7 @@ fn bench_allocation_phase(c: &mut Criterion) {
 
 fn bench_compile_with_and_without(c: &mut Criterion) {
     let model = models::model("tms320c25").expect("model exists");
-    let mut target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
+    let target = Record::retarget(model.hdl, &Default::default()).expect("retargets");
     let mut g = c.benchmark_group("regalloc/compile");
     g.sample_size(20);
     for k in [
@@ -61,21 +57,14 @@ fn bench_compile_with_and_without(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("alloc-on", k.name), &k, |b, k| {
             b.iter(|| {
                 target
-                    .compile(k.source, k.function, &CompileOptions::default())
+                    .compile(&CompileRequest::new(k.source, k.function))
                     .expect("compiles")
             });
         });
         g.bench_with_input(BenchmarkId::new("alloc-off", k.name), &k, |b, k| {
             b.iter(|| {
                 target
-                    .compile(
-                        k.source,
-                        k.function,
-                        &CompileOptions {
-                            allocate_registers: false,
-                            ..CompileOptions::default()
-                        },
-                    )
+                    .compile(&CompileRequest::new(k.source, k.function).allocate_registers(false))
                     .expect("compiles")
             });
         });

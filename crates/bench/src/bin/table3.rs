@@ -2,7 +2,7 @@
 //! time per target processor, plus aggregate register-allocation counters
 //! over the Figure 2 kernels that compile on each model.
 
-use record_core::CompileOptions;
+use record_core::CompileRequest;
 use record_targets::kernels;
 
 fn main() {
@@ -13,24 +13,23 @@ fn main() {
     );
     for model in record_bench::all_models() {
         match record_bench::retarget(&model, &Default::default()) {
-            Ok(mut target) => {
+            Ok(target) => {
                 // Aggregate allocator counters over the kernels this
-                // machine can compile at all.
+                // machine can compile at all, batched through the
+                // frozen artifact (only allocator counters are read:
+                // skip compaction).
+                let requests: Vec<_> = kernels::kernels()
+                    .iter()
+                    .map(|k| CompileRequest::new(k.source, k.function).compaction(false))
+                    .collect();
                 let mut compiled = 0usize;
                 let mut saved = 0usize;
                 let mut spills = 0usize;
-                // Only allocator counters are read: skip compaction.
-                let opts = CompileOptions {
-                    compaction: false,
-                    ..CompileOptions::default()
-                };
-                for k in kernels::kernels() {
-                    if let Ok(c) = target.compile(k.source, k.function, &opts) {
-                        compiled += 1;
-                        if let Some(a) = &c.alloc {
-                            saved += a.accesses_saved();
-                            spills += a.spills;
-                        }
+                for c in target.compile_batch(&requests).into_iter().flatten() {
+                    compiled += 1;
+                    if let Some(a) = &c.alloc {
+                        saved += a.accesses_saved();
+                        spills += a.spills;
                     }
                 }
                 let s = target.stats();

@@ -8,7 +8,7 @@
 //! * `cargo bench -p record-bench` measures retargeting and compilation
 //!   with criterion, plus the ablations called out in DESIGN.md.
 
-use record_core::{mem_traffic, CompileOptions, PipelineError, Record, RetargetOptions, Target};
+use record_core::{mem_traffic, CompileError, CompileRequest, Record, RetargetOptions, Target};
 use record_targets::{kernels, models, Kernel, TargetModel};
 
 /// One Figure 2 data point.
@@ -58,7 +58,10 @@ impl Figure2Row {
 /// # Errors
 ///
 /// Propagates pipeline errors.
-pub fn retarget(model: &TargetModel, options: &RetargetOptions) -> Result<Target, PipelineError> {
+pub fn retarget(
+    model: &TargetModel,
+    options: &RetargetOptions,
+) -> Result<Target, record_core::PipelineError> {
     Record::retarget(model.hdl, options)
 }
 
@@ -66,28 +69,20 @@ pub fn retarget(model: &TargetModel, options: &RetargetOptions) -> Result<Target
 ///
 /// # Errors
 ///
-/// Propagates pipeline errors.
-pub fn figure2_row(target: &mut Target, kernel: &Kernel) -> Result<Figure2Row, PipelineError> {
-    let rec = target.compile(kernel.source, kernel.function, &CompileOptions::default())?;
+/// Propagates compile errors.
+pub fn figure2_row(target: &Target, kernel: &Kernel) -> Result<Figure2Row, CompileError> {
+    let rec = target.compile(&CompileRequest::new(kernel.source, kernel.function))?;
     // Only the vertical op list is read from this variant, so skip the
     // compaction pass.
     let unalloc = target.compile(
-        kernel.source,
-        kernel.function,
-        &CompileOptions {
-            compaction: false,
-            allocate_registers: false,
-            ..CompileOptions::default()
-        },
+        &CompileRequest::new(kernel.source, kernel.function)
+            .compaction(false)
+            .allocate_registers(false),
     )?;
     let base = target.compile(
-        kernel.source,
-        kernel.function,
-        &CompileOptions {
-            baseline: true,
-            compaction: false,
-            ..CompileOptions::default()
-        },
+        &CompileRequest::new(kernel.source, kernel.function)
+            .baseline(true)
+            .compaction(false),
     )?;
     let dm = target.data_memory()?;
     let traffic = |ops: &[record_core::RtOp]| {
@@ -113,14 +108,15 @@ pub fn figure2_row(target: &mut Target, kernel: &Kernel) -> Result<Figure2Row, P
 ///
 /// # Errors
 ///
-/// Propagates pipeline errors.
-pub fn figure2(options: &RetargetOptions) -> Result<Vec<Figure2Row>, PipelineError> {
+/// Propagates retargeting and compile errors (boxed: the two phases fail
+/// with different types).
+pub fn figure2(options: &RetargetOptions) -> Result<Vec<Figure2Row>, Box<dyn std::error::Error>> {
     let model = models::model("tms320c25").expect("c25 model exists");
-    let mut target = Record::retarget(model.hdl, options)?;
-    kernels::kernels()
+    let target = Record::retarget(model.hdl, options)?;
+    Ok(kernels::kernels()
         .iter()
-        .map(|k| figure2_row(&mut target, k))
-        .collect()
+        .map(|k| figure2_row(&target, k))
+        .collect::<Result<Vec<_>, _>>()?)
 }
 
 /// All models, for Table 3 sweeps.

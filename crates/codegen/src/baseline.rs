@@ -15,7 +15,7 @@ use crate::binding::Binding;
 use crate::emit::compile_statement;
 use crate::error::CodegenError;
 use crate::ops::RtOp;
-use record_bdd::BddManager;
+use record_bdd::BddOps;
 use record_grammar::{Et, EtBuilder, EtKind, NodeIdx};
 use record_ir::{FlatExpr, FlatStmt};
 use record_netlist::Netlist;
@@ -35,13 +35,13 @@ enum Operand {
 ///
 /// Same failure modes as [`crate::compile`].
 #[allow(clippy::too_many_arguments)]
-pub fn baseline_compile(
+pub fn baseline_compile<M: BddOps>(
     stmts: &[FlatStmt],
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     width: u16,
 ) -> Result<Vec<RtOp>, CodegenError> {
     let mut out = Vec::new();
@@ -75,14 +75,14 @@ fn mask(width: u16) -> u64 {
 /// Expands `e`; the result lands at `target` (or a fresh temp if `None`).
 /// Returns the operand describing where the value is.
 #[allow(clippy::too_many_arguments)]
-fn expand(
+fn expand<M: BddOps>(
     e: &FlatExpr,
     target: Option<u64>,
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<Operand, CodegenError> {
@@ -149,7 +149,7 @@ fn leaf(b: &mut EtBuilder, o: &Operand, binding: &Binding) -> NodeIdx {
 
 /// Builds `dm[dst] := <value>` and compiles it as one statement.
 #[allow(clippy::too_many_arguments)]
-fn emit_step(
+fn emit_step<M: BddOps>(
     mut b: EtBuilder,
     value: NodeIdx,
     dst: u64,
@@ -157,7 +157,7 @@ fn emit_step(
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
     let addr = b.leaf(EtKind::Const(dst));

@@ -38,7 +38,9 @@ impl Binding {
         );
         let f = program
             .function(function)
-            .ok_or_else(|| CodegenError::UnboundVariable(function.to_owned()))?;
+            .ok_or_else(|| CodegenError::UnboundVariable {
+                name: function.to_owned(),
+            })?;
         let mut map = BTreeMap::new();
         let mut next = 0u64;
         for d in program.globals.iter().chain(&f.locals) {
@@ -46,10 +48,13 @@ impl Binding {
             next += d.words();
         }
         if next > storage.size {
-            return Err(CodegenError::OutOfStorage(format!(
-                "variables need {next} words but `{}` has {}",
-                storage.name, storage.size
-            )));
+            return Err(CodegenError::OutOfStorage {
+                storage: storage.name.clone(),
+                detail: format!(
+                    "variables need {next} words but only {} exist",
+                    storage.size
+                ),
+            });
         }
         Ok(Binding {
             data_mem,
@@ -74,7 +79,9 @@ impl Binding {
         self.map
             .get(&r.name)
             .map(|base| base + r.offset)
-            .ok_or_else(|| CodegenError::UnboundVariable(r.name.clone()))
+            .ok_or_else(|| CodegenError::UnboundVariable {
+                name: r.name.clone(),
+            })
     }
 
     /// Reserves a fresh scratch word (spill slot / temporary).
@@ -84,10 +91,13 @@ impl Binding {
     /// Returns [`CodegenError::OutOfStorage`] when the memory is full.
     pub fn scratch(&mut self) -> Result<u64, CodegenError> {
         if self.scratch_next >= self.mem_size {
-            return Err(CodegenError::OutOfStorage(format!(
-                "no scratch space left in `{}`: watermark {} of {} words",
-                self.mem_name, self.scratch_next, self.mem_size
-            )));
+            return Err(CodegenError::OutOfStorage {
+                storage: self.mem_name.clone(),
+                detail: format!(
+                    "no scratch space left: watermark {} of {} words",
+                    self.scratch_next, self.mem_size
+                ),
+            });
         }
         let a = self.scratch_next;
         self.scratch_next += 1;
@@ -116,10 +126,13 @@ impl Binding {
     /// builds.
     pub fn release_scratch(&mut self, mark: u64) -> Result<(), CodegenError> {
         if mark > self.scratch_next {
-            return Err(CodegenError::OutOfStorage(format!(
-                "release_scratch(mark {mark}) above watermark {} in `{}`",
-                self.scratch_next, self.mem_name
-            )));
+            return Err(CodegenError::OutOfStorage {
+                storage: self.mem_name.clone(),
+                detail: format!(
+                    "release_scratch(mark {mark}) above watermark {}",
+                    self.scratch_next
+                ),
+            });
         }
         self.scratch_next = mark;
         Ok(())

@@ -11,7 +11,7 @@
 use crate::binding::Binding;
 use crate::error::CodegenError;
 use crate::ops::{DestSim, Loc, RtOp, SimExpr};
-use record_bdd::BddManager;
+use record_bdd::BddOps;
 use record_grammar::{
     Et, EtDest, EtKind, GPat, NodeIdx, NonTermId, NonTermKind, RuleOrigin, TermKey,
 };
@@ -28,13 +28,13 @@ use std::collections::HashMap;
 ///
 /// Propagates selection failures, unbound variables and spill-path /
 /// storage exhaustion.
-pub fn compile(
+pub fn compile<M: BddOps>(
     stmts: &[FlatStmt],
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     width: u16,
 ) -> Result<Vec<RtOp>, CodegenError> {
     let mut out = Vec::new();
@@ -60,13 +60,13 @@ pub fn compile(
 /// single-operator tree over leaves still has no cover, the machine really
 /// lacks the operation and the selection error propagates.
 #[allow(clippy::too_many_arguments)]
-fn compile_split(
+fn compile_split<M: BddOps>(
     stmt: &FlatStmt,
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
@@ -108,14 +108,14 @@ fn compile_split(
 
 /// Like [`compile_split`] but with an anonymous scratch target.
 #[allow(clippy::too_many_arguments)]
-fn compile_split_expr(
+fn compile_split_expr<M: BddOps>(
     value: &record_ir::FlatExpr,
     tmp: u64,
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
@@ -266,17 +266,17 @@ fn build_flat(
 /// # Errors
 ///
 /// See [`compile`].
-pub fn compile_statement(
+pub fn compile_statement<M: BddOps>(
     et: &Et,
     selector: &Selector,
     base: &TemplateBase,
     binding: &mut Binding,
     netlist: &Netlist,
-    manager: &mut BddManager,
+    manager: &mut M,
 ) -> Result<Vec<RtOp>, CodegenError> {
-    let cover = selector
-        .select(et)
-        .map_err(|e| CodegenError::Select(e.to_string()))?;
+    let cover = selector.select(et).map_err(|e| CodegenError::Select {
+        message: e.to_string(),
+    })?;
     let mut emitter = Emitter::new(et, &cover, selector, base, binding, netlist, manager);
     emitter.run()
 }
@@ -320,14 +320,14 @@ fn rf_fields(netlist: &Netlist) -> HashMap<StorageId, RfFields> {
 
 type Value = (NodeIdx, NonTermId);
 
-struct Emitter<'a> {
+struct Emitter<'a, M: BddOps> {
     et: &'a Et,
     cover: &'a Cover,
     selector: &'a Selector,
     base: &'a TemplateBase,
     binding: &'a mut Binding,
     netlist: &'a Netlist,
-    manager: &'a mut BddManager,
+    manager: &'a mut M,
     rf: HashMap<StorageId, RfFields>,
     /// Field constraints (hi, lo, value) collected for the op being built.
     field_constraints: Vec<(u16, u16, u64)>,
@@ -344,7 +344,7 @@ struct Emitter<'a> {
     out: Vec<RtOp>,
 }
 
-impl<'a> Emitter<'a> {
+impl<'a, M: BddOps> Emitter<'a, M> {
     #[allow(clippy::too_many_arguments)]
     fn new(
         et: &'a Et,
@@ -353,7 +353,7 @@ impl<'a> Emitter<'a> {
         base: &'a TemplateBase,
         binding: &'a mut Binding,
         netlist: &'a Netlist,
-        manager: &'a mut BddManager,
+        manager: &'a mut M,
     ) -> Self {
         let mut producer = HashMap::new();
         for (i, app) in cover.apps.iter().enumerate() {
@@ -540,10 +540,10 @@ impl<'a> Emitter<'a> {
                     }
                 }
                 let cell = self.rf_free.get_mut(&s).and_then(Vec::pop).ok_or_else(|| {
-                    CodegenError::OutOfStorage(format!(
-                        "register file `{}` has no free cell",
-                        self.netlist.storage(s).name
-                    ))
+                    CodegenError::OutOfStorage {
+                        storage: self.netlist.storage(s).name.clone(),
+                        detail: "register file has no free cell".to_owned(),
+                    }
                 })?;
                 self.rf_temp.insert((app.at, app.nt), (s, cell));
                 Ok(Loc::Rf(s, cell))
@@ -655,9 +655,13 @@ impl<'a> Emitter<'a> {
     /// Reloads `v` into the register its consumer expects, spilling the
     /// current occupant if necessary.
     fn ensure_in_place(&mut self, v: Value, protected: &[Value]) -> Result<(), CodegenError> {
-        let loc = self.value_loc.get(&v).cloned().ok_or_else(|| {
-            CodegenError::Select("internal: operand value has no location".into())
-        })?;
+        let loc = self
+            .value_loc
+            .get(&v)
+            .cloned()
+            .ok_or_else(|| CodegenError::Select {
+                message: "internal: operand value has no location".into(),
+            })?;
         let expected = match self.grammar().nonterm_kind(v.1) {
             NonTermKind::Reg(s) => Loc::Reg(s),
             // Regfile/port operands: any cell of the file is fine.
@@ -678,10 +682,11 @@ impl<'a> Emitter<'a> {
             .get(&expected)
             .is_some_and(|h| protected.contains(h) && *h != v)
         {
-            return Err(CodegenError::NoSpillPath(format!(
-                "cyclic register conflict on {}",
-                expected.render(self.netlist)
-            )));
+            return Err(CodegenError::NoSpillPath {
+                loc: expected.render(self.netlist),
+                at_op: self.out.len(),
+                detail: "cyclic register conflict: two operands need the register".into(),
+            });
         }
         let reload_tid = self.find_reload(&expected, dm)?;
         self.evict(&expected, protected)?;
@@ -720,10 +725,11 @@ impl<'a> Emitter<'a> {
                 return Ok((t.id, loc.clone()));
             }
         }
-        Err(CodegenError::NoSpillPath(format!(
-            "no store template from {} to data memory",
-            loc.render(self.netlist)
-        )))
+        Err(CodegenError::NoSpillPath {
+            loc: loc.render(self.netlist),
+            at_op: self.out.len(),
+            detail: "no store template from the register to data memory".into(),
+        })
     }
 
     /// Finds `reg := dm[#imm]`.
@@ -743,10 +749,11 @@ impl<'a> Emitter<'a> {
                 }
             }
         }
-        Err(CodegenError::NoSpillPath(format!(
-            "no reload template into {} from data memory",
-            expected.render(self.netlist)
-        )))
+        Err(CodegenError::NoSpillPath {
+            loc: expected.render(self.netlist),
+            at_op: self.out.len(),
+            detail: "no reload template into the register from data memory".into(),
+        })
     }
 
     /// Builds the concrete [`SimExpr`] for pattern `pat` matched at ET node
@@ -760,9 +767,13 @@ impl<'a> Emitter<'a> {
         match pat {
             GPat::NT(_) => {
                 let &(nt, at) = operands.next().expect("operand list matches pattern");
-                let loc = self.value_loc.get(&(at, nt)).cloned().ok_or_else(|| {
-                    CodegenError::Select("internal: operand not materialised".into())
-                })?;
+                let loc =
+                    self.value_loc
+                        .get(&(at, nt))
+                        .cloned()
+                        .ok_or_else(|| CodegenError::Select {
+                            message: "internal: operand not materialised".into(),
+                        })?;
                 if let Loc::Rf(s, c) = &loc {
                     if let Some(f) = self.rf.get(s).and_then(|f| f.read) {
                         self.field_constraints.push((f.0, f.1, *c));

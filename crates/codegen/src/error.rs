@@ -1,4 +1,8 @@
 //! Code-generation errors.
+//!
+//! Variants are structured — they name the storage, location or variable
+//! involved and, where one exists, the RT index reached — so `record-core`
+//! can surface them as diagnostics without parsing message strings.
 
 use std::error::Error;
 use std::fmt;
@@ -8,24 +12,51 @@ use std::fmt;
 pub enum CodegenError {
     /// No cover exists for an expression tree (missing operator, oversized
     /// constant, unreachable destination).
-    Select(String),
+    Select {
+        /// What the selector reported.
+        message: String,
+    },
     /// A register conflict required a spill but the machine has no
-    /// store/reload templates for the register.
-    NoSpillPath(String),
-    /// The data memory cannot hold all variables and scratch slots, or the
-    /// register file ran out of cells.
-    OutOfStorage(String),
-    /// A variable was referenced that the binding does not know.
-    UnboundVariable(String),
+    /// store/reload templates for the register, or the conflict is cyclic.
+    NoSpillPath {
+        /// Rendered name of the register/location involved.
+        loc: String,
+        /// How many RTs the *failing statement's* emitter had produced
+        /// when it stopped.  Each statement (and each speculative split
+        /// attempt) emits into a fresh sequence, so this is
+        /// statement-relative — a failed compile yields no kernel-wide op
+        /// list this could index into.
+        at_op: usize,
+        /// What exactly went wrong.
+        detail: String,
+    },
+    /// A storage ran out of words or cells (data memory overflow, register
+    /// file exhaustion, scratch watermark misuse).
+    OutOfStorage {
+        /// Instance name of the exhausted storage.
+        storage: String,
+        /// What was being allocated.
+        detail: String,
+    },
+    /// A variable (or function) was referenced that the binding does not
+    /// know.
+    UnboundVariable {
+        /// The unknown name.
+        name: String,
+    },
 }
 
 impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodegenError::Select(s) => write!(f, "selection failed: {s}"),
-            CodegenError::NoSpillPath(s) => write!(f, "no spill path: {s}"),
-            CodegenError::OutOfStorage(s) => write!(f, "out of storage: {s}"),
-            CodegenError::UnboundVariable(s) => write!(f, "unbound variable `{s}`"),
+            CodegenError::Select { message } => write!(f, "selection failed: {message}"),
+            CodegenError::NoSpillPath { loc, at_op, detail } => {
+                write!(f, "no spill path at RT {at_op} involving {loc}: {detail}")
+            }
+            CodegenError::OutOfStorage { storage, detail } => {
+                write!(f, "out of storage in `{storage}`: {detail}")
+            }
+            CodegenError::UnboundVariable { name } => write!(f, "unbound variable `{name}`"),
         }
     }
 }

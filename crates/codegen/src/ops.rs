@@ -107,7 +107,16 @@ pub struct RtOp {
     pub dest: DestSim,
     /// Concrete value expression.
     pub expr: SimExpr,
-    /// Execution condition (copied from the template; used by compaction).
+    /// Execution condition: the template's condition conjoined with this
+    /// op's instruction-field constraints.  Used by compaction.
+    ///
+    /// The handle belongs to the BDD store that *emitted* the op.  When
+    /// emission ran against a session overlay, constraint conjunction may
+    /// have created overlay-local nodes, so the handle is only meaningful
+    /// inside that session — interpreting it against the frozen base
+    /// alone (or another session) yields wrong answers or panics.
+    /// Equality comparisons between kernels compiled from the same frozen
+    /// base remain exact: identical emission produces identical handles.
     pub cond: Bdd,
 }
 

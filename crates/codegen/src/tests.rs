@@ -197,7 +197,7 @@ fn compile_and_check(r: &Rig, csrc: &str, init: &[(&str, Vec<u64>)]) -> usize {
         &r.base,
         &mut binding,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .expect("compiles");
@@ -365,7 +365,7 @@ fn baseline_never_chains() {
         &r.base,
         &mut b1,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .unwrap();
@@ -377,7 +377,7 @@ fn baseline_never_chains() {
         &r.base,
         &mut b2,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .unwrap();
@@ -414,11 +414,11 @@ fn select_error_reports_subtree() {
         &r.base,
         &mut binding,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .unwrap_err();
-    assert!(matches!(err, CodegenError::Select(_)), "{err}");
+    assert!(matches!(err, CodegenError::Select { .. }), "{err}");
     assert!(err.to_string().contains("div"));
 }
 
@@ -440,7 +440,7 @@ fn binding_rejects_oversized_program() {
     let prog = record_ir::parse("int big[100]; void f() { big[0] = 0; }").unwrap();
     let dm = r.netlist.storage_by_name("ram").unwrap().id;
     let err = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap_err();
-    assert!(matches!(err, CodegenError::OutOfStorage(_)));
+    assert!(matches!(err, CodegenError::OutOfStorage { .. }));
 }
 
 #[test]
@@ -456,7 +456,7 @@ fn rendered_listing_is_readable() {
         &r.base,
         &mut binding,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .unwrap();

@@ -26,7 +26,7 @@
 //! See `record-core`'s `Target::compile`, which feeds emitted RT ops
 //! through [`compact`].
 
-use record_bdd::{Bdd, BddManager};
+use record_bdd::{Bdd, BddOps};
 use record_codegen::RtOp;
 
 /// One horizontal instruction word: indices into the original op sequence.
@@ -37,7 +37,7 @@ pub struct Word {
 }
 
 /// The result of compaction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     words: Vec<Word>,
     moved: usize,
@@ -79,7 +79,11 @@ impl Schedule {
 /// RTs are taken in order; each is placed into the earliest word that
 /// respects its dependences and whose accumulated execution condition stays
 /// satisfiable when conjoined with the RT's own condition.
-pub fn compact(ops: &[RtOp], manager: &mut BddManager) -> Schedule {
+///
+/// Generic over [`BddOps`]: at retarget time this is the mutable
+/// [`record_bdd::BddManager`], during compilation against a frozen target
+/// it is the session's [`record_bdd::BddOverlay`].
+pub fn compact<M: BddOps>(ops: &[RtOp], manager: &mut M) -> Schedule {
     let mut words: Vec<Word> = Vec::new();
     let mut word_conds: Vec<Bdd> = Vec::new();
     let mut moved = 0usize;

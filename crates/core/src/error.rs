@@ -1,0 +1,268 @@
+//! Pipeline error types.
+//!
+//! Retargeting failures keep the original [`PipelineError`] shape (they
+//! are one-shot, operator-facing).  Compilation failures use the
+//! structured [`CompileError`]/[`Diagnostic`] pair: they carry the phase
+//! that failed, the source position or RT index reached, and the names of
+//! the storages/templates involved, so a service front-end can attribute
+//! a failed request without parsing message strings.
+
+use record_codegen::CodegenError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error of the end-to-end pipeline.
+///
+/// Retargeting ([`crate::Record::retarget`]) reports `Hdl`, `Netlist` and
+/// `Extract`; the deprecated [`crate::Target::compile_mut`] shim folds
+/// structured [`CompileError`]s back into the legacy string variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    Hdl(String),
+    Netlist(String),
+    Extract(String),
+    Frontend(String),
+    Codegen(String),
+    /// The model has no memory suitable as data memory.
+    NoDataMemory,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Hdl(s) => write!(f, "HDL frontend: {s}"),
+            PipelineError::Netlist(s) => write!(f, "elaboration: {s}"),
+            PipelineError::Extract(s) => write!(f, "instruction-set extraction: {s}"),
+            PipelineError::Frontend(s) => write!(f, "mini-C frontend: {s}"),
+            PipelineError::Codegen(s) => write!(f, "code generation: {s}"),
+            PipelineError::NoDataMemory => write!(f, "model has no data memory"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+/// The compilation phase a [`Diagnostic`] originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilePhase {
+    /// mini-C parsing.
+    Parse,
+    /// Flattening/lowering of the requested function.
+    Lower,
+    /// Variable binding (memory layout).
+    Bind,
+    /// Tree-pattern selection.
+    Select,
+    /// Cover emission (spills, register-file cells).
+    Emit,
+    /// Register allocation / value placement.
+    Allocate,
+    /// Code compaction.
+    Compact,
+}
+
+impl fmt::Display for CompilePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompilePhase::Parse => "parse",
+            CompilePhase::Lower => "lower",
+            CompilePhase::Bind => "bind",
+            CompilePhase::Select => "select",
+            CompilePhase::Emit => "emit",
+            CompilePhase::Allocate => "allocate",
+            CompilePhase::Compact => "compact",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A structured description of one compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which phase failed.
+    pub phase: CompilePhase,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based (line, column) in the mini-C source, when the failure has
+    /// a source position (parse/lower errors).
+    pub span: Option<(u32, u32)>,
+    /// RT index reached when the phase stopped, when the failure has one
+    /// (emission errors).  Relative to the *failing statement's* partial
+    /// emission, not to any kernel-wide sequence — a failed compile
+    /// produces no kernel to index into.
+    pub rt_index: Option<usize>,
+    /// Rendered name of the storage or location involved, when one is:
+    /// a bare instance name for capacity failures (`"rf"`, `"dmem"`) or a
+    /// rendered location for spill-path failures (`"acc"`, `"rf[3]"`).
+    /// Display text, not a lookup key — resolve storages through
+    /// [`crate::Target::memory_named`] / the netlist instead.
+    pub storage: Option<String>,
+}
+
+impl Diagnostic {
+    /// A bare diagnostic for `phase`.
+    pub fn new(phase: CompilePhase, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span: None,
+            rt_index: None,
+            storage: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.phase, self.message)?;
+        if let Some((line, col)) = self.span {
+            write!(f, " at {line}:{col}")?;
+        }
+        if let Some(i) = self.rt_index {
+            write!(f, " at RT {i}")?;
+        }
+        if let Some(s) = &self.storage {
+            write!(f, " (storage `{s}`)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A structured compilation error, returned by [`crate::Target::compile`]
+/// and [`crate::CompileSession::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The model has no memory suitable as data memory.
+    NoDataMemory {
+        /// Processor name from the HDL model.
+        processor: String,
+    },
+    /// A storage was requested by a name no storage of the model has.
+    UnknownStorage {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The named storage exists but is not a memory.
+    NotAMemory {
+        /// The storage's instance name.
+        name: String,
+    },
+    /// The mini-C frontend rejected the translation unit.
+    Frontend {
+        /// The function that was requested.
+        function: String,
+        /// What went wrong, with source position.
+        diagnostic: Diagnostic,
+    },
+    /// Code generation failed (selection, spill paths, storage).
+    Codegen {
+        /// The function being compiled.
+        function: String,
+        /// What went wrong, with RT index / storage name when available.
+        diagnostic: Diagnostic,
+    },
+}
+
+impl CompileError {
+    /// The diagnostic payload, when the variant carries one.
+    pub fn diagnostic(&self) -> Option<&Diagnostic> {
+        match self {
+            CompileError::Frontend { diagnostic, .. }
+            | CompileError::Codegen { diagnostic, .. } => Some(diagnostic),
+            _ => None,
+        }
+    }
+
+    /// The phase that failed.
+    pub fn phase(&self) -> Option<CompilePhase> {
+        self.diagnostic().map(|d| d.phase)
+    }
+
+    pub(crate) fn from_frontend(
+        function: &str,
+        phase: CompilePhase,
+        e: &record_ir::CError,
+    ) -> Self {
+        CompileError::Frontend {
+            function: function.to_owned(),
+            diagnostic: Diagnostic {
+                span: Some((e.line(), e.column())),
+                ..Diagnostic::new(phase, e.message())
+            },
+        }
+    }
+
+    pub(crate) fn from_codegen(function: &str, phase: CompilePhase, e: CodegenError) -> Self {
+        let diagnostic = match e {
+            CodegenError::Select { message } => Diagnostic::new(CompilePhase::Select, message),
+            CodegenError::NoSpillPath { loc, at_op, detail } => Diagnostic {
+                rt_index: Some(at_op),
+                storage: Some(loc),
+                ..Diagnostic::new(CompilePhase::Emit, detail)
+            },
+            CodegenError::OutOfStorage { storage, detail } => Diagnostic {
+                storage: Some(storage),
+                ..Diagnostic::new(phase, detail)
+            },
+            CodegenError::UnboundVariable { name } => Diagnostic::new(
+                CompilePhase::Bind,
+                format!("variable or function `{name}` is not bound"),
+            ),
+        };
+        CompileError::Codegen {
+            function: function.to_owned(),
+            diagnostic,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoDataMemory { processor } => {
+                write!(f, "model `{processor}` has no data memory")
+            }
+            CompileError::UnknownStorage { name } => {
+                write!(f, "no storage named `{name}` in the model")
+            }
+            CompileError::NotAMemory { name } => {
+                write!(f, "storage `{name}` is not a memory")
+            }
+            CompileError::Frontend {
+                function,
+                diagnostic,
+            } => {
+                write!(f, "mini-C frontend (`{function}`): {diagnostic}")
+            }
+            CompileError::Codegen {
+                function,
+                diagnostic,
+            } => {
+                write!(f, "code generation (`{function}`): {diagnostic}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> PipelineError {
+        match e {
+            CompileError::NoDataMemory { .. } => PipelineError::NoDataMemory,
+            CompileError::UnknownStorage { .. } | CompileError::NotAMemory { .. } => {
+                PipelineError::Codegen(e.to_string())
+            }
+            CompileError::Frontend { ref diagnostic, .. } => {
+                let mut msg = diagnostic.message.clone();
+                if let Some((l, c)) = diagnostic.span {
+                    msg = format!("mini-C error at {l}:{c}: {}", diagnostic.message);
+                }
+                PipelineError::Frontend(msg)
+            }
+            CompileError::Codegen { ref diagnostic, .. } => {
+                PipelineError::Codegen(diagnostic.to_string())
+            }
+        }
+    }
+}

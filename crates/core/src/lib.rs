@@ -8,17 +8,21 @@
 //!    --(§3.2)--> code selector
 //! ```
 //!
-//! [`Record::retarget`] runs the whole retargeting procedure and returns a
-//! [`Target`]: a ready-to-use compiler for one processor.  The per-phase
-//! wall-clock times and template counts it records are the rows of the
-//! paper's Table 3.  [`Target::compile`] then maps mini-C kernels to
-//! machine code (selection, spill-aware emission, compaction), which powers
-//! the Figure 2 experiment.
+//! [`Record::retarget`] runs the whole retargeting procedure once per
+//! processor and returns a [`Target`]: a frozen, `Send + Sync` compiler
+//! artifact.  The per-phase wall-clock times and template counts it
+//! records are the rows of the paper's Table 3.  Compilation happens over
+//! and over against that artifact — [`Target::compile`] maps one mini-C
+//! kernel to machine code (selection, spill-aware emission, allocation,
+//! compaction), [`Target::compile_batch`] fans a batch out across
+//! threads, and [`Target::session`] exposes the per-compilation scratch
+//! ([`CompileSession`]) explicitly.  This split powers the Figure 2
+//! experiment and lets one retargeted compiler serve concurrent traffic.
 //!
 //! # Example
 //!
 //! ```
-//! use record_core::{Record, RetargetOptions};
+//! use record_core::{CompileRequest, Record, RetargetOptions};
 //!
 //! let model = record_targets::models::model("bass_boost").unwrap();
 //! let target = Record::retarget(model.hdl, &RetargetOptions::default())?;
@@ -26,13 +30,18 @@
 //! # Ok::<(), record_core::PipelineError>(())
 //! ```
 
+mod error;
 mod pipeline;
+mod session;
 
+pub use error::{CompileError, CompilePhase, Diagnostic, PipelineError};
 pub use pipeline::{
-    CompileOptions, CompiledKernel, PipelineError, Record, RetargetOptions, RetargetStats, Target,
+    CompileOptions, CompiledKernel, Record, RetargetOptions, RetargetStats, Target,
 };
+pub use record_bdd::FrozenBdd;
 pub use record_codegen::{Machine, RtOp};
 pub use record_regalloc::{mem_traffic, AllocStats, Liveness, RegisterPool};
+pub use session::{CompileRequest, CompileSession};
 
 #[cfg(test)]
 mod tests;

@@ -1,44 +1,25 @@
-//! The retargeting and compilation pipeline.
+//! The retargeting pipeline and the frozen retarget artifact.
+//!
+//! [`Record::retarget`] runs once per processor model and returns a
+//! [`Target`]: an immutable, `Send + Sync` compiler for that processor.
+//! Everything mutable during compilation — the BDD overlay arena, the
+//! variable binding, allocation state — lives in a per-compilation
+//! [`crate::CompileSession`], so one retargeted `Target` can serve any
+//! number of concurrent compilations through [`Target::compile`] and
+//! [`Target::compile_batch`].
 
-use record_bdd::BddManager;
-use record_codegen::{baseline_compile, compile, Binding, Machine, RtOp};
-use record_compact::{compact, Schedule};
+use crate::error::{CompileError, PipelineError};
+use crate::session::{CompileRequest, CompileSession};
+use record_bdd::FrozenBdd;
+use record_codegen::{Binding, Machine, RtOp};
+use record_compact::Schedule;
 use record_grammar::TreeGrammar;
 use record_isex::{ExtractOptions, VarMap};
 use record_netlist::{Netlist, StorageId, StorageKind};
-use record_regalloc::{allocate, AllocOptions, AllocStats, Liveness, MemLayout, RegisterPool};
+use record_regalloc::{AllocStats, RegisterPool};
 use record_rtl::{ExtensionOptions, TemplateBase};
 use record_selgen::{emit_rust, Selector};
-use std::error::Error;
-use std::fmt;
 use std::time::{Duration, Instant};
-
-/// Any error of the end-to-end pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PipelineError {
-    Hdl(String),
-    Netlist(String),
-    Extract(String),
-    Frontend(String),
-    Codegen(String),
-    /// The model has no memory suitable as data memory.
-    NoDataMemory,
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Hdl(s) => write!(f, "HDL frontend: {s}"),
-            PipelineError::Netlist(s) => write!(f, "elaboration: {s}"),
-            PipelineError::Extract(s) => write!(f, "instruction-set extraction: {s}"),
-            PipelineError::Frontend(s) => write!(f, "mini-C frontend: {s}"),
-            PipelineError::Codegen(s) => write!(f, "code generation: {s}"),
-            PipelineError::NoDataMemory => write!(f, "model has no data memory"),
-        }
-    }
-}
-
-impl Error for PipelineError {}
 
 /// Options for [`Record::retarget`].
 #[derive(Debug, Clone, Default)]
@@ -69,6 +50,11 @@ pub struct RetargetStats {
     pub rules: usize,
     /// Non-terminals.
     pub nonterminals: usize,
+    /// Allocatable register classes discovered for the register pool
+    /// (0 when the model has no data memory).
+    pub pool_registers: usize,
+    /// Total allocatable register cells in the pool.
+    pub pool_cells: u64,
     /// Phase times.
     pub t_frontend: Duration,
     pub t_extract: Duration,
@@ -85,6 +71,10 @@ pub struct Record;
 
 impl Record {
     /// Retargets the compiler to the processor described by `hdl`.
+    ///
+    /// The returned [`Target`] is frozen: the netlist, template base,
+    /// grammar, selector, execution-condition BDDs and register pool are
+    /// all fixed at this point, and compilation never mutates them.
     ///
     /// # Errors
     ///
@@ -121,6 +111,17 @@ impl Record {
         };
         let t_selector = t4.elapsed();
 
+        // Freeze the artifact: data memory and register pool are fixed by
+        // the netlist and template base, so they are discovered *now*, not
+        // lazily during the first compile.
+        let data_mem = netlist
+            .storages()
+            .iter()
+            .filter(|s| s.kind == StorageKind::Memory)
+            .max_by_key(|s| s.size)
+            .map(|s| s.id);
+        let pool = data_mem.map(|dm| RegisterPool::discover(&netlist, &base, dm));
+
         let stats = RetargetStats {
             processor: netlist.name().to_owned(),
             templates_extracted,
@@ -128,6 +129,8 @@ impl Record {
             unsat_discarded: extraction.stats.unsat_discarded,
             rules: grammar.rules().len(),
             nonterminals: grammar.nonterm_count(),
+            pool_registers: pool.as_ref().map_or(0, |p| p.classes().len()),
+            pool_cells: pool.as_ref().map_or(0, |p| p.capacity()),
             t_frontend,
             t_extract,
             t_extend,
@@ -140,17 +143,18 @@ impl Record {
             base,
             grammar,
             selector,
-            manager: extraction.manager,
+            frozen: extraction.manager.freeze(),
             varmap: extraction.varmap,
             stats,
             parser_source,
-            pool: None,
+            data_mem,
+            pool,
         })
     }
 }
 
 /// Options for [`Target::compile`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileOptions {
     /// Use the naive per-operator baseline instead of tree-parsing
     /// selection (the Figure 2 comparator).
@@ -179,6 +183,11 @@ impl Default for CompileOptions {
 pub struct CompiledKernel {
     /// Vertical RT operations in emission order (post-allocation when the
     /// register allocator ran).
+    ///
+    /// The `cond` handles on these ops are scoped to the session that
+    /// compiled the kernel (see [`record_codegen::RtOp::cond`]); execute,
+    /// list, compare and simulate freely, but do not feed them back into
+    /// [`Target::manager`].
     pub ops: Vec<RtOp>,
     /// Compacted instruction-word schedule (empty when compaction is off).
     pub schedule: Option<Schedule>,
@@ -199,21 +208,37 @@ impl CompiledKernel {
     }
 }
 
-/// A retargeted compiler for one processor.
+/// A retargeted compiler for one processor: the frozen retarget artifact.
+///
+/// `Target` is immutable and `Send + Sync`.  Compilation goes through
+/// [`Target::compile`] (one-shot), [`Target::session`] (an explicit
+/// reusable session) or [`Target::compile_batch`] (thread-parallel
+/// fan-out); none of them takes `&mut self`, so a single retargeted
+/// artifact can be shared across threads and serve concurrent traffic.
 #[derive(Debug)]
 pub struct Target {
-    netlist: Netlist,
-    base: TemplateBase,
-    grammar: TreeGrammar,
-    selector: Selector,
-    manager: BddManager,
-    varmap: VarMap,
-    stats: RetargetStats,
-    parser_source: Option<String>,
-    /// Lazily discovered register pool (fixed per target: the netlist and
-    /// template base never change after retargeting).
-    pool: Option<RegisterPool>,
+    pub(crate) netlist: Netlist,
+    pub(crate) base: TemplateBase,
+    pub(crate) grammar: TreeGrammar,
+    pub(crate) selector: Selector,
+    /// Frozen execution-condition BDDs; sessions layer overlays on top.
+    pub(crate) frozen: FrozenBdd,
+    pub(crate) varmap: VarMap,
+    pub(crate) stats: RetargetStats,
+    pub(crate) parser_source: Option<String>,
+    /// Default data memory, fixed at retarget time (`None` when the model
+    /// has none — every compile then fails with a diagnostic).
+    pub(crate) data_mem: Option<StorageId>,
+    /// Register pool, discovered eagerly at retarget time.
+    pub(crate) pool: Option<RegisterPool>,
 }
+
+/// Compile-time proof of the API contract: a retargeted artifact is
+/// shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Target>();
+};
 
 impl Target {
     /// Retargeting statistics (a Table 3 row).
@@ -246,9 +271,21 @@ impl Target {
         &self.varmap
     }
 
-    /// The BDD manager owning all execution conditions of this target.
-    pub fn manager(&self) -> &BddManager {
-        &self.manager
+    /// The frozen store of all execution conditions of this target.
+    ///
+    /// Valid for every handle created at retarget time (template
+    /// conditions, `base().template(id).cond`).  Handles found on
+    /// *compiled* ops ([`CompiledKernel::ops`]) may point into the
+    /// overlay of the session that emitted them and must not be
+    /// interpreted here — see [`record_codegen::RtOp::cond`].
+    pub fn manager(&self) -> &FrozenBdd {
+        &self.frozen
+    }
+
+    /// The register pool discovered at retarget time (`None` when the
+    /// model has no data memory to spill through).
+    pub fn register_pool(&self) -> Option<&RegisterPool> {
+        self.pool.as_ref()
     }
 
     /// The emitted tree-parser source, if requested at retarget time.
@@ -257,93 +294,101 @@ impl Target {
     }
 
     /// The default data memory: the first (largest) `Memory` storage.
-    pub fn data_memory(&self) -> Result<StorageId, PipelineError> {
-        self.netlist
-            .storages()
-            .iter()
-            .filter(|s| s.kind == StorageKind::Memory)
-            .max_by_key(|s| s.size)
-            .map(|s| s.id)
-            .ok_or(PipelineError::NoDataMemory)
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::NoDataMemory`] when the model has none.
+    pub fn data_memory(&self) -> Result<StorageId, CompileError> {
+        self.data_mem.ok_or_else(|| CompileError::NoDataMemory {
+            processor: self.stats.processor.clone(),
+        })
     }
 
     /// A data memory by instance name.
-    pub fn memory_named(&self, name: &str) -> Result<StorageId, PipelineError> {
-        self.netlist
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnknownStorage`] when no storage has that name, and
+    /// [`CompileError::NotAMemory`] when one does but it is a register or
+    /// register file.
+    pub fn memory_named(&self, name: &str) -> Result<StorageId, CompileError> {
+        let s = self
+            .netlist
             .storage_by_name(name)
-            .map(|s| s.id)
-            .ok_or(PipelineError::NoDataMemory)
+            .ok_or_else(|| CompileError::UnknownStorage {
+                name: name.to_owned(),
+            })?;
+        if s.kind != StorageKind::Memory {
+            return Err(CompileError::NotAMemory {
+                name: name.to_owned(),
+            });
+        }
+        Ok(s.id)
+    }
+
+    /// Opens a compilation session against this frozen artifact.
+    ///
+    /// A session owns all per-compilation mutable state (the BDD overlay
+    /// arena) and can compile any number of requests; open one per thread
+    /// when rolling your own parallelism, or use
+    /// [`Target::compile_batch`].
+    pub fn session(&self) -> CompileSession<'_> {
+        CompileSession::new(self)
+    }
+
+    /// Compiles one request against the frozen artifact.
+    ///
+    /// Shorthand for `self.session().compile(request)` — a fresh session
+    /// is created and dropped, which keeps results bit-identical whether a
+    /// request is compiled here, in an explicit session, or in a batch.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`CompileError`]s for mini-C errors and code-generation
+    /// failures (no cover, storage exhaustion, missing spill paths).
+    pub fn compile(&self, request: &CompileRequest<'_>) -> Result<CompiledKernel, CompileError> {
+        self.session().compile(request)
+    }
+
+    /// Compiles a batch of requests, fanning out across OS threads.
+    ///
+    /// Results come back in request order and are byte-identical to
+    /// compiling each request sequentially with [`Target::compile`]: every
+    /// request gets its own session over the same frozen base, so neither
+    /// thread count nor scheduling can leak into the output.
+    pub fn compile_batch(
+        &self,
+        requests: &[CompileRequest<'_>],
+    ) -> Vec<Result<CompiledKernel, CompileError>> {
+        crate::session::compile_batch(self, requests)
     }
 
     /// Compiles `function` of the mini-C translation unit `source`.
     ///
+    /// # Deprecation
+    ///
+    /// This is the pre-freeze `&mut self` entry point, kept for one
+    /// release as a thin shim.  It takes `&mut self` only for signature
+    /// compatibility — compilation no longer mutates the target — and
+    /// folds structured [`CompileError`]s back into stringly
+    /// [`PipelineError`] variants.  Use [`Target::compile`] with a
+    /// [`CompileRequest`], or [`Target::compile_batch`].
+    ///
     /// # Errors
     ///
-    /// Fails on mini-C errors and on code-generation failures (no cover,
-    /// storage exhaustion, missing spill paths).
-    pub fn compile(
+    /// Fails on mini-C errors and on code-generation failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "Target is immutable now: use `compile(&self, &CompileRequest)` or `compile_batch`"
+    )]
+    pub fn compile_mut(
         &mut self,
         source: &str,
         function: &str,
         options: &CompileOptions,
     ) -> Result<CompiledKernel, PipelineError> {
-        let program =
-            record_ir::parse(source).map_err(|e| PipelineError::Frontend(e.to_string()))?;
-        let flat = record_ir::lower(&program, function)
-            .map_err(|e| PipelineError::Frontend(e.to_string()))?;
-        let dm = self.data_memory()?;
-        let width = self.netlist.storage(dm).width;
-        let mut binding = Binding::allocate(&program, function, &self.netlist, dm)
-            .map_err(|e| PipelineError::Codegen(e.to_string()))?;
-        let ops = if options.baseline {
-            baseline_compile(
-                &flat,
-                &self.selector,
-                &self.base,
-                &mut binding,
-                &self.netlist,
-                &mut self.manager,
-                width,
-            )
-        } else {
-            compile(
-                &flat,
-                &self.selector,
-                &self.base,
-                &mut binding,
-                &self.netlist,
-                &mut self.manager,
-                width,
-            )
-        }
-        .map_err(|e| PipelineError::Codegen(e.to_string()))?;
-        // Value placement: keep chained results register-resident.  The
-        // baseline path stays memory-bound on purpose — it models the
-        // Figure 2 target-specific compiler whose operands travel through
-        // memory.
-        let (ops, alloc) = if options.allocate_registers && !options.baseline {
-            let liveness = Liveness::analyze(&flat);
-            let pool = self
-                .pool
-                .get_or_insert_with(|| RegisterPool::discover(&self.netlist, &self.base, dm));
-            let (ops, stats) = allocate(
-                &ops,
-                pool,
-                &liveness,
-                MemLayout::from_binding(&binding),
-                &AllocOptions::default(),
-            );
-            (ops, Some(stats))
-        } else {
-            (ops, None)
-        };
-        let schedule = options.compaction.then(|| compact(&ops, &mut self.manager));
-        Ok(CompiledKernel {
-            ops,
-            schedule,
-            binding,
-            alloc,
-        })
+        let request = CompileRequest::new(source, function).with_options(options.clone());
+        self.compile(&request).map_err(PipelineError::from)
     }
 
     /// Runs compiled code on a zeroed machine with `init` memory words

@@ -1,0 +1,242 @@
+//! Compilation sessions and the parallel batch API.
+//!
+//! The retarget artifact ([`crate::Target`]) is frozen; everything a
+//! compilation mutates lives here.  A [`CompileSession`] owns the
+//! session-local BDD overlay arena (emission and compaction conjoin
+//! execution conditions, which creates nodes) plus whatever binding and
+//! allocation state each request needs.  Sessions are cheap to open —
+//! the overlay starts empty and pages grow on demand — so the batch API
+//! simply opens one per request, which also makes batch output
+//! byte-identical to sequential output.
+
+use crate::error::{CompileError, CompilePhase};
+use crate::pipeline::{CompileOptions, CompiledKernel, Target};
+use record_bdd::BddOverlay;
+use record_codegen::{baseline_compile, compile, Binding};
+use record_compact::compact;
+use record_regalloc::{allocate, AllocOptions, Liveness, MemLayout};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One compilation request: a mini-C translation unit, the function to
+/// compile, and the options to compile it under.
+///
+/// Built in builder style:
+///
+/// ```ignore
+/// let req = CompileRequest::new(source, "f").compaction(false);
+/// let kernel = target.compile(&req)?;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileRequest<'a> {
+    source: &'a str,
+    function: &'a str,
+    options: CompileOptions,
+}
+
+impl<'a> CompileRequest<'a> {
+    /// A request for `function` of `source` under default options.
+    pub fn new(source: &'a str, function: &'a str) -> CompileRequest<'a> {
+        CompileRequest {
+            source,
+            function,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Replaces the whole option set.
+    pub fn with_options(mut self, options: CompileOptions) -> CompileRequest<'a> {
+        self.options = options;
+        self
+    }
+
+    /// Selects the naive per-operator baseline (the Figure 2 comparator).
+    pub fn baseline(mut self, on: bool) -> CompileRequest<'a> {
+        self.options.baseline = on;
+        self
+    }
+
+    /// Toggles code compaction.
+    pub fn compaction(mut self, on: bool) -> CompileRequest<'a> {
+        self.options.compaction = on;
+        self
+    }
+
+    /// Toggles the register-allocation / value-placement phase.
+    pub fn allocate_registers(mut self, on: bool) -> CompileRequest<'a> {
+        self.options.allocate_registers = on;
+        self
+    }
+
+    /// The mini-C translation unit.
+    pub fn source(&self) -> &'a str {
+        self.source
+    }
+
+    /// The function to compile.
+    pub fn function(&self) -> &'a str {
+        self.function
+    }
+
+    /// The compile options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+}
+
+/// A compilation session against one frozen [`Target`].
+///
+/// Owns the per-session mutable scratch — the BDD overlay arena — and
+/// borrows the target immutably, so any number of sessions can run
+/// concurrently over one artifact.  A session may compile several
+/// requests; its overlay keeps growing (conditions from earlier requests
+/// stay cached), which is the right trade for a worker thread serving a
+/// request stream.  For bit-reproducible one-shots use
+/// [`Target::compile`], which opens a fresh session per request.
+#[derive(Debug)]
+pub struct CompileSession<'t> {
+    target: &'t Target,
+    bdd: BddOverlay<'t>,
+}
+
+impl<'t> CompileSession<'t> {
+    pub(crate) fn new(target: &'t Target) -> CompileSession<'t> {
+        CompileSession {
+            target,
+            bdd: target.frozen.overlay(),
+        }
+    }
+
+    /// The frozen artifact this session compiles against.
+    pub fn target(&self) -> &'t Target {
+        self.target
+    }
+
+    /// BDD nodes this session created on top of the frozen base (a
+    /// scratch-memory gauge).
+    pub fn scratch_nodes(&self) -> usize {
+        self.bdd.local_node_count()
+    }
+
+    /// Compiles one request.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`CompileError`]s for mini-C errors and code-generation
+    /// failures (no cover, storage exhaustion, missing spill paths).
+    pub fn compile(
+        &mut self,
+        request: &CompileRequest<'_>,
+    ) -> Result<CompiledKernel, CompileError> {
+        let target = self.target;
+        let function = request.function();
+        let options = request.options();
+        let program = record_ir::parse(request.source())
+            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Parse, &e))?;
+        let flat = record_ir::lower(&program, function)
+            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Lower, &e))?;
+        let dm = target.data_memory()?;
+        let width = target.netlist.storage(dm).width;
+        let mut binding = Binding::allocate(&program, function, &target.netlist, dm)
+            .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))?;
+        let ops = if options.baseline {
+            baseline_compile(
+                &flat,
+                &target.selector,
+                &target.base,
+                &mut binding,
+                &target.netlist,
+                &mut self.bdd,
+                width,
+            )
+        } else {
+            compile(
+                &flat,
+                &target.selector,
+                &target.base,
+                &mut binding,
+                &target.netlist,
+                &mut self.bdd,
+                width,
+            )
+        }
+        .map_err(|e| CompileError::from_codegen(function, CompilePhase::Emit, e))?;
+        // Value placement: keep chained results register-resident.  The
+        // baseline path stays memory-bound on purpose — it models the
+        // Figure 2 target-specific compiler whose operands travel through
+        // memory.
+        let (ops, alloc) = match &target.pool {
+            Some(pool) if options.allocate_registers && !options.baseline => {
+                let liveness = Liveness::analyze(&flat);
+                let (ops, stats) = allocate(
+                    &ops,
+                    pool,
+                    &liveness,
+                    MemLayout::from_binding(&binding),
+                    &AllocOptions::default(),
+                );
+                (ops, Some(stats))
+            }
+            _ => (ops, None),
+        };
+        let schedule = options.compaction.then(|| compact(&ops, &mut self.bdd));
+        Ok(CompiledKernel {
+            ops,
+            schedule,
+            binding,
+            alloc,
+        })
+    }
+}
+
+/// Thread-parallel batch compilation over one frozen target.
+///
+/// Worker threads pull request indices off a shared atomic counter; each
+/// request is compiled in its *own* fresh session, so output is
+/// byte-identical to sequential [`Target::compile`] calls no matter how
+/// the requests land on threads.  Uses `std::thread::scope` — no runtime,
+/// no extra dependencies — and caps workers at the smaller of the request
+/// count and available parallelism.
+pub(crate) fn compile_batch(
+    target: &Target,
+    requests: &[CompileRequest<'_>],
+) -> Vec<Result<CompiledKernel, CompileError>> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(requests.len());
+    if workers <= 1 {
+        return requests.iter().map(|r| target.compile(r)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<CompiledKernel, CompileError>>> =
+        (0..requests.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        done.push((i, target.compile(request)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("batch worker panicked") {
+                results[i] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every request index was claimed by exactly one worker"))
+        .collect()
+}

@@ -238,7 +238,8 @@ fn as_store(op: &RtOp, pool: &RegisterPool) -> Option<(Loc, u64)> {
 
 /// Records in `ledger` that `loc` now mirrors `addr` as of op `i`:
 /// eviction keys are refreshed first (they go stale as the pass advances),
-/// and a Belady eviction of a still-live association counts as a spill.
+/// and every still-live association a Belady eviction drops counts as a
+/// spill (each one forces a reload RT to stay in the output).
 fn establish<F: Fn(u64, usize) -> Option<usize>>(
     ledger: &mut Residency,
     loc: Loc,
@@ -255,9 +256,7 @@ fn establish<F: Fn(u64, usize) -> Option<usize>>(
             next_use: next_use(addr, i),
         },
     ) {
-        if ev.was_live {
-            stats.spills += 1;
-        }
+        stats.spills += ev.live_count();
     }
 }
 

@@ -173,26 +173,47 @@ pub struct Resident {
     pub next_use: Option<usize>,
 }
 
-/// What [`Residency::insert`] displaced.
+/// What [`Residency::insert`] displaced: one whole register, with every
+/// association it held.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Evicted {
-    /// The register whose association was dropped.
+    /// The register whose associations were dropped.
     pub loc: Loc,
-    /// The association it held.
-    pub resident: Resident,
-    /// Was the association still profitable (a later read existed)?
-    pub was_live: bool,
+    /// Every association it held, oldest first.
+    pub residents: Vec<Resident>,
+}
+
+impl Evicted {
+    /// Associations that still had a later read — each one forces a reload
+    /// RT to stay in the output.
+    pub fn live_count(&self) -> usize {
+        self.residents
+            .iter()
+            .filter(|r| r.next_use.is_some())
+            .count()
+    }
+
+    /// Was any association still profitable (a later read existed)?
+    pub fn was_live(&self) -> bool {
+        self.live_count() > 0
+    }
 }
 
 /// The allocator's residency ledger: which registers hold which memory
-/// words, bounded by a capacity.  A register may mirror *several* words at
-/// once (storing it to two addresses makes all three locations equal —
-/// `x = a; y = a;` leaves the accumulator equal to `a`, `x` and `y`), so
-/// entries are (register, address) pairs.  When full, the association with
-/// the *farthest* next use is evicted (Belady's optimal replacement, exact
-/// as long as the caller refreshes `next_use` via
-/// [`Residency::refresh_next_uses`] before inserting); never-read-again
-/// entries go first, and ties fall to the earliest-inserted entry.
+/// words, bounded by the number of *distinct registers* tracked.  A
+/// register may mirror *several* words at once (storing it to two
+/// addresses makes all three locations equal — `x = a; y = a;` leaves the
+/// accumulator equal to `a`, `x` and `y`), so entries are (register,
+/// address) pairs — but only the register count is bounded: one register
+/// fanning a value out to many addresses occupies one physical cell and
+/// must never evict entries while other registers sit idle.
+///
+/// When a new register would exceed the capacity, the register whose
+/// *nearest* next use is farthest in the future is evicted wholesale
+/// (Belady's optimal replacement over registers, exact as long as the
+/// caller refreshes `next_use` via [`Residency::refresh_next_uses`]
+/// before inserting); registers with no remaining read go first, and ties
+/// fall to the earliest-inserted register.
 #[derive(Debug, Clone)]
 pub struct Residency {
     capacity: usize,
@@ -201,7 +222,7 @@ pub struct Residency {
 }
 
 impl Residency {
-    /// An empty ledger tracking at most `capacity` associations.
+    /// An empty ledger tracking at most `capacity` distinct registers.
     pub fn with_capacity(capacity: usize) -> Residency {
         Residency {
             capacity: capacity.max(1),
@@ -209,9 +230,34 @@ impl Residency {
         }
     }
 
-    /// Number of live associations.
+    /// Number of live associations (may exceed the register capacity when
+    /// registers fan out to several addresses).
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of distinct registers currently tracked — the quantity the
+    /// capacity bounds.
+    pub fn distinct_registers(&self) -> usize {
+        self.per_register().len()
+    }
+
+    /// One summary per tracked register, in first-insertion order:
+    /// `(register, nearest next use over its associations)`.
+    fn per_register(&self) -> Vec<(&Loc, Option<usize>)> {
+        let mut regs: Vec<(&Loc, Option<usize>)> = Vec::new();
+        for (l, r) in &self.entries {
+            match regs.iter_mut().find(|(reg, _)| *reg == l) {
+                Some((_, nearest)) => {
+                    *nearest = match (*nearest, r.next_use) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    }
+                }
+                None => regs.push((l, r.next_use)),
+            }
+        }
+        regs
     }
 
     /// Is the ledger empty?
@@ -219,7 +265,8 @@ impl Residency {
         self.entries.is_empty()
     }
 
-    /// The association capacity.
+    /// The distinct-register capacity (associations per register are
+    /// unbounded — see [`Residency::len`]).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -253,8 +300,10 @@ impl Residency {
     }
 
     /// Records that `loc` now holds `addr`'s value, alongside any other
-    /// words it already mirrors.  Returns the evicted association when the
-    /// ledger was full (pool overflow).
+    /// words it already mirrors.  Adding an association to an
+    /// already-tracked register never evicts; a *new* register entering a
+    /// full ledger evicts one whole register (pool overflow) and returns
+    /// everything it held.
     pub fn insert(&mut self, loc: Loc, resident: Resident) -> Option<Evicted> {
         if let Some((_, r)) = self
             .entries
@@ -264,21 +313,26 @@ impl Residency {
             r.next_use = resident.next_use;
             return None;
         }
-        let displaced = if self.entries.len() >= self.capacity {
-            // Overflow: evict the association read farthest in the future
-            // (never-again-read entries first); earliest-inserted on ties.
-            let victim = self
-                .entries
+        // One pass over the entries: per-register nearest next use, in
+        // first-insertion order (the order doubles as the tie-break key).
+        let regs = self.per_register();
+        let tracked = regs.iter().any(|(l, _)| **l == loc);
+        let displaced = if !tracked && regs.len() >= self.capacity {
+            // Overflow: evict the register whose nearest next use lies
+            // farthest in the future (never-again-read registers first);
+            // earliest-inserted register on ties.
+            let victim = regs
                 .iter()
                 .enumerate()
-                .max_by_key(|(i, (_, r))| (r.next_use.map_or((1, 0), |u| (0, u)), usize::MAX - i))
-                .map(|(i, _)| i)
+                .max_by_key(|(i, (_, nearest))| {
+                    (nearest.map_or((1, 0), |u| (0, u)), usize::MAX - i)
+                })
+                .map(|(_, (l, _))| (*l).clone())
                 .expect("capacity >= 1, ledger non-empty");
-            let (loc, old) = self.entries.remove(victim);
+            let residents = self.forget(&victim);
             Some(Evicted {
-                was_live: old.next_use.is_some(),
-                loc,
-                resident: old,
+                loc: victim,
+                residents,
             })
         } else {
             None

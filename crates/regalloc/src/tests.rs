@@ -113,8 +113,10 @@ fn residency_eviction_order_is_belady() {
         )
         .expect("overflow evicts");
     assert_eq!(ev.loc, reg(1));
-    assert_eq!(ev.resident.addr, 11);
-    assert!(ev.was_live);
+    assert_eq!(ev.residents.len(), 1);
+    assert_eq!(ev.residents[0].addr, 11);
+    assert!(ev.was_live());
+    assert_eq!(ev.live_count(), 1);
     assert!(led.holds(&reg(0), 10));
     assert!(led.holds(&reg(2), 12));
 
@@ -144,7 +146,61 @@ fn residency_eviction_order_is_belady() {
         )
         .expect("overflow evicts");
     assert_eq!(ev.loc, reg(0));
-    assert!(!ev.was_live);
+    assert!(!ev.was_live());
+    assert_eq!(ev.live_count(), 0);
+}
+
+/// Regression: the ledger bounds *distinct registers*, not total
+/// (register, address) associations.  One register fanning a value out to
+/// many addresses occupies one physical cell and must never evict entries
+/// while other registers sit idle.
+#[test]
+fn residency_fanout_does_not_consume_capacity() {
+    let reg = |i| Loc::Reg(StorageId(i));
+    let mut led = Residency::with_capacity(2);
+    // reg0 mirrors four words: `x = a; y = a; z = a; w = a;`.
+    for (addr, nu) in [(10, Some(3)), (11, Some(4)), (12, Some(5)), (13, None)] {
+        assert!(
+            led.insert(reg(0), Resident { addr, next_use: nu },)
+                .is_none(),
+            "fan-out within one register must never evict"
+        );
+    }
+    assert_eq!(led.len(), 4);
+    assert_eq!(led.distinct_registers(), 1);
+    // A second register still fits: only one of two register slots is
+    // used, no matter how many addresses reg0 mirrors.
+    assert!(led
+        .insert(
+            reg(1),
+            Resident {
+                addr: 20,
+                next_use: Some(2),
+            },
+        )
+        .is_none());
+    assert!(led.holds(&reg(0), 10));
+    assert!(led.holds(&reg(1), 20));
+    assert_eq!(led.distinct_registers(), 2);
+
+    // A third register overflows: the whole farthest-used register goes,
+    // with every association it held.  reg0's nearest use (3) is farther
+    // than reg1's (2), so reg0 is the Belady victim.
+    let ev = led
+        .insert(
+            reg(2),
+            Resident {
+                addr: 30,
+                next_use: Some(9),
+            },
+        )
+        .expect("third register overflows the two-register ledger");
+    assert_eq!(ev.loc, reg(0));
+    assert_eq!(ev.residents.len(), 4);
+    assert_eq!(ev.live_count(), 3); // addr 13 was dead
+    assert!(led.holds(&reg(1), 20));
+    assert!(led.holds(&reg(2), 30));
+    assert_eq!(led.distinct_registers(), 2);
 }
 
 #[test]
@@ -559,7 +615,7 @@ fn compile_both(
         &r.base,
         &mut binding,
         &r.netlist,
-        &mut r.manager.borrow_mut(),
+        &mut *r.manager.borrow_mut(),
         16,
     )
     .expect("compiles");

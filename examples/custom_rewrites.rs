@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --example custom_rewrites`.
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 use record_rtl::{OpKind, RulePat, TransformLibrary, TransformRule};
 
 const HDL: &str = r#"
@@ -62,15 +62,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Without any rewrites: `a * 2` has no cover.
     let mut bare = RetargetOptions::default();
     bare.extension.library = TransformLibrary::empty();
-    let mut target = Record::retarget(HDL, &bare)?;
+    let target = Record::retarget(HDL, &bare)?;
     let err = target
-        .compile(program, "f", &CompileOptions::default())
+        .compile(&CompileRequest::new(program, "f"))
         .unwrap_err();
     println!("without rewrites: {err}");
 
     // With the standard library (shl-to-mul-pow2): compiles.
-    let mut target = Record::retarget(HDL, &RetargetOptions::default())?;
-    let kernel = target.compile(program, "f", &CompileOptions::default())?;
+    let target = Record::retarget(HDL, &RetargetOptions::default())?;
+    let kernel = target.compile(&CompileRequest::new(program, "f"))?;
     println!(
         "\nwith the standard library ({} words):",
         kernel.code_size()

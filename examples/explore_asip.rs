@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --example explore_asip`.
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 
 /// Builds an ASIP variant. `mac` chains the multiplier into the ALU
 /// (multiply-accumulate in one RT); `imm` provides an immediate data path.
@@ -83,11 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let hdl = variant(mac, imm);
         match Record::retarget(&hdl, &RetargetOptions::default()) {
-            Ok(mut target) => {
+            Ok(target) => {
                 let stats_templates = target.stats().templates_extended;
                 let stats_time = target.stats().t_total;
                 let size = target
-                    .compile(kernel, "f", &CompileOptions::default())
+                    .compile(&CompileRequest::new(kernel, "f"))
                     .map(|k| k.code_size().to_string())
                     .unwrap_or_else(|e| format!("uncompilable ({e})"));
                 println!(

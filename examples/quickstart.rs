@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 
 /// A complete HDL processor model: an 8-entry memory, an accumulator and a
 /// three-function ALU controlled by instruction fields.
@@ -55,7 +55,8 @@ const HDL: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Retargeting: HDL -> netlist -> RT templates -> grammar -> selector.
-    let mut target = Record::retarget(HDL, &RetargetOptions::default())?;
+    // The result is a frozen artifact: compiling borrows it immutably.
+    let target = Record::retarget(HDL, &RetargetOptions::default())?;
     let stats = target.stats();
     println!(
         "retargeted `{}`: {} RT templates, {} grammar rules in {:.2?}",
@@ -69,11 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Compile a statement and show the selected code.
-    let kernel = target.compile(
+    let kernel = target.compile(&CompileRequest::new(
         "int x, a, b; void f() { x = x + a * b; }",
         "f",
-        &CompileOptions::default(),
-    )?;
+    ))?;
     println!(
         "\ncompiled `x = x + a * b;` to {} words:",
         kernel.code_size()

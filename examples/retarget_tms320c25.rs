@@ -4,12 +4,12 @@
 //!
 //! Run with `cargo run --example retarget_tms320c25`.
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 use record_targets::{kernels, models};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = models::model("tms320c25").expect("model exists");
-    let mut target = Record::retarget(model.hdl, &RetargetOptions::default())?;
+    let target = Record::retarget(model.hdl, &RetargetOptions::default())?;
     let s = target.stats();
     println!(
         "{}: {} extracted / {} extended templates, {} rules, retargeted in {:.2?}",
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile and verify the dot product kernel.
     let k = kernels::kernel("dot_product").expect("kernel exists");
-    let compiled = target.compile(k.source, k.function, &CompileOptions::default())?;
+    let compiled = target.compile(&CompileRequest::new(k.source, k.function))?;
     println!(
         "\ndot_product: {} words (hand-written reference: {})",
         compiled.code_size(),

@@ -5,6 +5,7 @@
 //! this package contains runnable end-to-end walk-throughs.
 
 pub use record_core::{
-    CompileOptions, CompiledKernel, PipelineError, Record, RetargetOptions, RetargetStats, Target,
+    CompileError, CompileOptions, CompilePhase, CompileRequest, CompileSession, CompiledKernel,
+    Diagnostic, PipelineError, Record, RetargetOptions, RetargetStats, Target,
 };
 pub use record_targets as targets;

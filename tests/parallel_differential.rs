@@ -1,0 +1,144 @@
+//! Parallelism differential: a frozen `Target` shared across threads via
+//! `compile_batch` must produce *byte-identical* results to sequential
+//! one-shot compiles — op sequences, schedules and allocation counters —
+//! for every kernel × model pair, under every option set.  This is the
+//! contract that makes the retarget-once/compile-many split safe to serve
+//! concurrent traffic with.
+
+mod common;
+
+use record_core::{CompileError, CompileRequest, CompiledKernel, Record, RetargetOptions, Target};
+use record_targets::{kernels, models};
+
+/// Compile-time check: the frozen artifact is shareable across threads.
+/// (`compile_batch` would not compile otherwise, but the assertion
+/// documents the API contract independently of any runtime path.)
+#[test]
+fn target_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Target>();
+    assert_send_sync::<record_core::FrozenBdd>();
+}
+
+fn assert_identical(
+    batch: &[Result<CompiledKernel, CompileError>],
+    sequential: &[Result<CompiledKernel, CompileError>],
+    label: &str,
+) {
+    assert_eq!(batch.len(), sequential.len(), "{label}: result count");
+    for (i, (b, s)) in batch.iter().zip(sequential).enumerate() {
+        match (b, s) {
+            (Ok(bk), Ok(sk)) => {
+                assert_eq!(bk.ops, sk.ops, "{label}[{i}]: op sequences differ");
+                assert_eq!(bk.schedule, sk.schedule, "{label}[{i}]: schedules differ");
+                assert_eq!(bk.alloc, sk.alloc, "{label}[{i}]: AllocStats differ");
+                assert_eq!(
+                    bk.code_size(),
+                    sk.code_size(),
+                    "{label}[{i}]: code size differs"
+                );
+            }
+            (Err(be), Err(se)) => {
+                assert_eq!(be, se, "{label}[{i}]: errors differ");
+            }
+            _ => panic!("{label}[{i}]: batch and sequential disagree on success"),
+        }
+    }
+}
+
+/// Every kernel × model pair, compiled concurrently from one shared
+/// `&Target`, equals the sequential compile bit for bit.
+#[test]
+fn batch_output_is_identical_to_sequential_on_every_model() {
+    let mut checked_pairs = 0usize;
+    for model in models::models() {
+        let target = Record::retarget(model.hdl, &RetargetOptions::default())
+            .unwrap_or_else(|e| panic!("{} failed to retarget: {e}", model.name));
+        if target.data_memory().is_err() {
+            continue; // no data memory: every compile fails identically
+        }
+        let requests: Vec<CompileRequest<'_>> = kernels::kernels()
+            .iter()
+            .map(|k| CompileRequest::new(k.source, k.function))
+            .collect();
+
+        let sequential: Vec<_> = requests.iter().map(|r| target.compile(r)).collect();
+        let batch = target.compile_batch(&requests);
+        assert_identical(&batch, &sequential, model.name);
+        checked_pairs += batch.len();
+    }
+    assert!(checked_pairs >= 50, "checked {checked_pairs} pairs");
+}
+
+/// The equality holds under every option combination, including the ones
+/// that exercise the allocator and the compactor differently, and the
+/// compiled batch output still matches the mini-C interpreter.
+#[test]
+fn batch_equals_sequential_under_all_option_sets_on_c25() {
+    let model = models::model("tms320c25").unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let mut requests: Vec<CompileRequest<'_>> = Vec::new();
+    for k in kernels::kernels() {
+        requests.push(CompileRequest::new(k.source, k.function));
+        requests.push(CompileRequest::new(k.source, k.function).compaction(false));
+        requests.push(
+            CompileRequest::new(k.source, k.function)
+                .compaction(false)
+                .allocate_registers(false),
+        );
+        requests.push(
+            CompileRequest::new(k.source, k.function)
+                .baseline(true)
+                .compaction(false),
+        );
+    }
+    let sequential: Vec<_> = requests.iter().map(|r| target.compile(r)).collect();
+    let batch = target.compile_batch(&requests);
+    assert_identical(&batch, &sequential, "c25/options");
+
+    // The parallel-compiled kernels are not just self-consistent — they
+    // compute what the interpreter computes.
+    for (req, result) in requests.iter().zip(&batch) {
+        let kernel = result.as_ref().expect("all C25 kernels compile");
+        common::assert_matches_interpreter(
+            &target,
+            kernel,
+            req.source(),
+            req.function(),
+            &format!("batch {}", req.function()),
+        );
+    }
+}
+
+/// Stress the session isolation: many copies of the same requests racing
+/// over one artifact, several batch rounds in a row, never diverging.
+#[test]
+fn repeated_batches_are_stable() {
+    let model = models::model("tms320c25").unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    // Duplicate the kernel set so the worker pool has to interleave
+    // identical requests — any cross-session leakage would show up as a
+    // divergence between duplicates.
+    let requests: Vec<CompileRequest<'_>> = kernels::kernels()
+        .iter()
+        .chain(kernels::kernels().iter())
+        .chain(kernels::kernels().iter())
+        .map(|k| CompileRequest::new(k.source, k.function))
+        .collect();
+    let first = target.compile_batch(&requests);
+    for round in 0..3 {
+        let again = target.compile_batch(&requests);
+        assert_identical(&again, &first, &format!("round {round}"));
+    }
+    // Duplicates within one batch are identical to each other too.
+    let n = kernels::kernels().len();
+    for i in 0..n {
+        let a = first[i].as_ref().unwrap();
+        let b = first[i + n].as_ref().unwrap();
+        let c = first[i + 2 * n].as_ref().unwrap();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.ops, c.ops);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.alloc, c.alloc);
+    }
+}

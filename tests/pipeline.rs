@@ -4,7 +4,7 @@
 
 mod common;
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 use record_targets::{kernels, models};
 
 #[test]
@@ -46,10 +46,10 @@ fn template_count_ordering_matches_paper() {
 #[test]
 fn all_kernels_compile_on_c25() {
     let m = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
     for k in kernels::kernels() {
         let compiled = target
-            .compile(k.source, k.function, &CompileOptions::default())
+            .compile(&CompileRequest::new(k.source, k.function))
             .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
         assert!(compiled.code_size() > 0);
         // Record code should stay within 2x of hand-written (paper: low
@@ -74,20 +74,16 @@ fn all_kernels_compile_on_c25() {
 #[test]
 fn baseline_is_never_better_than_record() {
     let m = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
     for k in kernels::kernels() {
         let rec = target
-            .compile(k.source, k.function, &CompileOptions::default())
+            .compile(&CompileRequest::new(k.source, k.function))
             .unwrap();
         let base = target
             .compile(
-                k.source,
-                k.function,
-                &CompileOptions {
-                    baseline: true,
-                    compaction: false,
-                    ..CompileOptions::default()
-                },
+                &CompileRequest::new(k.source, k.function)
+                    .baseline(true)
+                    .compaction(false),
             )
             .unwrap();
         assert!(
@@ -106,10 +102,10 @@ fn baseline_is_never_better_than_record() {
 #[test]
 fn compiled_kernels_compute_correct_results() {
     let m = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
     for k in kernels::kernels() {
         let compiled = target
-            .compile(k.source, k.function, &CompileOptions::default())
+            .compile(&CompileRequest::new(k.source, k.function))
             .unwrap();
         common::assert_matches_interpreter(&target, &compiled, k.source, k.function, k.name);
     }
@@ -118,24 +114,14 @@ fn compiled_kernels_compute_correct_results() {
 #[test]
 fn compaction_packs_on_horizontal_machine() {
     let m = models::model("demo").unwrap();
-    let mut target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
     // Both subtrees of the subtraction evaluate the same expression into
     // different registers; on the horizontal format the two identical ALU
     // operations pack into a single word (only the enable bits differ).
     let src = "int a, x; void f() { x = (a + a) - (a + a); }";
-    let with = target
-        .compile(src, "f", &CompileOptions::default())
-        .unwrap();
+    let with = target.compile(&CompileRequest::new(src, "f")).unwrap();
     let without = target
-        .compile(
-            src,
-            "f",
-            &CompileOptions {
-                baseline: false,
-                compaction: false,
-                ..CompileOptions::default()
-            },
-        )
+        .compile(&CompileRequest::new(src, "f").compaction(false))
         .unwrap();
     assert!(
         with.code_size() < without.code_size(),
@@ -182,19 +168,19 @@ fn commutativity_ablation_affects_code_size() {
     // registers) but never *better* than with them.
     let m = models::model("tms320c25").unwrap();
     let src = "int d, a, b, c; void f() { d = a * b + c; }";
-    let mut with = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
+    let with = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
     let bare = RetargetOptions {
         extension: record_rtl::ExtensionOptions::none(),
         ..Default::default()
     };
-    let mut without = Record::retarget(m.hdl, &bare).unwrap();
+    let without = Record::retarget(m.hdl, &bare).unwrap();
     let sw = with
-        .compile(src, "f", &CompileOptions::default())
+        .compile(&CompileRequest::new(src, "f"))
         .unwrap()
         .code_size();
     // A selection error is acceptable: the shape may not be covered at
     // all without commutative variants.
-    if let Ok(k) = without.compile(src, "f", &CompileOptions::default()) {
+    if let Ok(k) = without.compile(&CompileRequest::new(src, "f")) {
         assert!(k.code_size() >= sw);
     }
 }

@@ -1,8 +1,7 @@
 //! Cross-crate property tests: random programs through the whole pipeline.
 
 use proptest::prelude::*;
-use record_core::{CompileOptions, Record, RetargetOptions, Target};
-use std::cell::RefCell;
+use record_core::{CompileRequest, Record, RetargetOptions, Target};
 
 /// A small machine with a MAC path and an immediate path; rich enough that
 /// random expressions compile, small enough to keep shrinking fast.
@@ -61,9 +60,10 @@ const MACHINE: &str = r#"
 "#;
 
 thread_local! {
-    static TARGET: RefCell<Target> = RefCell::new(
-        Record::retarget(MACHINE, &RetargetOptions::default()).expect("machine retargets"),
-    );
+    // The frozen artifact needs no interior mutability: compilation takes
+    // `&Target`.
+    static TARGET: Target =
+        Record::retarget(MACHINE, &RetargetOptions::default()).expect("machine retargets");
 }
 
 /// Random straight-line mini-C programs over four scalars, restricted to
@@ -99,8 +99,7 @@ proptest! {
     /// Compiled machine code computes what the interpreter computes.
     #[test]
     fn pipeline_preserves_semantics(src in program_strategy(), vals in prop::collection::vec(0u64..0xFFFF, 4)) {
-        TARGET.with(|t| {
-            let mut target = t.borrow_mut();
+        TARGET.with(|target| {
             let program = record_ir::parse(&src).unwrap();
             let mut mem = record_ir::Memory::new();
             for (name, v) in ["a", "b", "c", "d"].iter().zip(&vals) {
@@ -109,7 +108,7 @@ proptest! {
             record_ir::interp(&program, "f", &mut mem, 16).unwrap();
 
             let compiled = target
-                .compile(&src, "f", &CompileOptions::default())
+                .compile(&CompileRequest::new(&src, "f"))
                 .expect("every generated program is compilable on this machine");
             let init: Vec<(&str, Vec<u64>)> = ["a", "b", "c", "d"]
                 .iter()
@@ -135,18 +134,17 @@ proptest! {
     /// never lengthens code.
     #[test]
     fn compaction_preserves_semantics(src in program_strategy(), vals in prop::collection::vec(0u64..0xFFFF, 4)) {
-        TARGET.with(|t| {
-            let mut target = t.borrow_mut();
+        TARGET.with(|target| {
             let init: Vec<(&str, Vec<u64>)> = ["a", "b", "c", "d"]
                 .iter()
                 .zip(&vals)
                 .map(|(n, v)| (*n, vec![*v]))
                 .collect();
             let vertical = target
-                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false, ..CompileOptions::default() })
+                .compile(&CompileRequest::new(&src, "f").compaction(false))
                 .expect("compiles");
             let compacted = target
-                .compile(&src, "f", &CompileOptions::default())
+                .compile(&CompileRequest::new(&src, "f"))
                 .expect("compiles");
             prop_assert!(compacted.code_size() <= vertical.code_size());
             let m1 = target.execute(&vertical, &init);
@@ -163,8 +161,7 @@ proptest! {
     /// selector), just bigger.
     #[test]
     fn baseline_is_correct_and_no_smaller(src in program_strategy(), vals in prop::collection::vec(0u64..0xFFFF, 4)) {
-        TARGET.with(|t| {
-            let mut target = t.borrow_mut();
+        TARGET.with(|target| {
             let program = record_ir::parse(&src).unwrap();
             let mut mem = record_ir::Memory::new();
             for (name, v) in ["a", "b", "c", "d"].iter().zip(&vals) {
@@ -173,10 +170,10 @@ proptest! {
             record_ir::interp(&program, "f", &mut mem, 16).unwrap();
 
             let smart = target
-                .compile(&src, "f", &CompileOptions { baseline: false, compaction: false, ..CompileOptions::default() })
+                .compile(&CompileRequest::new(&src, "f").compaction(false))
                 .expect("compiles");
             let naive = target
-                .compile(&src, "f", &CompileOptions { baseline: true, compaction: false, ..CompileOptions::default() })
+                .compile(&CompileRequest::new(&src, "f").baseline(true).compaction(false))
                 .expect("compiles");
             prop_assert!(naive.ops.len() >= smart.ops.len());
             let init: Vec<(&str, Vec<u64>)> = ["a", "b", "c", "d"]

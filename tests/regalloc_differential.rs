@@ -5,15 +5,13 @@
 
 mod common;
 
-use record_core::{mem_traffic, CompileOptions, CompiledKernel, Record, RetargetOptions, Target};
+use record_core::{mem_traffic, CompileRequest, CompiledKernel, Record, RetargetOptions, Target};
 use record_targets::{kernels, models};
 
-fn opts(allocate: bool) -> CompileOptions {
-    CompileOptions {
-        baseline: false,
-        compaction: false,
-        allocate_registers: allocate,
-    }
+fn req<'a>(source: &'a str, function: &'a str, allocate: bool) -> CompileRequest<'a> {
+    CompileRequest::new(source, function)
+        .compaction(false)
+        .allocate_registers(allocate)
 }
 
 fn accesses(target: &Target, kernel: &CompiledKernel) -> usize {
@@ -26,7 +24,7 @@ fn accesses(target: &Target, kernel: &CompiledKernel) -> usize {
 fn allocated_code_is_correct_and_never_noisier_on_every_model() {
     let mut compiled_on_c25 = 0;
     for model in models::models() {
-        let mut target = Record::retarget(model.hdl, &RetargetOptions::default())
+        let target = Record::retarget(model.hdl, &RetargetOptions::default())
             .unwrap_or_else(|e| panic!("{} failed to retarget: {e}", model.name));
         if target.data_memory().is_err() {
             continue; // no data memory: nothing to compile against
@@ -35,7 +33,7 @@ fn allocated_code_is_correct_and_never_noisier_on_every_model() {
         for k in kernels::kernels() {
             // Some machines legitimately lack operators a kernel needs
             // (e.g. no multiplier): skip those pairs, but never on the C25.
-            let Ok(unalloc) = target.compile(k.source, k.function, &opts(false)) else {
+            let Ok(unalloc) = target.compile(&req(k.source, k.function, false)) else {
                 assert_ne!(
                     model.name, "tms320c25",
                     "{}: kernel {} must compile on the C25",
@@ -44,7 +42,7 @@ fn allocated_code_is_correct_and_never_noisier_on_every_model() {
                 continue;
             };
             let alloc = target
-                .compile(k.source, k.function, &opts(true))
+                .compile(&req(k.source, k.function, true))
                 .unwrap_or_else(|e| {
                     panic!(
                         "{}/{}: allocation broke compilation: {e}",
@@ -89,11 +87,11 @@ fn allocated_code_is_correct_and_never_noisier_on_every_model() {
 #[test]
 fn c25_accumulator_kernels_get_strictly_faster() {
     let model = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
     for name in ["fir", "dot_product", "convolution"] {
         let k = kernels::kernel(name).unwrap();
-        let unalloc = target.compile(k.source, k.function, &opts(false)).unwrap();
-        let alloc = target.compile(k.source, k.function, &opts(true)).unwrap();
+        let unalloc = target.compile(&req(k.source, k.function, false)).unwrap();
+        let alloc = target.compile(&req(k.source, k.function, true)).unwrap();
         assert!(
             accesses(&target, &alloc) < accesses(&target, &unalloc),
             "{name}: expected a strict memory-traffic reduction"
@@ -110,18 +108,13 @@ fn c25_accumulator_kernels_get_strictly_faster() {
 #[test]
 fn c25_allocated_beats_baseline_traffic_on_every_kernel() {
     let model = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
     for k in kernels::kernels() {
-        let alloc = target.compile(k.source, k.function, &opts(true)).unwrap();
+        let alloc = target.compile(&req(k.source, k.function, true)).unwrap();
         let base = target
             .compile(
-                k.source,
-                k.function,
-                &CompileOptions {
-                    baseline: true,
-                    compaction: false,
-                    allocate_registers: true, // ignored on the baseline path
-                },
+                // allocate_registers is ignored on the baseline path.
+                &req(k.source, k.function, true).baseline(true),
             )
             .unwrap();
         assert!(
@@ -143,20 +136,13 @@ fn c25_allocated_beats_baseline_traffic_on_every_kernel() {
 #[test]
 fn c25_allocation_composes_with_compaction() {
     let model = models::model("tms320c25").unwrap();
-    let mut target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
     for k in kernels::kernels() {
         let full = target
-            .compile(k.source, k.function, &CompileOptions::default())
+            .compile(&CompileRequest::new(k.source, k.function))
             .unwrap();
         let unalloc = target
-            .compile(
-                k.source,
-                k.function,
-                &CompileOptions {
-                    allocate_registers: false,
-                    ..CompileOptions::default()
-                },
-            )
+            .compile(&CompileRequest::new(k.source, k.function).allocate_registers(false))
             .unwrap();
         assert!(
             full.code_size() <= unalloc.code_size(),

@@ -2,7 +2,7 @@
 //! class.  Each test demonstrates one row of the table on the shipped
 //! models.
 
-use record_core::{CompileOptions, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, RetargetOptions};
 use record_rtl::{Dest, Pattern};
 use record_targets::models;
 
@@ -14,13 +14,12 @@ fn retarget(name: &str) -> record_core::Target {
 /// "data type: fixed-point" — all arithmetic wraps at the machine word.
 #[test]
 fn fixed_point_arithmetic() {
-    let mut t = retarget("tms320c25");
+    let t = retarget("tms320c25");
     let k = t
-        .compile(
+        .compile(&CompileRequest::new(
             "int x, a; void f() { x = a + a; }",
             "f",
-            &CompileOptions::default(),
-        )
+        ))
         .unwrap();
     let machine = t.execute(&k, &[("a", vec![0x9000])]);
     let dm = t.data_memory().unwrap();
