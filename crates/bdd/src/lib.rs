@@ -35,10 +35,13 @@
 mod manager;
 mod overlay;
 mod sat;
+mod symbol;
+mod table;
 
 pub use manager::{Bdd, BddManager, BddOps, VarId};
 pub use overlay::{BddOverlay, FrozenBdd};
 pub use sat::Assignment;
+pub use symbol::{Symbol, SymbolInterner};
 
 #[cfg(test)]
 mod tests;

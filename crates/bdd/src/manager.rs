@@ -1,5 +1,7 @@
 //! The BDD node store and Boolean operations.
 
+use crate::symbol::{Symbol, SymbolInterner};
+use crate::table::{OpCache, UniqueTable, MANAGER_OP_CACHE};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -66,10 +68,9 @@ pub(crate) enum OpKey {
 #[derive(Debug, Clone)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<Node, Bdd>,
-    pub(crate) cache: HashMap<OpKey, Bdd>,
-    pub(crate) names: Vec<String>,
-    pub(crate) by_name: HashMap<String, VarId>,
+    pub(crate) unique: UniqueTable,
+    pub(crate) cache: OpCache,
+    pub(crate) interner: SymbolInterner,
 }
 
 impl Default for BddManager {
@@ -81,6 +82,16 @@ impl Default for BddManager {
 impl BddManager {
     /// Creates an empty manager containing only the two terminal nodes.
     pub fn new() -> Self {
+        Self::with_op_cache_capacity(MANAGER_OP_CACHE)
+    }
+
+    /// Creates an empty manager whose direct-mapped op-cache holds
+    /// `capacity` entries (rounded up to a power of two).
+    ///
+    /// The cache is lossy, so capacity affects only speed, never results —
+    /// a property the test suite pins.  [`BddManager::new`] picks a
+    /// retarget-scale default.
+    pub fn with_op_cache_capacity(capacity: usize) -> Self {
         // Slots 0 and 1 are the terminals; their `Node` payloads are dummies
         // that are never looked at (every accessor checks for terminals
         // first), they only keep indices aligned.
@@ -91,11 +102,26 @@ impl BddManager {
         };
         BddManager {
             nodes: vec![dummy, dummy],
-            unique: HashMap::new(),
-            cache: HashMap::new(),
-            names: Vec::new(),
-            by_name: HashMap::new(),
+            unique: UniqueTable::default(),
+            cache: OpCache::new(capacity),
+            interner: SymbolInterner::new(),
         }
+    }
+
+    /// Fraction of op-cache lookups answered from the cache so far.
+    pub fn op_cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// `(hits, misses)` of the operation cache.
+    pub fn op_cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Mean probe-chain length of unique-table lookups (1.0 = every lookup
+    /// hit its home slot).
+    pub fn unique_avg_probe_len(&self) -> f64 {
+        self.unique.avg_probe_len()
     }
 
     /// Number of live (hash-consed) internal nodes, excluding terminals.
@@ -105,7 +131,7 @@ impl BddManager {
 
     /// Number of registered variables.
     pub fn var_count(&self) -> usize {
-        self.names.len()
+        self.interner.len()
     }
 
     /// Returns the function of a single variable, registering `name` on
@@ -117,14 +143,11 @@ impl BddManager {
     }
 
     /// Registers (or looks up) a variable by name and returns its id.
+    ///
+    /// Variables are registered in interning order, so the returned id's
+    /// index equals the name's [`Symbol`] index.
     pub fn var_id(&mut self, name: &str) -> VarId {
-        if let Some(&id) = self.by_name.get(name) {
-            return id;
-        }
-        let id = VarId(self.names.len() as u32);
-        self.names.push(name.to_owned());
-        self.by_name.insert(name.to_owned(), id);
-        id
+        VarId(self.interner.intern(name).0)
     }
 
     /// Name of a registered variable.
@@ -133,13 +156,13 @@ impl BddManager {
     ///
     /// Panics if `id` was not produced by this manager.
     pub fn var_name(&self, id: VarId) -> &str {
-        &self.names[id.0 as usize]
+        self.interner.resolve(Symbol(id.0))
     }
 
     /// The positive (`phase = true`) or negative literal of `id`.
     pub fn literal(&mut self, id: VarId, phase: bool) -> Bdd {
         assert!(
-            (id.0 as usize) < self.names.len(),
+            (id.0 as usize) < self.interner.len(),
             "literal of unregistered variable {id:?}"
         );
         if phase {
@@ -178,12 +201,12 @@ impl BddManager {
             return lo;
         }
         let node = Node { var, lo, hi };
-        if let Some(&b) = self.unique.get(&node) {
+        if let Some(b) = self.unique.get(&node, &self.nodes) {
             return b;
         }
         let b = Bdd(self.nodes.len() as u32);
         self.nodes.push(node);
-        self.unique.insert(node, b);
+        self.unique.insert(b, &self.nodes);
         b
     }
 
@@ -272,7 +295,7 @@ impl BddManager {
     /// Number of satisfying assignments of `f` over all registered
     /// variables.
     pub fn sat_count(&self, f: Bdd) -> u128 {
-        let nvars = self.names.len() as u32;
+        let nvars = self.interner.len() as u32;
         let mut memo: HashMap<Bdd, u128> = HashMap::new();
         self.sat_count_rec(f, 0, nvars, &mut memo)
     }
@@ -411,8 +434,9 @@ impl BddManager {
 pub(crate) trait Apply {
     /// The node behind a non-terminal handle.
     fn node_of(&self, f: Bdd) -> Node;
-    /// Operation-cache lookup.
-    fn cached(&self, key: OpKey) -> Option<Bdd>;
+    /// Operation-cache lookup (`&mut` so implementations can keep hit-rate
+    /// counters in plain fields; every caller holds `&mut` anyway).
+    fn cached(&mut self, key: OpKey) -> Option<Bdd>;
     /// Operation-cache insert.
     fn cache_insert(&mut self, key: OpKey, r: Bdd);
     /// Hash-consing node constructor.
@@ -535,8 +559,8 @@ impl Apply for BddManager {
         self.nodes[f.index()]
     }
 
-    fn cached(&self, key: OpKey) -> Option<Bdd> {
-        self.cache.get(&key).copied()
+    fn cached(&mut self, key: OpKey) -> Option<Bdd> {
+        self.cache.lookup(key)
     }
 
     fn cache_insert(&mut self, key: OpKey, r: Bdd) {

@@ -19,8 +19,9 @@
 //! boundary for any *one* overlay combined with its base.
 
 use crate::manager::{Apply, BddManager, BddOps, Node, OpKey};
+use crate::symbol::SymbolInterner;
+use crate::table::{OpCache, UniqueTable, OVERLAY_OP_CACHE};
 use crate::{Bdd, VarId};
-use std::collections::HashMap;
 
 /// An immutable, `Send + Sync` snapshot of a [`BddManager`].
 ///
@@ -39,15 +40,30 @@ impl FrozenBdd {
     }
 
     /// Opens a session-local overlay arena on top of this store.
+    ///
+    /// Opening is allocation-free: the local node page, unique table,
+    /// op-cache and name interner all materialise on first use, so
+    /// spinning up a batch of sessions costs nothing until they create
+    /// nodes.
     pub fn overlay(&self) -> BddOverlay<'_> {
         BddOverlay {
             base: self,
             nodes: Vec::new(),
-            unique: HashMap::new(),
-            cache: HashMap::new(),
-            names: Vec::new(),
-            by_name: HashMap::new(),
+            unique: UniqueTable::default(),
+            cache: OpCache::new(OVERLAY_OP_CACHE),
+            interner: SymbolInterner::new(),
         }
+    }
+
+    /// Fraction of op-cache lookups the retarget-time manager answered
+    /// from cache before freezing.
+    pub fn op_cache_hit_rate(&self) -> f64 {
+        self.inner.op_cache_hit_rate()
+    }
+
+    /// Mean unique-table probe-chain length recorded before freezing.
+    pub fn unique_avg_probe_len(&self) -> f64 {
+        self.inner.unique_avg_probe_len()
     }
 
     /// Number of frozen internal nodes, excluding terminals.
@@ -71,7 +87,7 @@ impl FrozenBdd {
 
     /// Looks up a variable id by name, if registered before the freeze.
     pub fn var_id_of(&self, name: &str) -> Option<VarId> {
-        self.inner.by_name.get(name).copied()
+        self.inner.interner.lookup(name).map(|s| VarId(s.0))
     }
 
     /// Is `f` the constant-false function (i.e. unsatisfiable)?
@@ -153,11 +169,14 @@ pub struct BddOverlay<'a> {
     base: &'a FrozenBdd,
     /// Session-local node page; global index = frozen length + local index.
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    cache: HashMap<OpKey, Bdd>,
+    /// Unique table over the local page; slots hold *local* indices.
+    unique: UniqueTable,
+    /// Session-local lossy op-cache (results may reference both frozen and
+    /// local handles, which is safe because they are only consulted by
+    /// this session).
+    cache: OpCache,
     /// Session-local variable names; global id = frozen count + local.
-    names: Vec<String>,
-    by_name: HashMap<String, VarId>,
+    interner: SymbolInterner,
 }
 
 impl<'a> BddOverlay<'a> {
@@ -178,7 +197,24 @@ impl<'a> BddOverlay<'a> {
 
     /// Total registered variables (frozen + session-local).
     pub fn var_count(&self) -> usize {
-        self.base.var_count() + self.names.len()
+        self.base.var_count() + self.interner.len()
+    }
+
+    /// Fraction of this session's op-cache lookups served from cache
+    /// (frozen-base hits count as session hits).
+    pub fn op_cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// `(hits, misses)` of this session's op-cache lookups.
+    pub fn op_cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Mean probe-chain length of this session's local unique-table
+    /// lookups.
+    pub fn unique_avg_probe_len(&self) -> f64 {
+        self.unique.avg_probe_len()
     }
 
     /// Name of a registered variable (frozen or session-local).
@@ -191,7 +227,7 @@ impl<'a> BddOverlay<'a> {
         if id.0 < frozen {
             self.base.var_name(id)
         } else {
-            &self.names[(id.0 - frozen) as usize]
+            self.interner.resolve(crate::Symbol(id.0 - frozen))
         }
     }
 
@@ -236,13 +272,12 @@ impl Apply for BddOverlay<'_> {
 
     /// Cache lookup: frozen results first (they only mention frozen
     /// handles and stay valid forever), then the session page.
-    fn cached(&self, key: OpKey) -> Option<Bdd> {
-        self.base
-            .inner
-            .cache
-            .get(&key)
-            .or_else(|| self.cache.get(&key))
-            .copied()
+    fn cached(&mut self, key: OpKey) -> Option<Bdd> {
+        if let Some(r) = self.base.inner.cache.probe(key) {
+            self.cache.count_hit();
+            return Some(r);
+        }
+        self.cache.lookup(key)
     }
 
     fn cache_insert(&mut self, key: OpKey, r: Bdd) {
@@ -256,16 +291,19 @@ impl Apply for BddOverlay<'_> {
             return lo;
         }
         let node = Node { var, lo, hi };
-        if let Some(&b) = self.base.inner.unique.get(&node) {
+        if let Some(b) = self.base.inner.unique.probe(&node, &self.base.inner.nodes) {
             return b;
         }
-        if let Some(&b) = self.unique.get(&node) {
-            return b;
+        // The local table stores *local* page indices; translate to and
+        // from global handles at the boundary.
+        let frozen = self.frozen_len() as u32;
+        if let Some(local) = self.unique.get(&node, &self.nodes) {
+            return Bdd(frozen + local.0);
         }
-        let b = Bdd((self.frozen_len() + self.nodes.len()) as u32);
+        let local = Bdd(self.nodes.len() as u32);
         self.nodes.push(node);
-        self.unique.insert(node, b);
-        b
+        self.unique.insert(local, &self.nodes);
+        Bdd(frozen + local.0)
     }
 }
 
@@ -279,18 +317,13 @@ impl BddOps for BddOverlay<'_> {
         if let Some(id) = self.base.var_id_of(name) {
             return id;
         }
-        if let Some(&id) = self.by_name.get(name) {
-            return id;
-        }
-        let id = VarId((self.base.var_count() + self.names.len()) as u32);
-        self.names.push(name.to_owned());
-        self.by_name.insert(name.to_owned(), id);
-        id
+        let sym = self.interner.intern(name);
+        VarId(self.base.var_count() as u32 + sym.0)
     }
 
     fn literal(&mut self, id: VarId, phase: bool) -> Bdd {
         assert!(
-            (id.0 as usize) < self.base.var_count() + self.names.len(),
+            (id.0 as usize) < self.base.var_count() + self.interner.len(),
             "literal of unregistered variable {id:?}"
         );
         if phase {

@@ -1,0 +1,294 @@
+//! The fast-path storage primitives of the BDD kernel.
+//!
+//! Profiles of retargeting and compilation bottom out in two lookups per
+//! `apply` step: "does this (var, lo, hi) triple already have a node?"
+//! (the unique table) and "did we combine these operands before?" (the
+//! operation cache).  The std `HashMap` answers both correctly but pays
+//! SipHash, tombstone bookkeeping and branchy probing for DoS resistance
+//! this workload does not need — every key is produced by the kernel
+//! itself.  This module replaces them with:
+//!
+//! * [`UniqueTable`] — an insert-only open-addressing table over
+//!   power-of-two capacities with FxHash-style multiplicative hashing and
+//!   linear probing.  Entries are node handles; the node payloads stay in
+//!   the manager's dense `Vec<Node>`, so the table is four bytes per slot
+//!   and a lookup is a multiply, a mask and (almost always) one probe.
+//!   Nothing is ever deleted (hash-consed nodes are immortal), so there
+//!   are no tombstones and probe chains never degrade.
+//! * [`OpCache`] — a fixed-size direct-mapped *lossy* cache for `apply`
+//!   results.  A new result simply overwrites whatever hashed to the same
+//!   slot.  Losing an entry can only cause recomputation, and
+//!   recomputation is hash-consed, so results are node-for-node identical
+//!   to an unbounded cache — only the hit rate changes (there is a unit
+//!   test pinning exactly that).  The win is bounded memory and no
+//!   rehashing on the compile hot path.
+//!
+//! Both tables start unallocated so a [`crate::BddOverlay`] costs nothing
+//! to open until its session actually creates nodes.
+
+use crate::manager::{Node, OpKey};
+use crate::Bdd;
+
+/// FxHash multiplier (the golden-ratio-derived constant rustc's FxHasher
+/// uses); one multiply mixes well enough for kernel-generated keys.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fxmix(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(FX_SEED)
+}
+
+/// Hash of a node triple.
+#[inline]
+fn hash_node(n: &Node) -> u64 {
+    fxmix(
+        fxmix(fxmix(0, u64::from(n.var.0)), u64::from(n.lo.0)),
+        u64::from(n.hi.0),
+    )
+}
+
+/// Hash of an interned string (FxHash over bytes).
+#[inline]
+pub(crate) fn hash_str(s: &str) -> u64 {
+    let mut h = 0u64;
+    let mut bytes = s.as_bytes();
+    while bytes.len() >= 8 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[..8]);
+        h = fxmix(h, u64::from_le_bytes(w));
+        bytes = &bytes[8..];
+    }
+    let mut tail = 0u64;
+    for &b in bytes {
+        tail = (tail << 8) | u64::from(b);
+    }
+    fxmix(h, tail ^ (s.len() as u64) << 56)
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Insert-only open-addressing unique table mapping `Node` triples to
+/// their canonical handles.
+///
+/// Slots hold handles; the caller passes the dense node store to every
+/// operation so keys can be compared without duplicating the payload.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UniqueTable {
+    /// Power-of-two slot array of node handles (`EMPTY` = vacant).
+    slots: Vec<u32>,
+    len: usize,
+    /// Probe steps taken across all lookups (first slot touched counts as
+    /// one), for the machine-independent perf counters.
+    probes: u64,
+    lookups: u64,
+}
+
+impl UniqueTable {
+    /// Mean probe-chain length over all lookups so far (1.0 is a perfect
+    /// hash; linear probing at our load factor stays well under 2).
+    pub(crate) fn avg_probe_len(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.probes as f64 / self.lookups as f64
+    }
+
+    /// Looks up the handle of `node`, resolving slot handles through
+    /// `nodes` (handle `h` refers to `nodes[h]`).
+    pub(crate) fn get(&mut self, node: &Node, nodes: &[Node]) -> Option<Bdd> {
+        self.lookups += 1;
+        let (found, probes) = self.find(node, nodes);
+        self.probes += probes;
+        found
+    }
+
+    /// Read-only lookup (used against frozen tables, which cannot count).
+    pub(crate) fn probe(&self, node: &Node, nodes: &[Node]) -> Option<Bdd> {
+        self.find(node, nodes).0
+    }
+
+    #[inline]
+    fn find(&self, node: &Node, nodes: &[Node]) -> (Option<Bdd>, u64) {
+        if self.slots.is_empty() {
+            return (None, 1);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_node(node) as usize) & mask;
+        let mut probes = 0;
+        loop {
+            probes += 1;
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return (None, probes);
+            }
+            if nodes[slot as usize] == *node {
+                return (Some(Bdd(slot)), probes);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `handle` for its node (which must not be present yet).
+    pub(crate) fn insert(&mut self, handle: Bdd, nodes: &[Node]) {
+        // Grow at 3/4 load so probe chains stay short; insert-only tables
+        // never shrink.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(nodes);
+        }
+        let mask = self.slots.len() - 1;
+        let node = &nodes[handle.0 as usize];
+        let mut i = (hash_node(node) as usize) & mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = handle.0;
+        self.len += 1;
+    }
+
+    fn grow(&mut self, nodes: &[Node]) {
+        let cap = (self.slots.len() * 2).max(64);
+        let mask = cap - 1;
+        let mut slots = vec![EMPTY; cap];
+        for &h in self.slots.iter().filter(|&&h| h != EMPTY) {
+            let mut i = (hash_node(&nodes[h as usize]) as usize) & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = h;
+        }
+        self.slots = slots;
+    }
+}
+
+/// One direct-mapped cache line: an [`OpKey`] flattened to `(tag, a, b)`
+/// plus the cached result.
+#[derive(Debug, Clone, Copy)]
+struct OpEntry {
+    tag: u8,
+    a: u32,
+    b: u32,
+    result: u32,
+}
+
+const VACANT: u8 = u8::MAX;
+
+impl OpKey {
+    /// Flattens to `(tag, a, b)`; unary keys use `b = 0`.
+    #[inline]
+    fn flatten(self) -> (u8, u32, u32) {
+        match self {
+            OpKey::And(a, b) => (0, a.0, b.0),
+            OpKey::Or(a, b) => (1, a.0, b.0),
+            OpKey::Xor(a, b) => (2, a.0, b.0),
+            OpKey::Not(a) => (3, a.0, 0),
+        }
+    }
+}
+
+/// Fixed-size direct-mapped lossy cache of `apply` results.
+#[derive(Debug, Clone)]
+pub(crate) struct OpCache {
+    /// Allocated lazily at `capacity` entries on first insert.
+    entries: Vec<OpEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default capacity: 64Ki entries x 16 bytes = 1 MiB, sized for
+/// retarget-scale managers.
+pub(crate) const MANAGER_OP_CACHE: usize = 1 << 16;
+/// Session overlays see far fewer distinct operand pairs; 4Ki entries keep
+/// a batch of concurrent sessions cheap.
+pub(crate) const OVERLAY_OP_CACHE: usize = 1 << 12;
+
+impl OpCache {
+    /// An empty cache that will allocate `capacity` slots (rounded up to a
+    /// power of two) on first insert.
+    pub(crate) fn new(capacity: usize) -> OpCache {
+        OpCache {
+            entries: Vec::new(),
+            capacity: capacity.next_power_of_two().max(2),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache hits over total lookups so far.
+    pub(crate) fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// `(hits, misses)` counters.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Records a hit served elsewhere (an overlay probing its frozen
+    /// base's cache counts the hit against its own session).
+    #[inline]
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    #[inline]
+    fn index(&self, tag: u8, a: u32, b: u32) -> usize {
+        let h = fxmix(fxmix(fxmix(0, u64::from(tag)), u64::from(a)), u64::from(b));
+        (h as usize) & (self.entries.len() - 1)
+    }
+
+    /// Counting lookup for the owner of the cache.
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: OpKey) -> Option<Bdd> {
+        match self.probe(key) {
+            Some(r) => {
+                self.hits += 1;
+                Some(r)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read-only probe (used by overlays against a frozen base cache; the
+    /// overlay does its own counting).
+    #[inline]
+    pub(crate) fn probe(&self, key: OpKey) -> Option<Bdd> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (tag, a, b) = key.flatten();
+        let e = self.entries[self.index(tag, a, b)];
+        (e.tag == tag && e.a == a && e.b == b).then_some(Bdd(e.result))
+    }
+
+    /// Stores `result`, overwriting whatever occupied the slot (lossy).
+    #[inline]
+    pub(crate) fn insert(&mut self, key: OpKey, result: Bdd) {
+        if self.entries.is_empty() {
+            self.entries = vec![
+                OpEntry {
+                    tag: VACANT,
+                    a: 0,
+                    b: 0,
+                    result: 0,
+                };
+                self.capacity
+            ];
+        }
+        let (tag, a, b) = key.flatten();
+        let i = self.index(tag, a, b);
+        self.entries[i] = OpEntry {
+            tag,
+            a,
+            b,
+            result: result.0,
+        };
+    }
+}

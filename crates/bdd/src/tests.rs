@@ -465,3 +465,351 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential tests of the fast-path storage layer (PR 3).
+//
+// `RefManager` below is a deliberately naive reimplementation of the
+// kernel as it existed before the custom tables: `std::collections`
+// HashMaps for the unique table and an *unbounded* operation cache, the
+// same apply recursion.  Driving random operation sequences through both
+// pins the storage refactor's contract: identical truth tables AND
+// identical canonical node handles, op by op.
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor reference kernel: HashMap unique table, unbounded
+/// HashMap op-cache, identical reduction rules.
+struct RefManager {
+    nodes: Vec<(u32, u32, u32)>, // (var, lo, hi); slots 0/1 are terminals
+    unique: std::collections::HashMap<(u32, u32, u32), u32>,
+    cache: std::collections::HashMap<(u8, u32, u32), u32>,
+    nvars: u32,
+}
+
+impl RefManager {
+    fn new(nvars: u32) -> RefManager {
+        RefManager {
+            nodes: vec![(u32::MAX, 0, 0); 2],
+            unique: std::collections::HashMap::new(),
+            cache: std::collections::HashMap::new(),
+            nvars,
+        }
+    }
+
+    fn literal(&mut self, var: u32) -> u32 {
+        assert!(var < self.nvars);
+        self.mk(var, 0, 1)
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let key = (var, lo, hi);
+        if let Some(&b) = self.unique.get(&key) {
+            return b;
+        }
+        let b = self.nodes.len() as u32;
+        self.nodes.push(key);
+        self.unique.insert(key, b);
+        b
+    }
+
+    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
+        if f <= 1 {
+            return (f, f);
+        }
+        let (v, lo, hi) = self.nodes[f as usize];
+        if v == var {
+            (lo, hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    fn top_var(&self, a: u32, b: u32) -> u32 {
+        let va = if a > 1 {
+            self.nodes[a as usize].0
+        } else {
+            u32::MAX
+        };
+        let vb = if b > 1 {
+            self.nodes[b as usize].0
+        } else {
+            u32::MAX
+        };
+        va.min(vb)
+    }
+
+    fn and(&mut self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        if a == 1 {
+            return b;
+        }
+        if b == 1 || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&(0, a, b)) {
+            return r;
+        }
+        let v = self.top_var(a, b);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.and(a0, b0);
+        let hi = self.and(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert((0, a, b), r);
+        r
+    }
+
+    fn or(&mut self, a: u32, b: u32) -> u32 {
+        if a == 1 || b == 1 {
+            return 1;
+        }
+        if a == 0 {
+            return b;
+        }
+        if b == 0 || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&(1, a, b)) {
+            return r;
+        }
+        let v = self.top_var(a, b);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.or(a0, b0);
+        let hi = self.or(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert((1, a, b), r);
+        r
+    }
+
+    fn xor(&mut self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return 0;
+        }
+        if a == 0 {
+            return b;
+        }
+        if b == 0 {
+            return a;
+        }
+        if a == 1 {
+            return self.not(b);
+        }
+        if b == 1 {
+            return self.not(a);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.cache.get(&(2, a, b)) {
+            return r;
+        }
+        let v = self.top_var(a, b);
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.xor(a0, b0);
+        let hi = self.xor(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert((2, a, b), r);
+        r
+    }
+
+    fn not(&mut self, a: u32) -> u32 {
+        if a == 0 {
+            return 1;
+        }
+        if a == 1 {
+            return 0;
+        }
+        if let Some(&r) = self.cache.get(&(3, a, 0)) {
+            return r;
+        }
+        let (v, lo, hi) = self.nodes[a as usize];
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(v, nlo, nhi);
+        self.cache.insert((3, a, 0), r);
+        r
+    }
+
+    fn eval(&self, f: u32, asg: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            if cur == 1 {
+                return true;
+            }
+            let (v, lo, hi) = self.nodes[cur as usize];
+            cur = if asg[v as usize] { hi } else { lo };
+        }
+    }
+}
+
+/// One step of a random op sequence: an opcode plus operand picks (taken
+/// modulo the current pool size, so any u32 is valid).
+type RandOp = (u8, u32, u32);
+
+fn apply_seq_ref(m: &mut RefManager, nvars: u32, seq: &[RandOp]) -> Vec<u32> {
+    let mut pool: Vec<u32> = (0..nvars).map(|v| m.literal(v)).collect();
+    for &(opc, x, y) in seq {
+        let a = pool[x as usize % pool.len()];
+        let b = pool[y as usize % pool.len()];
+        let r = match opc % 4 {
+            0 => m.and(a, b),
+            1 => m.or(a, b),
+            2 => m.xor(a, b),
+            _ => m.not(a),
+        };
+        pool.push(r);
+    }
+    pool
+}
+
+fn apply_seq_fast<M: BddOps>(m: &mut M, nvars: u32, seq: &[RandOp]) -> Vec<Bdd> {
+    let mut pool: Vec<Bdd> = (0..nvars).map(|v| m.var(&format!("v{v}"))).collect();
+    for &(opc, x, y) in seq {
+        let a = pool[x as usize % pool.len()];
+        let b = pool[y as usize % pool.len()];
+        let r = match opc % 4 {
+            0 => m.and(a, b),
+            1 => m.or(a, b),
+            2 => m.xor(a, b),
+            _ => m.not(a),
+        };
+        pool.push(r);
+    }
+    pool
+}
+
+proptest! {
+    /// The custom unique table / lossy op-cache produce exactly the
+    /// handles and truth tables of the HashMap reference path, for any
+    /// op sequence.
+    #[test]
+    fn fast_tables_match_reference_path(
+        seq in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..48)
+    ) {
+        let nvars = NVARS as u32;
+        let mut reference = RefManager::new(nvars);
+        let ref_pool = apply_seq_ref(&mut reference, nvars, &seq);
+
+        let mut fast = fresh_manager();
+        let fast_pool = apply_seq_fast(&mut fast, nvars, &seq);
+
+        // Identical canonical handles, op by op: handle i of the fast
+        // path is the same node index the reference assigned.
+        prop_assert_eq!(ref_pool.len(), fast_pool.len());
+        for (r, f) in ref_pool.iter().zip(&fast_pool) {
+            prop_assert_eq!(*r, f.0);
+        }
+        // Identical node stores (count), identical truth tables.
+        prop_assert_eq!(reference.nodes.len() - 2, fast.node_count());
+        for bits in 0u32..(1 << NVARS) {
+            let asg: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            for (r, f) in ref_pool.iter().zip(&fast_pool) {
+                prop_assert_eq!(reference.eval(*r, &asg), fast.eval(*f, &asg));
+            }
+        }
+    }
+
+    /// Same contract across the freeze boundary: a session overlay over a
+    /// frozen base assigns the very same handles the reference does when
+    /// the whole sequence runs in one store.
+    #[test]
+    fn overlay_tables_match_reference_path(
+        split in 0usize..24,
+        seq in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..24)
+    ) {
+        let nvars = NVARS as u32;
+        let mut reference = RefManager::new(nvars);
+        let ref_pool = apply_seq_ref(&mut reference, nvars, &seq);
+
+        // First `split` ops retarget-time, rest in a session overlay.
+        let split = split % (seq.len() + 1);
+        let mut m = fresh_manager();
+        let pre = apply_seq_fast(&mut m, nvars, &seq[..split]);
+        let frozen = m.freeze();
+        let mut session = frozen.overlay();
+        let mut pool = pre;
+        for &(opc, x, y) in &seq[split..] {
+            let a = pool[x as usize % pool.len()];
+            let b = pool[y as usize % pool.len()];
+            let r = match opc % 4 {
+                0 => session.and(a, b),
+                1 => session.or(a, b),
+                2 => session.xor(a, b),
+                _ => session.not(a),
+            };
+            pool.push(r);
+        }
+        prop_assert_eq!(ref_pool.len(), pool.len());
+        for (r, f) in ref_pool.iter().zip(&pool) {
+            prop_assert_eq!(*r, f.0);
+        }
+    }
+}
+
+/// The direct-mapped op-cache is lossy by design: a tiny cache must
+/// change only the hit rate, never any result handle.
+#[test]
+fn lossy_op_cache_changes_hit_rate_not_results() {
+    let seq: Vec<RandOp> = (0..200u32)
+        .map(|i| {
+            // A fixed pseudo-random but deterministic op sequence.
+            let x = i.wrapping_mul(2654435761);
+            ((x >> 7) as u8, x, x.rotate_left(13))
+        })
+        .collect();
+    let nvars = NVARS as u32;
+
+    let mut big = BddManager::new();
+    for v in 0..nvars {
+        big.var(&format!("v{v}"));
+    }
+    let big_pool = apply_seq_fast(&mut big, nvars, &seq);
+
+    // Two entries: essentially permanent collision pressure.
+    let mut tiny = BddManager::with_op_cache_capacity(2);
+    for v in 0..nvars {
+        tiny.var(&format!("v{v}"));
+    }
+    let tiny_pool = apply_seq_fast(&mut tiny, nvars, &seq);
+
+    assert_eq!(big_pool, tiny_pool, "handles must not depend on cache size");
+    assert_eq!(big.node_count(), tiny.node_count());
+
+    let (big_hits, _) = big.op_cache_counters();
+    let (tiny_hits, tiny_misses) = tiny.op_cache_counters();
+    assert!(tiny_hits + tiny_misses > 0, "cache was exercised");
+    assert!(
+        tiny.op_cache_hit_rate() <= big.op_cache_hit_rate(),
+        "tiny cache {} should not out-hit the big one {}",
+        tiny.op_cache_hit_rate(),
+        big.op_cache_hit_rate()
+    );
+    assert!(big_hits >= tiny_hits);
+}
+
+/// The probe-length counter observes real work: after enough inserts the
+/// mean probe length is at least one and stays small at our load factor.
+#[test]
+fn unique_table_probe_counter_is_sane() {
+    let mut m = fresh_manager();
+    let seq: Vec<RandOp> = (0..300u32)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E3779B9);
+            ((x >> 11) as u8, x, x.rotate_right(9))
+        })
+        .collect();
+    apply_seq_fast(&mut m, NVARS as u32, &seq);
+    let p = m.unique_avg_probe_len();
+    assert!(p >= 1.0, "lookups happened, so probes were counted: {p}");
+    assert!(p < 4.0, "linear probing at 3/4 load should stay short: {p}");
+}

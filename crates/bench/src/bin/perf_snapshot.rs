@@ -1,0 +1,122 @@
+//! Measures the perf snapshot (`BENCH_*.json`): retargeting time per
+//! model, compile time per kernel x model pair, and the
+//! machine-independent counters future perf PRs are gated on.
+//!
+//! ```text
+//! perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE]
+//! ```
+//!
+//! * `--iters N` — timed runs per measurement (median reported);
+//!   default 20.  CI uses a tiny count because it only reads counters.
+//! * `--out FILE` — write the snapshot JSON there (stdout otherwise).
+//! * `--carry-pre-pr FILE` — copy the `"pre_pr"` member of an existing
+//!   snapshot into the new one, so the trajectory keeps its anchor when
+//!   refreshed.
+//! * `--check FILE` — compare measured counters (BDD node count,
+//!   template/rule counts, emitted ops/words) against a checked-in
+//!   snapshot and exit non-zero on drift.  This is the bench-smoke gate:
+//!   perf PRs must not silently change semantics.
+
+use record_bench::snapshot::{counter_drift, measure, parse_json, Json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut iters = 20usize;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut carry: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--iters" => iters = value("--iters").parse().expect("--iters takes a number"),
+            "--out" => out = Some(value("--out")),
+            "--check" => check = Some(value("--check")),
+            "--carry-pre-pr" => carry = Some(value("--carry-pre-pr")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring perf snapshot ({iters} iters per point)...");
+    let snap = measure(iters);
+
+    if let Some(path) = check {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read snapshot `{path}`: {e}"));
+        let checked_in = parse_json(&src).unwrap_or_else(|e| panic!("bad snapshot `{path}`: {e}"));
+        let drift = counter_drift(&snap, &checked_in);
+        if drift.is_empty() {
+            eprintln!(
+                "counters match `{path}` ({} retarget rows, {} compile rows)",
+                snap.retarget.len(),
+                snap.compile.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("counter drift against `{path}`:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        eprintln!(
+            "(if the change is intentional, refresh the snapshot: \
+             cargo run --release -p record-bench --bin perf_snapshot -- \
+             --carry-pre-pr {path} --out {path})"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Carry the trajectory anchor forward, if asked.
+    let pre_pr_raw = carry.map(|path| {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read snapshot `{path}`: {e}"));
+        let parsed = parse_json(&src).unwrap_or_else(|e| panic!("bad snapshot `{path}`: {e}"));
+        render_raw(
+            parsed
+                .get("pre_pr")
+                .unwrap_or_else(|| panic!("`{path}` has no pre_pr member")),
+        )
+    });
+    let json = snap.to_json(pre_pr_raw.as_deref());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Re-renders a parsed JSON value (used to carry `pre_pr` forward).
+fn render_raw(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => format!("{s:?}"),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render_raw).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{k:?}: {}", render_raw(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}

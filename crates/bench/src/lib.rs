@@ -11,6 +11,8 @@
 use record_core::{mem_traffic, CompileError, CompileRequest, Record, RetargetOptions, Target};
 use record_targets::{kernels, models, Kernel, TargetModel};
 
+pub mod snapshot;
+
 /// One Figure 2 data point.
 #[derive(Debug, Clone)]
 pub struct Figure2Row {

@@ -1,0 +1,587 @@
+//! The recorded perf trajectory: machine-timed medians plus
+//! machine-independent counters, serialized as `BENCH_*.json`.
+//!
+//! `cargo run --release -p record-bench --bin perf_snapshot` measures
+//! retargeting per model and compilation per kernel x model pair and
+//! writes the snapshot JSON.  Two kinds of data live side by side:
+//!
+//! * **medians** (`median_ns`) — wall-clock, machine-dependent, the
+//!   numbers future perf PRs diff against;
+//! * **counters** (BDD node count, template/rule counts, emitted op and
+//!   instruction-word counts, op-cache hit rate, unique-table probe
+//!   length) — deterministic for a given source tree, so CI can fail a
+//!   perf PR that silently changes *semantics* while claiming to only
+//!   change *speed* (see [`counter_drift`]).
+//!
+//! The crate has no serde (offline build), so this module carries a
+//! minimal JSON writer and a minimal recursive-descent parser — enough
+//! for the snapshot schema and nothing else.
+
+use record_core::{CompileRequest, Record, RetargetOptions};
+use record_targets::{kernels, models};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One retargeting measurement.
+#[derive(Debug, Clone)]
+pub struct RetargetRow {
+    pub model: &'static str,
+    pub median_ns: u128,
+    /// Frozen BDD node count after retargeting (counter).
+    pub bdd_nodes: usize,
+    /// Extended template count (counter).
+    pub templates: usize,
+    /// Grammar rule count (counter).
+    pub rules: usize,
+    /// Retarget-time op-cache hit rate (counter, deterministic).
+    pub op_cache_hit_rate: f64,
+    /// Retarget-time unique-table mean probe length (counter,
+    /// deterministic).
+    pub unique_avg_probe_len: f64,
+}
+
+/// One compilation measurement (kernel x model).
+#[derive(Debug, Clone)]
+pub struct CompileRow {
+    pub model: &'static str,
+    pub kernel: &'static str,
+    /// `false` when the kernel does not compile on this model (e.g. the
+    /// data path lacks an operator); timings and counters are zero then.
+    pub ok: bool,
+    pub median_ns: u128,
+    /// Emitted vertical RT ops (counter).
+    pub ops: usize,
+    /// Compacted instruction words (counter).
+    pub words: usize,
+    /// Session-local BDD nodes created by one compile (counter).
+    pub scratch_nodes: usize,
+    /// Session op-cache hit rate over one compile (counter).
+    pub op_cache_hit_rate: f64,
+}
+
+/// A full snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub iters: usize,
+    pub retarget: Vec<RetargetRow>,
+    pub compile: Vec<CompileRow>,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Measures the snapshot: `iters` timed runs per measurement, median
+/// reported.
+pub fn measure(iters: usize) -> Snapshot {
+    let iters = iters.max(1);
+    let options = RetargetOptions::default();
+    let mut retarget = Vec::new();
+    let mut compile = Vec::new();
+    for model in models() {
+        let samples: Vec<u128> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                let target = Record::retarget(model.hdl, &options).expect("model retargets");
+                std::hint::black_box(&target);
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        let target = Record::retarget(model.hdl, &options).expect("model retargets");
+        retarget.push(RetargetRow {
+            model: model.name,
+            median_ns: median_ns(samples),
+            bdd_nodes: target.manager().node_count(),
+            templates: target.stats().templates_extended,
+            rules: target.stats().rules,
+            op_cache_hit_rate: target.manager().op_cache_hit_rate(),
+            unique_avg_probe_len: target.manager().unique_avg_probe_len(),
+        });
+        for kernel in kernels() {
+            let request = CompileRequest::new(kernel.source, kernel.function);
+            // Counters via an explicit session (one compile, then read
+            // the session gauges).
+            let mut session = target.session();
+            match session.compile(&request) {
+                Ok(k) => {
+                    let samples: Vec<u128> = (0..iters)
+                        .map(|_| {
+                            let t = Instant::now();
+                            std::hint::black_box(target.compile(&request).expect("compiles"));
+                            t.elapsed().as_nanos()
+                        })
+                        .collect();
+                    compile.push(CompileRow {
+                        model: model.name,
+                        kernel: kernel.name,
+                        ok: true,
+                        median_ns: median_ns(samples),
+                        ops: k.ops.len(),
+                        words: k.schedule.as_ref().map_or(0, |s| s.len()),
+                        scratch_nodes: session.scratch_nodes(),
+                        op_cache_hit_rate: session.bdd_op_cache_hit_rate(),
+                    });
+                }
+                Err(_) => compile.push(CompileRow {
+                    model: model.name,
+                    kernel: kernel.name,
+                    ok: false,
+                    median_ns: 0,
+                    ops: 0,
+                    words: 0,
+                    scratch_nodes: 0,
+                    op_cache_hit_rate: 0.0,
+                }),
+            }
+        }
+    }
+    Snapshot {
+        iters,
+        retarget,
+        compile,
+    }
+}
+
+impl Snapshot {
+    /// Serializes the snapshot; `pre_pr` is an optional raw JSON value
+    /// (typically carried over from the previous snapshot file) recording
+    /// the numbers this tree was measured against.
+    pub fn to_json(&self, pre_pr: Option<&str>) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"record-perf-snapshot/v1\",");
+        let _ = writeln!(out, "  \"iters\": {},", self.iters);
+        if let Some(raw) = pre_pr {
+            let _ = writeln!(out, "  \"pre_pr\": {},", raw.trim());
+        }
+        out.push_str("  \"retarget\": [\n");
+        for (i, r) in self.retarget.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"model\": {:?}, \"median_ns\": {}, \"bdd_nodes\": {}, \"templates\": {}, \"rules\": {}, \"op_cache_hit_rate\": {:.4}, \"unique_avg_probe_len\": {:.4}}}",
+                r.model, r.median_ns, r.bdd_nodes, r.templates, r.rules, r.op_cache_hit_rate, r.unique_avg_probe_len
+            );
+            out.push_str(if i + 1 < self.retarget.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"compile\": [\n");
+        for (i, c) in self.compile.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"model\": {:?}, \"kernel\": {:?}, \"ok\": {}, \"median_ns\": {}, \"ops\": {}, \"words\": {}, \"scratch_nodes\": {}, \"op_cache_hit_rate\": {:.4}}}",
+                c.model, c.kernel, c.ok, c.median_ns, c.ops, c.words, c.scratch_nodes, c.op_cache_hit_rate
+            );
+            out.push_str(if i + 1 < self.compile.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (no serde in the offline build).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    // Collect raw bytes and validate UTF-8 once at the end, so multi-byte
+    // characters in the input survive intact.
+    let mut out: Vec<u8> = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return String::from_utf8(out).map_err(|_| "string is not valid UTF-8".into()),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("bad escape")?;
+                *pos += 1;
+                match esc {
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'u' => {
+                        let cp = parse_hex4(b, pos)?;
+                        // Combine a UTF-16 surrogate pair if present.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        let ch = ch.ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Parses exactly four hex digits (the payload of a `\uXXXX` escape).
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let digits = b
+        .get(*pos..*pos + 4)
+        .and_then(|d| std::str::from_utf8(d).ok())
+        .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+    let cp = u32::from_str_radix(digits, 16)
+        .map_err(|_| format!("bad \\u escape `{digits}` at byte {pos}"))?;
+    *pos += 4;
+    Ok(cp)
+}
+
+// ---------------------------------------------------------------------------
+// Counter drift check (the CI bench-smoke gate).
+// ---------------------------------------------------------------------------
+
+/// Compares the machine-independent counters of a freshly measured
+/// snapshot against a checked-in snapshot file, returning human-readable
+/// drift findings (empty = no drift).
+///
+/// Only counters are compared — medians are machine-dependent and may
+/// move freely; hit rates and probe lengths are deterministic but are
+/// *reported*, not gated, because improving them is this trajectory's
+/// whole point.  The comparison is bidirectional: a snapshot row with no
+/// measured counterpart (a model or kernel silently dropped from the
+/// suite) is drift too.
+pub fn counter_drift(measured: &Snapshot, checked_in: &Json) -> Vec<String> {
+    let mut drift = Vec::new();
+    // Snapshot rows the measurement no longer produces.
+    for (section, key2) in [("retarget", None), ("compile", Some("kernel"))] {
+        for row in checked_in
+            .get(section)
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            let model = row.get("model").and_then(Json::as_str).unwrap_or("?");
+            let kernel = key2.map(|k| row.get(k).and_then(Json::as_str).unwrap_or("?"));
+            let found = match kernel {
+                None => measured.retarget.iter().any(|r| r.model == model),
+                Some(kernel) => measured
+                    .compile
+                    .iter()
+                    .any(|c| c.model == model && c.kernel == kernel),
+            };
+            if !found {
+                drift.push(match kernel {
+                    None => format!("snapshot model `{model}` was not measured (dropped?)"),
+                    Some(k) => {
+                        format!("snapshot compile `{model}`/`{k}` was not measured (dropped?)")
+                    }
+                });
+            }
+        }
+    }
+    let num = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_num);
+    let empty = [];
+    let rows = checked_in
+        .get("retarget")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for r in &measured.retarget {
+        let Some(row) = rows
+            .iter()
+            .find(|row| row.get("model").and_then(Json::as_str) == Some(r.model))
+        else {
+            drift.push(format!("model `{}` missing from snapshot", r.model));
+            continue;
+        };
+        for (name, got) in [
+            ("bdd_nodes", r.bdd_nodes as f64),
+            ("templates", r.templates as f64),
+            ("rules", r.rules as f64),
+        ] {
+            let want = num(row, name);
+            if want != Some(got) {
+                drift.push(format!(
+                    "{}: {name} drifted: measured {got}, snapshot {want:?}",
+                    r.model
+                ));
+            }
+        }
+    }
+    let rows = checked_in
+        .get("compile")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for c in &measured.compile {
+        let Some(row) = rows.iter().find(|row| {
+            row.get("model").and_then(Json::as_str) == Some(c.model)
+                && row.get("kernel").and_then(Json::as_str) == Some(c.kernel)
+        }) else {
+            drift.push(format!(
+                "compile `{}`/`{}` missing from snapshot",
+                c.model, c.kernel
+            ));
+            continue;
+        };
+        let ok = row.get("ok") == Some(&Json::Bool(true));
+        if ok != c.ok {
+            drift.push(format!(
+                "{}/{}: compile outcome drifted: measured ok={}, snapshot ok={ok}",
+                c.model, c.kernel, c.ok
+            ));
+            continue;
+        }
+        for (name, got) in [("ops", c.ops as f64), ("words", c.words as f64)] {
+            let want = num(row, name);
+            if want != Some(got) {
+                drift.push(format!(
+                    "{}/{}: {name} drifted: measured {got}, snapshot {want:?}",
+                    c.model, c.kernel
+                ));
+            }
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let snap = Snapshot {
+            iters: 2,
+            retarget: vec![RetargetRow {
+                model: "demo",
+                median_ns: 123,
+                bdd_nodes: 45,
+                templates: 6,
+                rules: 7,
+                op_cache_hit_rate: 0.5,
+                unique_avg_probe_len: 1.25,
+            }],
+            compile: vec![CompileRow {
+                model: "demo",
+                kernel: "fir",
+                ok: true,
+                median_ns: 999,
+                ops: 10,
+                words: 8,
+                scratch_nodes: 3,
+                op_cache_hit_rate: 0.75,
+            }],
+        };
+        let json = snap.to_json(Some("{\"note\": \"seed\"}"));
+        let parsed = parse_json(&json).expect("parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("record-perf-snapshot/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("pre_pr")
+                .and_then(|p| p.get("note"))
+                .and_then(Json::as_str),
+            Some("seed")
+        );
+        // No drift against itself.
+        assert!(counter_drift(&snap, &parsed).is_empty());
+        // A counter change is caught.
+        let mut other = snap.clone();
+        other.retarget[0].bdd_nodes = 46;
+        let findings = counter_drift(&other, &parsed);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("bdd_nodes"));
+        // Dropping a measured row is caught too (the gate is
+        // bidirectional).
+        let mut dropped = snap.clone();
+        dropped.compile.clear();
+        let findings = counter_drift(&dropped, &parsed);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("was not measured"));
+    }
+
+    #[test]
+    fn strings_survive_unicode_and_escapes() {
+        // Multi-byte UTF-8 straight through.
+        let parsed = parse_json("{\"note\": \"em — dash\"}").expect("parses");
+        assert_eq!(parsed.get("note").and_then(Json::as_str), Some("em — dash"));
+        // \uXXXX escapes, including a surrogate pair.
+        let parsed = parse_json(r#"{"s": "a\u00e9b \ud83d\ude00"}"#).expect("parses");
+        assert_eq!(
+            parsed.get("s").and_then(Json::as_str),
+            Some("a\u{e9}b \u{1F600}")
+        );
+    }
+}

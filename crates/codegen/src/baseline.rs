@@ -12,7 +12,7 @@
 //! can happen.
 
 use crate::binding::Binding;
-use crate::emit::compile_statement;
+use crate::emit::{compile_statement, EmitTables};
 use crate::error::CodegenError;
 use crate::ops::RtOp;
 use record_bdd::BddOps;
@@ -42,6 +42,7 @@ pub fn baseline_compile<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     width: u16,
 ) -> Result<Vec<RtOp>, CodegenError> {
     let mut out = Vec::new();
@@ -56,6 +57,7 @@ pub fn baseline_compile<M: BddOps>(
             binding,
             netlist,
             manager,
+            tables,
             width,
             &mut out,
         )?;
@@ -83,6 +85,7 @@ fn expand<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<Operand, CodegenError> {
@@ -91,23 +94,23 @@ fn expand<M: BddOps>(
         FlatExpr::Load(r) => Operand::Mem(binding.addr_of(r)?),
         FlatExpr::Unary(op, a) => {
             let ao = expand(
-                a, None, selector, base, binding, netlist, manager, width, out,
+                a, None, selector, base, binding, netlist, manager, tables, width, out,
             )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
             let an = leaf(&mut b, &ao, binding);
             let value = b.node(EtKind::Op(*op), vec![an]);
             emit_step(
-                b, value, dst, selector, base, binding, netlist, manager, out,
+                b, value, dst, selector, base, binding, netlist, manager, tables, out,
             )?;
             return Ok(Operand::Mem(dst));
         }
         FlatExpr::Binary(op, l, r) => {
             let lo = expand(
-                l, None, selector, base, binding, netlist, manager, width, out,
+                l, None, selector, base, binding, netlist, manager, tables, width, out,
             )?;
             let ro = expand(
-                r, None, selector, base, binding, netlist, manager, width, out,
+                r, None, selector, base, binding, netlist, manager, tables, width, out,
             )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
@@ -115,7 +118,7 @@ fn expand<M: BddOps>(
             let rn = leaf(&mut b, &ro, binding);
             let value = b.node(EtKind::Op(*op), vec![ln, rn]);
             emit_step(
-                b, value, dst, selector, base, binding, netlist, manager, out,
+                b, value, dst, selector, base, binding, netlist, manager, tables, out,
             )?;
             return Ok(Operand::Mem(dst));
         }
@@ -124,7 +127,9 @@ fn expand<M: BddOps>(
     if let Some(t) = target {
         let mut b = EtBuilder::new();
         let value = leaf(&mut b, &operand, binding);
-        emit_step(b, value, t, selector, base, binding, netlist, manager, out)?;
+        emit_step(
+            b, value, t, selector, base, binding, netlist, manager, tables, out,
+        )?;
         return Ok(Operand::Mem(t));
     }
     Ok(operand)
@@ -158,12 +163,13 @@ fn emit_step<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
     let addr = b.leaf(EtKind::Const(dst));
     let et = Et::store(binding.data_mem(), addr, value, b);
     out.extend(compile_statement(
-        &et, selector, base, binding, netlist, manager,
+        &et, selector, base, binding, netlist, manager, tables,
     )?);
     Ok(())
 }

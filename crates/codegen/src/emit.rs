@@ -28,6 +28,7 @@ use std::collections::HashMap;
 ///
 /// Propagates selection failures, unbound variables and spill-path /
 /// storage exhaustion.
+#[allow(clippy::too_many_arguments)]
 pub fn compile<M: BddOps>(
     stmts: &[FlatStmt],
     selector: &Selector,
@@ -35,13 +36,14 @@ pub fn compile<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     width: u16,
 ) -> Result<Vec<RtOp>, CodegenError> {
     let mut out = Vec::new();
     for stmt in stmts {
         let mark = binding.scratch_mark();
         compile_split(
-            stmt, selector, base, binding, netlist, manager, width, &mut out,
+            stmt, selector, base, binding, netlist, manager, tables, width, &mut out,
         )?;
         binding.release_scratch(mark)?;
     }
@@ -67,6 +69,7 @@ fn compile_split<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
@@ -75,7 +78,7 @@ fn compile_split<M: BddOps>(
     let target = binding.addr_of(&stmt.target)?;
     let addr = b.node(record_grammar::EtKind::Const(target), Vec::new());
     let et = record_grammar::Et::store(binding.data_mem(), addr, value, b);
-    let err = match compile_statement(&et, selector, base, binding, netlist, manager) {
+    let err = match compile_statement(&et, selector, base, binding, netlist, manager, tables) {
         Ok(ops) => {
             out.extend(ops);
             return Ok(());
@@ -88,7 +91,7 @@ fn compile_split<M: BddOps>(
     };
     let tmp = binding.scratch()?;
     compile_split_expr(
-        &hoisted, tmp, selector, base, binding, netlist, manager, width, out,
+        &hoisted, tmp, selector, base, binding, netlist, manager, tables, width, out,
     )?;
     let remainder_stmt = FlatStmt {
         target: stmt.target.clone(),
@@ -101,6 +104,7 @@ fn compile_split<M: BddOps>(
         binding,
         netlist,
         manager,
+        tables,
         width,
         out,
     )
@@ -116,6 +120,7 @@ fn compile_split_expr<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
 ) -> Result<(), CodegenError> {
@@ -123,7 +128,7 @@ fn compile_split_expr<M: BddOps>(
     let v = build_flat(value, binding, width, &mut b)?;
     let addr = b.node(record_grammar::EtKind::Const(tmp), Vec::new());
     let et = record_grammar::Et::store(binding.data_mem(), addr, v, b);
-    let err = match compile_statement(&et, selector, base, binding, netlist, manager) {
+    let err = match compile_statement(&et, selector, base, binding, netlist, manager, tables) {
         Ok(ops) => {
             out.extend(ops);
             return Ok(());
@@ -135,7 +140,7 @@ fn compile_split_expr<M: BddOps>(
     };
     let tmp2 = binding.scratch()?;
     compile_split_expr(
-        &hoisted, tmp2, selector, base, binding, netlist, manager, width, out,
+        &hoisted, tmp2, selector, base, binding, netlist, manager, tables, width, out,
     )?;
     compile_split_expr(
         &replace_marker(&remainder, tmp2),
@@ -145,6 +150,7 @@ fn compile_split_expr<M: BddOps>(
         binding,
         netlist,
         manager,
+        tables,
         width,
         out,
     )
@@ -273,11 +279,14 @@ pub fn compile_statement<M: BddOps>(
     binding: &mut Binding,
     netlist: &Netlist,
     manager: &mut M,
+    tables: &EmitTables,
 ) -> Result<Vec<RtOp>, CodegenError> {
     let cover = selector.select(et).map_err(|e| CodegenError::Select {
         message: e.to_string(),
     })?;
-    let mut emitter = Emitter::new(et, &cover, selector, base, binding, netlist, manager);
+    let mut emitter = Emitter::new(
+        et, &cover, selector, base, binding, netlist, manager, tables,
+    );
     emitter.run()
 }
 
@@ -286,6 +295,42 @@ pub fn compile_statement<M: BddOps>(
 struct RfFields {
     write: Option<(u16, u16)>,
     read: Option<(u16, u16)>,
+}
+
+/// Per-target emission tables, computed once at retarget time.
+///
+/// Before the retarget artifact froze these were rebuilt on every
+/// compile: `rf_fields` walked the netlist per `Emitter`, and folding an
+/// instruction field into an execution condition formatted an `I[b]`
+/// name, hashed it and looked the variable up — per bit, per emitted op.
+/// Both are target-level constants, so they live here now: the
+/// register-file address fields and the positive literal of every
+/// instruction-word bit (frozen-base BDD handles, valid in every session
+/// overlay).
+#[derive(Debug, Clone)]
+pub struct EmitTables {
+    rf: HashMap<StorageId, RfFields>,
+    ibits: Vec<record_bdd::Bdd>,
+}
+
+impl EmitTables {
+    /// Builds the tables against the retarget-time manager (the literals
+    /// must be created before [`record_bdd::BddManager::freeze`] so they
+    /// are frozen handles).
+    pub fn build<M: BddOps>(netlist: &Netlist, manager: &mut M, iword_width: u16) -> EmitTables {
+        let ibits = (0..iword_width)
+            .map(|b| manager.var(&format!("I[{b}]")))
+            .collect();
+        EmitTables {
+            rf: rf_fields(netlist),
+            ibits,
+        }
+    }
+
+    /// Positive literals of instruction bits `lo..=hi` (`lo` first).
+    fn ibit_range(&self, hi: u16, lo: u16) -> &[record_bdd::Bdd] {
+        &self.ibits[lo as usize..=hi as usize]
+    }
 }
 
 /// Extracts the address fields of every register file in the netlist.
@@ -328,7 +373,7 @@ struct Emitter<'a, M: BddOps> {
     binding: &'a mut Binding,
     netlist: &'a Netlist,
     manager: &'a mut M,
-    rf: HashMap<StorageId, RfFields>,
+    tables: &'a EmitTables,
     /// Field constraints (hi, lo, value) collected for the op being built.
     field_constraints: Vec<(u16, u16, u64)>,
     /// Producer app index per value.
@@ -354,6 +399,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
         binding: &'a mut Binding,
         netlist: &'a Netlist,
         manager: &'a mut M,
+        tables: &'a EmitTables,
     ) -> Self {
         let mut producer = HashMap::new();
         for (i, app) in cover.apps.iter().enumerate() {
@@ -365,7 +411,6 @@ impl<'a, M: BddOps> Emitter<'a, M> {
                 rf_free.insert(s.id, (0..s.size).rev().collect());
             }
         }
-        let rf = rf_fields(netlist);
         Emitter {
             et,
             cover,
@@ -374,7 +419,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             binding,
             netlist,
             manager,
-            rf,
+            tables,
             field_constraints: Vec::new(),
             producer,
             value_loc: HashMap::new(),
@@ -472,7 +517,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
         //    execution condition (the binary *partial instruction* of the
         //    paper includes operand fields; compaction relies on it).
         if let DestSim::Loc(Loc::Rf(s, c)) = &dest {
-            if let Some(f) = self.rf.get(s).and_then(|f| f.write) {
+            if let Some(f) = self.tables.rf.get(s).and_then(|f| f.write) {
                 self.field_constraints.push((f.0, f.1, *c));
             }
         }
@@ -494,14 +539,14 @@ impl<'a, M: BddOps> Emitter<'a, M> {
     }
 
     /// Conjoins the collected field constraints into `cond` and clears
-    /// them.
+    /// them.  The bit literals come precomputed from the frozen
+    /// [`EmitTables`], so this is pure BDD work — no name formatting, no
+    /// per-bit allocation.
     fn conjoin_fields(&mut self, cond: record_bdd::Bdd) -> record_bdd::Bdd {
         let mut acc = cond;
         for (hi, lo, v) in self.field_constraints.drain(..) {
-            let bits: Vec<record_bdd::Bdd> = (lo..=hi)
-                .map(|b| self.manager.var(&format!("I[{b}]")))
-                .collect();
-            let eq = self.manager.vector_equals(&bits, v);
+            let bits = self.tables.ibit_range(hi, lo);
+            let eq = self.manager.vector_equals(bits, v);
             acc = self.manager.and(acc, eq);
         }
         acc
@@ -775,7 +820,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
                             message: "internal: operand not materialised".into(),
                         })?;
                 if let Loc::Rf(s, c) = &loc {
-                    if let Some(f) = self.rf.get(s).and_then(|f| f.read) {
+                    if let Some(f) = self.tables.rf.get(s).and_then(|f| f.read) {
                         self.field_constraints.push((f.0, f.1, *c));
                     }
                 }
@@ -795,7 +840,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
                     TermKey::RegLeaf(s) => Ok(SimExpr::Read(Loc::Reg(*s))),
                     TermKey::RfLeaf(s) => match self.et.kind(node) {
                         EtKind::RfLeaf(_, c) => {
-                            if let Some(f) = self.rf.get(s).and_then(|f| f.read) {
+                            if let Some(f) = self.tables.rf.get(s).and_then(|f| f.read) {
                                 self.field_constraints.push((f.0, f.1, c as u64));
                             }
                             Ok(SimExpr::Read(Loc::Rf(*s, c as u64)))

@@ -151,7 +151,7 @@ impl RtOp {
                     )
                 }
                 SimExpr::Op(op, args) => {
-                    format!("{}({})", op.mnemonic(), expr(&args[0], n))
+                    format!("{}({})", op, expr(&args[0], n))
                 }
             }
         }

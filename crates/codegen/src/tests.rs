@@ -159,6 +159,7 @@ struct Rig {
     base: record_rtl::TemplateBase,
     selector: Selector,
     manager: std::cell::RefCell<record_bdd::BddManager>,
+    tables: crate::EmitTables,
 }
 
 fn rig(src: &str) -> Rig {
@@ -168,12 +169,15 @@ fn rig(src: &str) -> Rig {
     let mut base = ex.base.clone();
     record_rtl::extend(&mut base, &record_rtl::ExtensionOptions::default());
     let grammar = TreeGrammar::from_base(&base, &netlist);
-    let selector = Selector::generate(&grammar);
+    let selector = Selector::generate(std::sync::Arc::new(grammar));
+    let mut manager = ex.manager;
+    let tables = crate::EmitTables::build(&netlist, &mut manager, netlist.iword_width());
     Rig {
         netlist,
         base,
         selector,
-        manager: std::cell::RefCell::new(ex.manager),
+        manager: std::cell::RefCell::new(manager),
+        tables,
     }
 }
 
@@ -198,6 +202,7 @@ fn compile_and_check(r: &Rig, csrc: &str, init: &[(&str, Vec<u64>)]) -> usize {
         &mut binding,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .expect("compiles");
@@ -366,6 +371,7 @@ fn baseline_never_chains() {
         &mut b1,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .unwrap();
@@ -378,6 +384,7 @@ fn baseline_never_chains() {
         &mut b2,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .unwrap();
@@ -415,6 +422,7 @@ fn select_error_reports_subtree() {
         &mut binding,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .unwrap_err();
@@ -457,6 +465,7 @@ fn rendered_listing_is_readable() {
         &mut binding,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .unwrap();

@@ -66,6 +66,7 @@ struct Rig {
     base: record_rtl::TemplateBase,
     selector: Selector,
     manager: record_bdd::BddManager,
+    tables: record_codegen::EmitTables,
 }
 
 fn rig() -> Rig {
@@ -73,12 +74,15 @@ fn rig() -> Rig {
     let netlist = record_netlist::elaborate(&model).expect("elaborates");
     let ex = record_isex::extract(&netlist, &Default::default()).expect("extracts");
     let grammar = TreeGrammar::from_base(&ex.base, &netlist);
-    let selector = Selector::generate(&grammar);
+    let selector = Selector::generate(std::sync::Arc::new(grammar));
+    let mut manager = ex.manager;
+    let tables = record_codegen::EmitTables::build(&netlist, &mut manager, netlist.iword_width());
     Rig {
         netlist,
         base: ex.base,
         selector,
-        manager: ex.manager,
+        manager,
+        tables,
     }
 }
 
@@ -94,6 +98,7 @@ fn compile(r: &mut Rig, src: &str) -> (Vec<record_codegen::RtOp>, Binding) {
         &mut binding,
         &r.netlist,
         &mut r.manager,
+        &r.tables,
         16,
     )
     .expect("compiles");

@@ -11,7 +11,7 @@
 use crate::error::{CompileError, PipelineError};
 use crate::session::{CompileRequest, CompileSession};
 use record_bdd::FrozenBdd;
-use record_codegen::{Binding, Machine, RtOp};
+use record_codegen::{Binding, EmitTables, Machine, RtOp};
 use record_compact::Schedule;
 use record_grammar::TreeGrammar;
 use record_isex::{ExtractOptions, VarMap};
@@ -19,6 +19,7 @@ use record_netlist::{Netlist, StorageId, StorageKind};
 use record_regalloc::{AllocStats, RegisterPool};
 use record_rtl::{ExtensionOptions, TemplateBase};
 use record_selgen::{emit_rust, Selector};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for [`Record::retarget`].
@@ -99,11 +100,11 @@ impl Record {
         let t_extend = t2.elapsed();
 
         let t3 = Instant::now();
-        let grammar = TreeGrammar::from_base(&base, &netlist);
+        let grammar = Arc::new(TreeGrammar::from_base(&base, &netlist));
         let t_grammar = t3.elapsed();
 
         let t4 = Instant::now();
-        let selector = Selector::generate(&grammar);
+        let selector = Selector::generate(Arc::clone(&grammar));
         let parser_source = if options.emit_parser_source {
             Some(emit_rust(&grammar, netlist.name()))
         } else {
@@ -111,9 +112,15 @@ impl Record {
         };
         let t_selector = t4.elapsed();
 
-        // Freeze the artifact: data memory and register pool are fixed by
-        // the netlist and template base, so they are discovered *now*, not
-        // lazily during the first compile.
+        // Freeze the artifact: data memory, register pool and the
+        // emission tables (register-file address fields, instruction-bit
+        // literals) are fixed by the netlist and template base, so they
+        // are built *now*, not recomputed on every compile.  The literal
+        // handles must be created before `freeze` so sessions see them as
+        // frozen-base handles.
+        let mut manager = extraction.manager;
+        let emit_tables =
+            EmitTables::build(&netlist, &mut manager, extraction.varmap.iword_width());
         let data_mem = netlist
             .storages()
             .iter()
@@ -143,8 +150,9 @@ impl Record {
             base,
             grammar,
             selector,
-            frozen: extraction.manager.freeze(),
+            frozen: manager.freeze(),
             varmap: extraction.varmap,
+            emit_tables,
             stats,
             parser_source,
             data_mem,
@@ -219,11 +227,15 @@ impl CompiledKernel {
 pub struct Target {
     pub(crate) netlist: Netlist,
     pub(crate) base: TemplateBase,
-    pub(crate) grammar: TreeGrammar,
+    /// Shared with the selector (one rule set, two handles).
+    pub(crate) grammar: Arc<TreeGrammar>,
     pub(crate) selector: Selector,
     /// Frozen execution-condition BDDs; sessions layer overlays on top.
     pub(crate) frozen: FrozenBdd,
     pub(crate) varmap: VarMap,
+    /// Emission tables (rf address fields, instruction-bit literals),
+    /// fixed at retarget time.
+    pub(crate) emit_tables: EmitTables,
     pub(crate) stats: RetargetStats,
     pub(crate) parser_source: Option<String>,
     /// Default data memory, fixed at retarget time (`None` when the model

@@ -117,6 +117,18 @@ impl<'t> CompileSession<'t> {
         self.bdd.local_node_count()
     }
 
+    /// Fraction of this session's BDD op-cache lookups served from cache
+    /// (frozen-base hits included).
+    pub fn bdd_op_cache_hit_rate(&self) -> f64 {
+        self.bdd.op_cache_hit_rate()
+    }
+
+    /// Mean probe-chain length of this session's local unique-table
+    /// lookups.
+    pub fn bdd_unique_avg_probe_len(&self) -> f64 {
+        self.bdd.unique_avg_probe_len()
+    }
+
     /// Compiles one request.
     ///
     /// # Errors
@@ -146,6 +158,7 @@ impl<'t> CompileSession<'t> {
                 &mut binding,
                 &target.netlist,
                 &mut self.bdd,
+                &target.emit_tables,
                 width,
             )
         } else {
@@ -156,6 +169,7 @@ impl<'t> CompileSession<'t> {
                 &mut binding,
                 &target.netlist,
                 &mut self.bdd,
+                &target.emit_tables,
                 width,
             )
         }

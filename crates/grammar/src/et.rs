@@ -154,7 +154,7 @@ impl Et {
         let head = match self.kind(idx) {
             EtKind::Assign(_) => "assign".to_owned(),
             EtKind::Store(_) => "store".to_owned(),
-            EtKind::Op(op) => op.mnemonic(),
+            EtKind::Op(op) => op.to_string(),
             EtKind::MemRead(_) => "mem".to_owned(),
             EtKind::Const(v) => format!("{v}"),
             EtKind::RegLeaf(s) => format!("reg{}", s.0),

@@ -288,7 +288,7 @@ fn render_key(key: &TermKey, n: &Netlist) -> String {
         }
         TermKey::Assign(AssignKey::Port(p)) => format!("ASSIGN_{}", n.proc_port(*p).name),
         TermKey::Store(s) => format!("STORE_{}", n.storage(*s).name),
-        TermKey::Op(op) => op.mnemonic(),
+        TermKey::Op(op) => op.to_string(),
         TermKey::MemRead(s) => format!("{}_read", n.storage(*s).name),
         TermKey::RegLeaf(s) => format!("{}_leaf", n.storage(*s).name),
         TermKey::RfLeaf(s) => format!("{}_leaf", n.storage(*s).name),

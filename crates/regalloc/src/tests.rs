@@ -574,6 +574,7 @@ struct Rig {
     base: record_rtl::TemplateBase,
     selector: Selector,
     manager: std::cell::RefCell<record_bdd::BddManager>,
+    tables: record_codegen::EmitTables,
 }
 
 fn rig() -> Rig {
@@ -583,12 +584,15 @@ fn rig() -> Rig {
     let mut base = ex.base;
     record_rtl::extend(&mut base, &Default::default());
     let grammar = record_grammar::TreeGrammar::from_base(&base, &netlist);
-    let selector = Selector::generate(&grammar);
+    let selector = Selector::generate(std::sync::Arc::new(grammar));
+    let mut manager = ex.manager;
+    let tables = record_codegen::EmitTables::build(&netlist, &mut manager, netlist.iword_width());
     Rig {
         netlist,
         base,
         selector,
-        manager: std::cell::RefCell::new(ex.manager),
+        manager: std::cell::RefCell::new(manager),
+        tables,
     }
 }
 
@@ -616,6 +620,7 @@ fn compile_both(
         &mut binding,
         &r.netlist,
         &mut *r.manager.borrow_mut(),
+        &r.tables,
         16,
     )
     .expect("compiles");

@@ -156,27 +156,31 @@ impl OpKind {
     }
 
     /// A short mnemonic used in grammar terminal names and listings.
-    pub fn mnemonic(self) -> String {
+    ///
+    /// Allocation-free: `Slice` renders as a bare `"slice"` here; use the
+    /// [`fmt::Display`] impl when the bit parameters must be part of the
+    /// name (e.g. to keep distinct slices distinguishable).
+    pub fn mnemonic(self) -> &'static str {
         match self {
-            OpKind::Add => "add".into(),
-            OpKind::Sub => "sub".into(),
-            OpKind::Mul => "mul".into(),
-            OpKind::Div => "div".into(),
-            OpKind::Rem => "rem".into(),
-            OpKind::And => "and".into(),
-            OpKind::Or => "or".into(),
-            OpKind::Xor => "xor".into(),
-            OpKind::Shl => "shl".into(),
-            OpKind::Shr => "shr".into(),
-            OpKind::Not => "not".into(),
-            OpKind::Neg => "neg".into(),
-            OpKind::Eq => "eq".into(),
-            OpKind::Ne => "ne".into(),
-            OpKind::Lt => "lt".into(),
-            OpKind::Le => "le".into(),
-            OpKind::Gt => "gt".into(),
-            OpKind::Ge => "ge".into(),
-            OpKind::Slice(hi, lo) => format!("slice_{hi}_{lo}"),
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Rem => "rem",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::Not => "not",
+            OpKind::Neg => "neg",
+            OpKind::Eq => "eq",
+            OpKind::Ne => "ne",
+            OpKind::Lt => "lt",
+            OpKind::Le => "le",
+            OpKind::Gt => "gt",
+            OpKind::Ge => "ge",
+            OpKind::Slice(..) => "slice",
         }
     }
 
@@ -207,8 +211,13 @@ impl OpKind {
 }
 
 impl fmt::Display for OpKind {
+    /// The full name: like [`OpKind::mnemonic`], but `Slice` carries its
+    /// bit parameters (`slice_7_0`) so distinct slices render distinctly.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.mnemonic())
+        match self {
+            OpKind::Slice(hi, lo) => write!(f, "slice_{hi}_{lo}"),
+            other => write!(f, "{}", other.mnemonic()),
+        }
     }
 }
 

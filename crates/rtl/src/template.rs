@@ -107,7 +107,7 @@ fn fmt_pattern(p: &Pattern, n: &Netlist, f: &mut fmt::Formatter<'_>) -> fmt::Res
             write!(f, "[{hi}:{lo}]")
         }
         Pattern::Op(op, args) => {
-            write!(f, "{}(", op.mnemonic())?;
+            write!(f, "{}(", op)?;
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;

@@ -136,7 +136,7 @@ fn key_check(key: &TermKey, at: &str) -> String {
         ),
         TermKey::Op(op) => format!(
             "if nodes[{at}].kind != Kind::Op({:?}) {{ return None; }}",
-            op.mnemonic()
+            op.to_string()
         ),
         TermKey::MemRead(s) => format!(
             "if nodes[{at}].kind != Kind::MemRead({}) {{ return None; }}",

@@ -40,8 +40,8 @@
 //! let model = record_hdl::parse(src)?;
 //! let netlist = record_netlist::elaborate(&model)?;
 //! let ex = record_isex::extract(&netlist, &Default::default())?;
-//! let grammar = TreeGrammar::from_base(&ex.base, &netlist);
-//! let selector = record_selgen::Selector::generate(&grammar);
+//! let grammar = std::sync::Arc::new(TreeGrammar::from_base(&ex.base, &netlist));
+//! let selector = record_selgen::Selector::generate(grammar);
 //!
 //! let acc = netlist.storage_by_name("acc").unwrap().id;
 //! let mut b = EtBuilder::new();

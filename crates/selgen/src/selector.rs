@@ -4,6 +4,7 @@ use record_grammar::{Et, EtKind, GPat, NodeIdx, NonTermId, RuleId, TermKey, Tree
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Code selection failed: some subtree has no derivation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,12 +72,57 @@ struct LabelEntry {
     diversity: u8,
 }
 
+/// Dense node-major labelling matrix: one allocation of
+/// `nodes x non-terminals` entries instead of a `Vec` of `Vec`s.
+#[derive(Debug)]
+struct LabelMatrix {
+    entries: Vec<Option<LabelEntry>>,
+    nt_count: usize,
+}
+
+impl LabelMatrix {
+    fn new(nodes: usize, nt_count: usize) -> LabelMatrix {
+        LabelMatrix {
+            entries: vec![None; nodes * nt_count],
+            nt_count,
+        }
+    }
+
+    #[inline]
+    fn at(&self, idx: NodeIdx, nt: NonTermId) -> Option<LabelEntry> {
+        self.entries[idx * self.nt_count + nt.0 as usize]
+    }
+
+    #[inline]
+    fn slot(&mut self, idx: NodeIdx, nt: NonTermId) -> &mut Option<LabelEntry> {
+        &mut self.entries[idx * self.nt_count + nt.0 as usize]
+    }
+
+    /// Does node `idx` carry no label for any non-terminal?
+    fn unlabelled(&self, idx: NodeIdx) -> bool {
+        self.entries[idx * self.nt_count..(idx + 1) * self.nt_count]
+            .iter()
+            .all(Option::is_none)
+    }
+}
+
 /// A grammar-specific tree parser (see crate docs).
+///
+/// Generation precomputes everything `select` needs per node: candidate
+/// rules live in one flat arena sliced per root terminal (so dispatching
+/// on an ET node kind is a map lookup returning a borrowed slice, never a
+/// clone), and dynamic-programming labels go into a dense
+/// node-major matrix allocated in one piece.
 #[derive(Debug, Clone)]
 pub struct Selector {
-    grammar: TreeGrammar,
-    /// Rules indexed by the exact root terminal.
-    by_key: HashMap<TermKey, Vec<RuleId>>,
+    /// Shared, not cloned: the grammar is part of the frozen retarget
+    /// artifact and the selector only ever reads it.
+    grammar: Arc<TreeGrammar>,
+    /// Flat arena of candidate rule ids, sliced by `by_key` ranges.
+    rule_arena: Vec<RuleId>,
+    /// Rules indexed by the exact root terminal: `(start, end)` ranges
+    /// into `rule_arena`.
+    by_key: HashMap<TermKey, (u32, u32)>,
     /// Rules whose root is a hardwired constant or immediate terminal
     /// (candidates for `Const` ET nodes).
     const_root_rules: Vec<RuleId>,
@@ -87,8 +133,11 @@ pub struct Selector {
 
 impl Selector {
     /// "Parser generation": compiles `grammar` into dispatch tables.
-    pub fn generate(grammar: &TreeGrammar) -> Selector {
-        let mut by_key: HashMap<TermKey, Vec<RuleId>> = HashMap::new();
+    ///
+    /// Takes the grammar by `Arc` so the retarget artifact and the
+    /// selector share one rule set instead of duplicating it.
+    pub fn generate(grammar: Arc<TreeGrammar>) -> Selector {
+        let mut grouped: HashMap<TermKey, Vec<RuleId>> = HashMap::new();
         let mut const_root_rules = Vec::new();
         let mut chains = Vec::new();
         for r in grammar.rules() {
@@ -96,16 +145,27 @@ impl Selector {
                 GPat::NT(src) => chains.push((r.id, r.lhs, *src, r.cost)),
                 GPat::T(key, _) => match key {
                     TermKey::ConstVal(_) | TermKey::Imm { .. } => const_root_rules.push(r.id),
-                    other => by_key.entry(*other).or_default().push(r.id),
+                    other => grouped.entry(*other).or_default().push(r.id),
                 },
             }
         }
+        // Flatten the per-key groups into one arena so `candidates`
+        // returns borrowed slices.
+        let mut rule_arena = Vec::new();
+        let mut by_key = HashMap::with_capacity(grouped.len());
+        for (key, rules) in grouped {
+            let start = rule_arena.len() as u32;
+            rule_arena.extend(rules);
+            by_key.insert(key, (start, rule_arena.len() as u32));
+        }
+        let nt_count = grammar.nonterm_count();
         Selector {
-            grammar: grammar.clone(),
+            grammar,
+            rule_arena,
             by_key,
             const_root_rules,
             chains,
-            nt_count: grammar.nonterm_count(),
+            nt_count,
         }
     }
 
@@ -114,11 +174,14 @@ impl Selector {
         &self.grammar
     }
 
+    /// A shared handle to the grammar.
+    pub fn grammar_arc(&self) -> Arc<TreeGrammar> {
+        Arc::clone(&self.grammar)
+    }
+
     /// Number of rules reachable through the dispatch tables (diagnostic).
     pub fn table_size(&self) -> usize {
-        self.by_key.values().map(Vec::len).sum::<usize>()
-            + self.const_root_rules.len()
-            + self.chains.len()
+        self.rule_arena.len() + self.const_root_rules.len() + self.chains.len()
     }
 
     /// Computes a minimum-cost cover of `et`.
@@ -130,7 +193,7 @@ impl Selector {
     /// that fits no immediate field and no hardwired constant.
     pub fn select(&self, et: &Et) -> Result<Cover, SelectError> {
         let labels = self.label(et);
-        let root_entry = labels[et.root()][NonTermId::START.0 as usize];
+        let root_entry = labels.at(et.root(), NonTermId::START);
         if root_entry.is_none() {
             return Err(self.diagnose(et, &labels));
         }
@@ -143,17 +206,17 @@ impl Selector {
     /// Bottom-up labelling: per node, per non-terminal, cheapest cost and
     /// the rule achieving it.  Nodes are created children-first by
     /// [`record_grammar::EtBuilder`], so index order is a valid bottom-up
-    /// order.
-    fn label(&self, et: &Et) -> Vec<Vec<Option<LabelEntry>>> {
-        let mut labels: Vec<Vec<Option<LabelEntry>>> = vec![vec![None; self.nt_count]; et.len()];
+    /// order.  The matrix is one dense allocation; rows are written in
+    /// place, so labelling performs no per-node allocation at all.
+    fn label(&self, et: &Et) -> LabelMatrix {
+        let mut labels = LabelMatrix::new(et.len(), self.nt_count);
         for idx in 0..et.len() {
-            let mut entries = vec![None; self.nt_count];
-            for rid in self.candidates(et.kind(idx)) {
+            for &rid in self.candidates(et.kind(idx)) {
                 let rule = self.grammar.rule(rid);
                 if let Some(child_cost) = self.match_cost(&rule.rhs, et, idx, &labels) {
                     let total = rule.cost.saturating_add(child_cost);
                     let diversity = Self::operand_diversity(&rule.rhs);
-                    let slot: &mut Option<LabelEntry> = &mut entries[rule.lhs.0 as usize];
+                    let slot = labels.slot(idx, rule.lhs);
                     // On cost ties prefer rules whose operand non-terminals
                     // are pairwise distinct: tree parsing is interference-
                     // blind, but a cover that needs the same register for
@@ -178,11 +241,11 @@ impl Selector {
             while changed {
                 changed = false;
                 for &(rid, tgt, src, cost) in &self.chains {
-                    let Some(src_entry) = entries[src.0 as usize] else {
+                    let Some(src_entry) = labels.at(idx, src) else {
                         continue;
                     };
                     let total = src_entry.cost.saturating_add(cost);
-                    let slot = &mut entries[tgt.0 as usize];
+                    let slot = labels.slot(idx, tgt);
                     if slot.is_none_or(|e| total < e.cost) {
                         *slot = Some(LabelEntry {
                             cost: total,
@@ -193,15 +256,15 @@ impl Selector {
                     }
                 }
             }
-            labels[idx] = entries;
         }
         labels
     }
 
-    /// Candidate rules whose root terminal may match `kind`.
-    fn candidates(&self, kind: EtKind) -> Vec<RuleId> {
+    /// Candidate rules whose root terminal may match `kind`, as a
+    /// borrowed slice of the precomputed dispatch arena.
+    fn candidates(&self, kind: EtKind) -> &[RuleId] {
         match kind {
-            EtKind::Const(_) => self.const_root_rules.clone(),
+            EtKind::Const(_) => &self.const_root_rules,
             EtKind::Assign(k) => self.lookup(TermKey::Assign(k)),
             EtKind::Store(s) => self.lookup(TermKey::Store(s)),
             EtKind::Op(o) => self.lookup(TermKey::Op(o)),
@@ -212,8 +275,11 @@ impl Selector {
         }
     }
 
-    fn lookup(&self, key: TermKey) -> Vec<RuleId> {
-        self.by_key.get(&key).cloned().unwrap_or_default()
+    fn lookup(&self, key: TermKey) -> &[RuleId] {
+        match self.by_key.get(&key) {
+            Some(&(start, end)) => &self.rule_arena[start as usize..end as usize],
+            None => &[],
+        }
     }
 
     /// 1 when the pattern's non-terminal leaves are pairwise distinct.
@@ -227,15 +293,9 @@ impl Selector {
 
     /// Cost of matching `pat` structurally at `idx` (sum of non-terminal
     /// leaf costs), or `None` if it does not match.
-    fn match_cost(
-        &self,
-        pat: &GPat,
-        et: &Et,
-        idx: NodeIdx,
-        labels: &[Vec<Option<LabelEntry>>],
-    ) -> Option<u32> {
+    fn match_cost(&self, pat: &GPat, et: &Et, idx: NodeIdx, labels: &LabelMatrix) -> Option<u32> {
         match pat {
-            GPat::NT(nt) => labels[idx][nt.0 as usize].map(|e| e.cost),
+            GPat::NT(nt) => labels.at(idx, *nt).map(|e| e.cost),
             GPat::T(key, kids) => {
                 if !et.kind_matches(idx, key) {
                     return None;
@@ -269,12 +329,12 @@ impl Selector {
     fn reduce(
         &self,
         et: &Et,
-        labels: &[Vec<Option<LabelEntry>>],
+        labels: &LabelMatrix,
         idx: NodeIdx,
         nt: NonTermId,
         out: &mut Vec<RuleApp>,
     ) {
-        let entry = labels[idx][nt.0 as usize].expect("reduce called on labelled goal");
+        let entry = labels.at(idx, nt).expect("reduce called on labelled goal");
         match entry.via {
             Via::Chain(rid) => {
                 let rule = self.grammar.rule(rid);
@@ -309,8 +369,8 @@ impl Selector {
     /// derivation actually broke (bare constants such as addresses are
     /// matched structurally inside patterns and are expected to be
     /// unlabelled, so inner nodes are preferred over leaves).
-    fn diagnose(&self, et: &Et, labels: &[Vec<Option<LabelEntry>>]) -> SelectError {
-        let unlabelled = |i: NodeIdx| labels[i].iter().all(Option::is_none);
+    fn diagnose(&self, et: &Et, labels: &LabelMatrix) -> SelectError {
+        let unlabelled = |i: NodeIdx| labels.unlabelled(i);
         let mut best: Option<NodeIdx> = None;
         for idx in 0..et.len() {
             if !unlabelled(idx) {

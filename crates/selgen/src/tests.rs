@@ -4,11 +4,11 @@ use record_grammar::*;
 use record_netlist::Netlist;
 use record_rtl::OpKind;
 
-fn pipeline(src: &str) -> (Netlist, TreeGrammar) {
+fn pipeline(src: &str) -> (Netlist, std::sync::Arc<TreeGrammar>) {
     let model = record_hdl::parse(src).expect("parses");
     let n = record_netlist::elaborate(&model).expect("elaborates");
     let ex = record_isex::extract(&n, &Default::default()).expect("extracts");
-    let g = TreeGrammar::from_base(&ex.base, &n);
+    let g = std::sync::Arc::new(TreeGrammar::from_base(&ex.base, &n));
     (n, g)
 }
 
@@ -63,7 +63,7 @@ const ACC_MACHINE: &str = r#"
 #[test]
 fn selects_single_rt_for_memory_operand_add() {
     let (n, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
     let ram = n.storage_by_name("ram").unwrap().id;
 
@@ -87,7 +87,7 @@ fn selects_single_rt_for_memory_operand_add() {
 #[test]
 fn store_statement_selected() {
     let (n, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
     let ram = n.storage_by_name("ram").unwrap().id;
 
@@ -135,7 +135,7 @@ fn chained_mac_selected_as_one_template() {
         }
     "#;
     let (n, g) = pipeline(src);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
     let t = n.storage_by_name("t").unwrap().id;
     let ram = n.storage_by_name("ram").unwrap().id;
@@ -172,7 +172,7 @@ fn chain_rules_reduce_in_order() {
         }
     "#;
     let (n, g) = pipeline(src);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let r2 = n.storage_by_name("r2").unwrap().id;
 
     // r2 := pin — needs r1 := pin, then r2 := r1.
@@ -191,7 +191,7 @@ fn chain_rules_reduce_in_order() {
 #[test]
 fn missing_operator_is_diagnosed() {
     let (n, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
 
     // acc := acc * acc — the ALU has no multiplier.
@@ -207,7 +207,7 @@ fn missing_operator_is_diagnosed() {
 #[test]
 fn oversized_constant_is_diagnosed() {
     let (n, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
     let ram = n.storage_by_name("ram").unwrap().id;
 
@@ -224,7 +224,7 @@ fn oversized_constant_is_diagnosed() {
 #[test]
 fn cover_cost_equals_sum_of_rule_costs() {
     let (n, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     let acc = n.storage_by_name("acc").unwrap().id;
     let ram = n.storage_by_name("ram").unwrap().id;
 
@@ -248,7 +248,7 @@ fn cover_cost_equals_sum_of_rule_costs() {
 #[test]
 fn table_size_reflects_rules() {
     let (_, g) = pipeline(ACC_MACHINE);
-    let sel = Selector::generate(&g);
+    let sel = Selector::generate(g.clone());
     assert_eq!(sel.table_size(), g.rules().len());
 }
 
@@ -376,7 +376,7 @@ proptest! {
     #[test]
     fn dp_cover_is_no_worse_than_random_derivation(choices in prop::collection::vec(any::<u8>(), 1..40)) {
         let (_, g) = pipeline(ACC_MACHINE);
-        let sel = Selector::generate(&g);
+        let sel = Selector::generate(g.clone());
         if let Some((et, upper)) = random_derivation(&g, &choices) {
             let cover = sel.select(&et).expect("tree from the grammar language must be coverable");
             prop_assert!(cover.cost <= upper, "DP {} > random {}", cover.cost, upper);
