@@ -38,7 +38,7 @@ mod sat;
 mod symbol;
 mod table;
 
-pub use manager::{Bdd, BddManager, BddOps, VarId};
+pub use manager::{Bdd, BddCounters, BddManager, BddOps, VarId};
 pub use overlay::{BddOverlay, FrozenBdd};
 pub use sat::Assignment;
 pub use symbol::{Symbol, SymbolInterner};

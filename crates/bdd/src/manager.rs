@@ -73,6 +73,57 @@ pub struct BddManager {
     pub(crate) interner: SymbolInterner,
 }
 
+/// A point-in-time snapshot of the kernel's machine-independent work
+/// counters.  Counters only grow, so the cost of a region of work is
+/// `after.delta(&before)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddCounters {
+    /// Live internal nodes (excluding terminals).
+    pub nodes: u64,
+    /// Op-cache lookups answered from the cache.
+    pub op_hits: u64,
+    /// Op-cache lookups that had to recompute.
+    pub op_misses: u64,
+    /// Probe steps taken across all unique-table lookups.
+    pub unique_probes: u64,
+    /// Unique-table lookups performed.
+    pub unique_lookups: u64,
+}
+
+impl BddCounters {
+    /// Counter growth since `earlier` (saturating, so a snapshot from a
+    /// different manager cannot underflow).
+    pub fn delta(&self, earlier: &BddCounters) -> BddCounters {
+        BddCounters {
+            nodes: self.nodes.saturating_sub(earlier.nodes),
+            op_hits: self.op_hits.saturating_sub(earlier.op_hits),
+            op_misses: self.op_misses.saturating_sub(earlier.op_misses),
+            unique_probes: self.unique_probes.saturating_sub(earlier.unique_probes),
+            unique_lookups: self.unique_lookups.saturating_sub(earlier.unique_lookups),
+        }
+    }
+
+    /// Fraction of op-cache lookups answered from the cache.
+    pub fn op_cache_hit_rate(&self) -> f64 {
+        let total = self.op_hits + self.op_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.op_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean unique-table probe-chain length (1.0 = every lookup hit its
+    /// home slot).
+    pub fn unique_avg_probe_len(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_probes as f64 / self.unique_lookups as f64
+        }
+    }
+}
+
 impl Default for BddManager {
     fn default() -> Self {
         Self::new()
@@ -116,6 +167,19 @@ impl BddManager {
     /// `(hits, misses)` of the operation cache.
     pub fn op_cache_counters(&self) -> (u64, u64) {
         self.cache.counters()
+    }
+
+    /// Snapshot of all kernel counters at this instant.
+    pub fn counters(&self) -> BddCounters {
+        let (op_hits, op_misses) = self.cache.counters();
+        let (unique_probes, unique_lookups) = self.unique.probe_counters();
+        BddCounters {
+            nodes: self.node_count() as u64,
+            op_hits,
+            op_misses,
+            unique_probes,
+            unique_lookups,
+        }
     }
 
     /// Mean probe-chain length of unique-table lookups (1.0 = every lookup

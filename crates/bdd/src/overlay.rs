@@ -66,6 +66,12 @@ impl FrozenBdd {
         self.inner.unique_avg_probe_len()
     }
 
+    /// Counter snapshot taken at freeze time (frozen counters no longer
+    /// move; overlays account their own work separately).
+    pub fn counters(&self) -> crate::BddCounters {
+        self.inner.counters()
+    }
+
     /// Number of frozen internal nodes, excluding terminals.
     pub fn node_count(&self) -> usize {
         self.inner.node_count()
@@ -209,6 +215,20 @@ impl<'a> BddOverlay<'a> {
     /// `(hits, misses)` of this session's op-cache lookups.
     pub fn op_cache_counters(&self) -> (u64, u64) {
         self.cache.counters()
+    }
+
+    /// Snapshot of this session's own counters: nodes it allocated and
+    /// lookups it performed, excluding everything frozen in the base.
+    pub fn counters(&self) -> crate::BddCounters {
+        let (op_hits, op_misses) = self.cache.counters();
+        let (unique_probes, unique_lookups) = self.unique.probe_counters();
+        crate::BddCounters {
+            nodes: self.local_node_count() as u64,
+            op_hits,
+            op_misses,
+            unique_probes,
+            unique_lookups,
+        }
     }
 
     /// Mean probe-chain length of this session's local unique-table

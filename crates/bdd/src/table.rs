@@ -93,6 +93,11 @@ impl UniqueTable {
         self.probes as f64 / self.lookups as f64
     }
 
+    /// Raw `(probes, lookups)` counters behind [`Self::avg_probe_len`].
+    pub(crate) fn probe_counters(&self) -> (u64, u64) {
+        (self.probes, self.lookups)
+    }
+
     /// Looks up the handle of `node`, resolving slot handles through
     /// `nodes` (handle `h` refers to `nodes[h]`).
     pub(crate) fn get(&mut self, node: &Node, nodes: &[Node]) -> Option<Bdd> {

@@ -3,7 +3,7 @@
 //! machine-independent counters future perf PRs are gated on.
 //!
 //! ```text
-//! perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE]
+//! perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE] [--phases]
 //! ```
 //!
 //! * `--iters N` — timed runs per measurement (median reported);
@@ -13,11 +13,16 @@
 //!   snapshot into the new one, so the trajectory keeps its anchor when
 //!   refreshed.
 //! * `--check FILE` — compare measured counters (BDD node count,
-//!   template/rule counts, emitted ops/words) against a checked-in
-//!   snapshot and exit non-zero on drift.  This is the bench-smoke gate:
-//!   perf PRs must not silently change semantics.
+//!   template/rule counts, emitted ops/words) and, against a v2
+//!   snapshot, the failure class of every `ok: false` pair, against a
+//!   checked-in snapshot; exit non-zero on drift.  This is the
+//!   bench-smoke gate: perf PRs must not silently change semantics.
+//! * `--phases` — print human-readable per-phase median tables (one per
+//!   model retarget, one per compiling kernel x model pair) instead of
+//!   the snapshot JSON.
 
 use record_bench::snapshot::{counter_drift, measure, parse_json, Json};
+use record_core::{PhaseNs, Report};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,6 +30,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut carry: Option<String> = None;
+    let mut phases = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -36,9 +42,10 @@ fn main() -> ExitCode {
             "--out" => out = Some(value("--out")),
             "--check" => check = Some(value("--check")),
             "--carry-pre-pr" => carry = Some(value("--carry-pre-pr")),
+            "--phases" => phases = true,
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE]");
+                eprintln!("usage: perf_snapshot [--iters N] [--out FILE] [--check FILE] [--carry-pre-pr FILE] [--phases]");
                 return ExitCode::FAILURE;
             }
         }
@@ -46,6 +53,45 @@ fn main() -> ExitCode {
 
     eprintln!("measuring perf snapshot ({iters} iters per point)...");
     let snap = measure(iters);
+
+    if phases {
+        let table = |title: &str, medians: &[(&'static str, u128)]| {
+            let report = Report {
+                phases: medians
+                    .iter()
+                    .map(|&(label, ns)| PhaseNs {
+                        label,
+                        ns: ns as u64,
+                    })
+                    .collect(),
+                counters: Vec::new(),
+            };
+            print!("{}", report.render_table(title));
+        };
+        for r in &snap.retarget {
+            table(
+                &format!("retarget {} (median of {iters})", r.model),
+                &r.phases,
+            );
+        }
+        for c in &snap.compile {
+            if c.ok {
+                table(
+                    &format!("compile {}/{} (median of {iters})", c.model, c.kernel),
+                    &c.phases,
+                );
+            } else {
+                println!(
+                    "compile {}/{}: FAILS {}/{}",
+                    c.model,
+                    c.kernel,
+                    c.fail_phase.unwrap_or("?"),
+                    c.fail_kind.as_deref().unwrap_or("?")
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if let Some(path) = check {
         let src = std::fs::read_to_string(&path)

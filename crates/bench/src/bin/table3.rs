@@ -32,22 +32,22 @@ fn main() {
                         spills += a.spills;
                     }
                 }
-                let s = target.stats();
+                let s = target.report();
                 println!(
                     "{:<12} {:>10} {:>10} {:>8} {:>10.2?}   {:>7} {:>7} {:>7}   {:.2?}/{:.2?}/{:.2?}/{:.2?}/{:.2?}",
                     model.name,
                     s.templates_extracted,
                     s.templates_extended,
                     s.rules,
-                    s.t_total,
+                    s.t_total(),
                     compiled,
                     saved,
                     spills,
-                    s.t_frontend,
-                    s.t_extract,
-                    s.t_extend,
-                    s.t_grammar,
-                    s.t_selector,
+                    s.t_frontend(),
+                    s.t_extract(),
+                    s.t_extend(),
+                    s.t_grammar(),
+                    s.t_selector(),
                 );
             }
             Err(e) => println!("{:<12} FAILED: {e}", model.name),

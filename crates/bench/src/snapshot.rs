@@ -17,16 +17,29 @@
 //! minimal JSON writer and a minimal recursive-descent parser — enough
 //! for the snapshot schema and nothing else.
 
-use record_core::{CompileRequest, Record, RetargetOptions};
+use record_core::{CompileRequest, Record, Report, RetargetOptions};
 use record_targets::{kernels, models};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The schema this tree measures and writes.
+///
+/// v2 over v1: per-phase median times (`"phases"`) on every row, and a
+/// failure taxonomy (`fail_phase`/`fail_kind`/`fail_message`, from
+/// [`record_core::CompileError::classify`]) on every `ok: false` compile
+/// row.  `--check` accepts both versions; the failure-class gate only
+/// applies against v2 snapshots.
+pub const SCHEMA: &str = "record-perf-snapshot/v2";
 
 /// One retargeting measurement.
 #[derive(Debug, Clone)]
 pub struct RetargetRow {
     pub model: &'static str,
     pub median_ns: u128,
+    /// Per-phase median times over the measured runs, in recording
+    /// order (`parse`, `extract`, `template-gen`, `rule-gen`,
+    /// `selector-gen`, `freeze`).
+    pub phases: Vec<(&'static str, u128)>,
     /// Frozen BDD node count after retargeting (counter).
     pub bdd_nodes: usize,
     /// Extended template count (counter).
@@ -46,9 +59,14 @@ pub struct CompileRow {
     pub model: &'static str,
     pub kernel: &'static str,
     /// `false` when the kernel does not compile on this model (e.g. the
-    /// data path lacks an operator); timings and counters are zero then.
+    /// data path lacks an operator); timings and counters are zero then
+    /// and the `fail_*` fields say why.
     pub ok: bool,
     pub median_ns: u128,
+    /// Per-phase median times over the measured runs (`parse`, `lower`,
+    /// `bind`, `select`, `emit`, `allocate`, `compact`); empty on
+    /// failure.
+    pub phases: Vec<(&'static str, u128)>,
     /// Emitted vertical RT ops (counter).
     pub ops: usize,
     /// Compacted instruction words (counter).
@@ -57,6 +75,14 @@ pub struct CompileRow {
     pub scratch_nodes: usize,
     /// Session op-cache hit rate over one compile (counter).
     pub op_cache_hit_rate: f64,
+    /// Phase the compile died in (label of
+    /// [`record_core::CompilePhase`]); `None` when `ok`.
+    pub fail_phase: Option<&'static str>,
+    /// Failure-kind slug from [`record_core::FailureClass`], e.g.
+    /// `missing-hardware(mul)` or `selector-gap`; `None` when `ok`.
+    pub fail_kind: Option<String>,
+    /// Human-readable error text; `None` when `ok`.
+    pub fail_message: Option<String>,
 }
 
 /// A full snapshot.
@@ -72,6 +98,29 @@ fn median_ns(mut samples: Vec<u128>) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Per-phase medians over the reports of the measured runs, keeping the
+/// first report's phase order.
+fn phase_medians(reports: &[Report]) -> Vec<(&'static str, u128)> {
+    let mut labels: Vec<&'static str> = Vec::new();
+    for report in reports {
+        for p in &report.phases {
+            if !labels.contains(&p.label) {
+                labels.push(p.label);
+            }
+        }
+    }
+    labels
+        .into_iter()
+        .map(|label| {
+            let samples = reports
+                .iter()
+                .map(|r| r.phase_ns(label).unwrap_or(0) as u128)
+                .collect();
+            (label, median_ns(samples))
+        })
+        .collect()
+}
+
 /// Measures the snapshot: `iters` timed runs per measurement, median
 /// reported.
 pub fn measure(iters: usize) -> Snapshot {
@@ -80,21 +129,23 @@ pub fn measure(iters: usize) -> Snapshot {
     let mut retarget = Vec::new();
     let mut compile = Vec::new();
     for model in models() {
-        let samples: Vec<u128> = (0..iters)
-            .map(|_| {
-                let t = Instant::now();
-                let target = Record::retarget(model.hdl, &options).expect("model retargets");
-                std::hint::black_box(&target);
-                t.elapsed().as_nanos()
-            })
-            .collect();
+        let mut samples = Vec::with_capacity(iters);
+        let mut reports = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            let target = Record::retarget(model.hdl, &options).expect("model retargets");
+            std::hint::black_box(&target);
+            samples.push(t.elapsed().as_nanos());
+            reports.push(target.report().report.clone());
+        }
         let target = Record::retarget(model.hdl, &options).expect("model retargets");
         retarget.push(RetargetRow {
             model: model.name,
             median_ns: median_ns(samples),
+            phases: phase_medians(&reports),
             bdd_nodes: target.manager().node_count(),
-            templates: target.stats().templates_extended,
-            rules: target.stats().rules,
+            templates: target.report().templates_extended,
+            rules: target.report().rules,
             op_cache_hit_rate: target.manager().op_cache_hit_rate(),
             unique_avg_probe_len: target.manager().unique_avg_probe_len(),
         });
@@ -105,34 +156,47 @@ pub fn measure(iters: usize) -> Snapshot {
             let mut session = target.session();
             match session.compile(&request) {
                 Ok(k) => {
-                    let samples: Vec<u128> = (0..iters)
-                        .map(|_| {
-                            let t = Instant::now();
-                            std::hint::black_box(target.compile(&request).expect("compiles"));
-                            t.elapsed().as_nanos()
-                        })
-                        .collect();
+                    let mut samples = Vec::with_capacity(iters);
+                    let mut reports = Vec::with_capacity(iters);
+                    for _ in 0..iters {
+                        let t = Instant::now();
+                        let timed = target.compile(&request).expect("compiles");
+                        std::hint::black_box(&timed);
+                        samples.push(t.elapsed().as_nanos());
+                        reports.push(timed.report);
+                    }
                     compile.push(CompileRow {
                         model: model.name,
                         kernel: kernel.name,
                         ok: true,
                         median_ns: median_ns(samples),
+                        phases: phase_medians(&reports),
                         ops: k.ops.len(),
                         words: k.schedule.as_ref().map_or(0, |s| s.len()),
                         scratch_nodes: session.scratch_nodes(),
                         op_cache_hit_rate: session.bdd_op_cache_hit_rate(),
+                        fail_phase: None,
+                        fail_kind: None,
+                        fail_message: None,
                     });
                 }
-                Err(_) => compile.push(CompileRow {
-                    model: model.name,
-                    kernel: kernel.name,
-                    ok: false,
-                    median_ns: 0,
-                    ops: 0,
-                    words: 0,
-                    scratch_nodes: 0,
-                    op_cache_hit_rate: 0.0,
-                }),
+                Err(e) => {
+                    let class = e.classify();
+                    compile.push(CompileRow {
+                        model: model.name,
+                        kernel: kernel.name,
+                        ok: false,
+                        median_ns: 0,
+                        phases: Vec::new(),
+                        ops: 0,
+                        words: 0,
+                        scratch_nodes: 0,
+                        op_cache_hit_rate: 0.0,
+                        fail_phase: Some(class.phase.label()),
+                        fail_kind: Some(class.kind),
+                        fail_message: Some(e.to_string()),
+                    });
+                }
             }
         }
     }
@@ -143,13 +207,44 @@ pub fn measure(iters: usize) -> Snapshot {
     }
 }
 
+/// Escapes a string per JSON rules (the Rust `{:?}` escaper writes
+/// `\u{..}` for non-ASCII, which JSON does not accept).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a phase list as a JSON object in recording order.
+fn phases_json(phases: &[(&'static str, u128)]) -> String {
+    let inner: Vec<String> = phases
+        .iter()
+        .map(|(label, ns)| format!("{}: {ns}", json_str(label)))
+        .collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
 impl Snapshot {
     /// Serializes the snapshot; `pre_pr` is an optional raw JSON value
     /// (typically carried over from the previous snapshot file) recording
     /// the numbers this tree was measured against.
     pub fn to_json(&self, pre_pr: Option<&str>) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": \"record-perf-snapshot/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
         let _ = writeln!(out, "  \"iters\": {},", self.iters);
         if let Some(raw) = pre_pr {
             let _ = writeln!(out, "  \"pre_pr\": {},", raw.trim());
@@ -158,8 +253,8 @@ impl Snapshot {
         for (i, r) in self.retarget.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"model\": {:?}, \"median_ns\": {}, \"bdd_nodes\": {}, \"templates\": {}, \"rules\": {}, \"op_cache_hit_rate\": {:.4}, \"unique_avg_probe_len\": {:.4}}}",
-                r.model, r.median_ns, r.bdd_nodes, r.templates, r.rules, r.op_cache_hit_rate, r.unique_avg_probe_len
+                "    {{\"model\": {:?}, \"median_ns\": {}, \"phases\": {}, \"bdd_nodes\": {}, \"templates\": {}, \"rules\": {}, \"op_cache_hit_rate\": {:.4}, \"unique_avg_probe_len\": {:.4}}}",
+                r.model, r.median_ns, phases_json(&r.phases), r.bdd_nodes, r.templates, r.rules, r.op_cache_hit_rate, r.unique_avg_probe_len
             );
             out.push_str(if i + 1 < self.retarget.len() {
                 ",\n"
@@ -171,9 +266,19 @@ impl Snapshot {
         for (i, c) in self.compile.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"model\": {:?}, \"kernel\": {:?}, \"ok\": {}, \"median_ns\": {}, \"ops\": {}, \"words\": {}, \"scratch_nodes\": {}, \"op_cache_hit_rate\": {:.4}}}",
-                c.model, c.kernel, c.ok, c.median_ns, c.ops, c.words, c.scratch_nodes, c.op_cache_hit_rate
+                "    {{\"model\": {:?}, \"kernel\": {:?}, \"ok\": {}, \"median_ns\": {}, \"phases\": {}, \"ops\": {}, \"words\": {}, \"scratch_nodes\": {}, \"op_cache_hit_rate\": {:.4}",
+                c.model, c.kernel, c.ok, c.median_ns, phases_json(&c.phases), c.ops, c.words, c.scratch_nodes, c.op_cache_hit_rate
             );
+            if let (Some(phase), Some(kind)) = (c.fail_phase, &c.fail_kind) {
+                let _ = write!(
+                    out,
+                    ", \"fail_phase\": {}, \"fail_kind\": {}, \"fail_message\": {}",
+                    json_str(phase),
+                    json_str(kind),
+                    json_str(c.fail_message.as_deref().unwrap_or("")),
+                );
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.compile.len() {
                 ",\n"
             } else {
@@ -412,6 +517,23 @@ fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
 // Counter drift check (the CI bench-smoke gate).
 // ---------------------------------------------------------------------------
 
+/// Schema version of a parsed snapshot (`1` for
+/// `record-perf-snapshot/v1`, and so on).
+///
+/// # Errors
+///
+/// A message naming the unrecognized schema string.
+pub fn schema_version(checked_in: &Json) -> Result<u32, String> {
+    let schema = checked_in
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("<missing>");
+    schema
+        .strip_prefix("record-perf-snapshot/v")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("unrecognized snapshot schema `{schema}`"))
+}
+
 /// Compares the machine-independent counters of a freshly measured
 /// snapshot against a checked-in snapshot file, returning human-readable
 /// drift findings (empty = no drift).
@@ -422,8 +544,17 @@ fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
 /// whole point.  The comparison is bidirectional: a snapshot row with no
 /// measured counterpart (a model or kernel silently dropped from the
 /// suite) is drift too.
+///
+/// Version-gated: v1 snapshots (no failure taxonomy) get the counter
+/// checks only; against v2 snapshots every failing pair's
+/// `fail_phase`/`fail_kind` classification is gated too, so a pair
+/// cannot silently change *why* it fails.
 pub fn counter_drift(measured: &Snapshot, checked_in: &Json) -> Vec<String> {
     let mut drift = Vec::new();
+    let version = match schema_version(checked_in) {
+        Ok(v) => v,
+        Err(e) => return vec![e],
+    };
     // Snapshot rows the measurement no longer produces.
     for (section, key2) in [("retarget", None), ("compile", Some("kernel"))] {
         for row in checked_in
@@ -496,7 +627,7 @@ pub fn counter_drift(measured: &Snapshot, checked_in: &Json) -> Vec<String> {
         let ok = row.get("ok") == Some(&Json::Bool(true));
         if ok != c.ok {
             drift.push(format!(
-                "{}/{}: compile outcome drifted: measured ok={}, snapshot ok={ok}",
+                "{}/{}: compile outcome drifted: snapshot ok={ok} -> measured ok={}",
                 c.model, c.kernel, c.ok
             ));
             continue;
@@ -505,7 +636,23 @@ pub fn counter_drift(measured: &Snapshot, checked_in: &Json) -> Vec<String> {
             let want = num(row, name);
             if want != Some(got) {
                 drift.push(format!(
-                    "{}/{}: {name} drifted: measured {got}, snapshot {want:?}",
+                    "{}/{}: {name} drifted: snapshot {want:?} -> measured {got}",
+                    c.model, c.kernel
+                ));
+            }
+        }
+        // The failure-class gate (v2 snapshots only): a pair that fails
+        // for a *different reason* than recorded is semantic drift even
+        // though the pass/fail table looks unchanged.
+        if version >= 2 && !c.ok {
+            let want_phase = row.get("fail_phase").and_then(Json::as_str).unwrap_or("?");
+            let want_kind = row.get("fail_kind").and_then(Json::as_str).unwrap_or("?");
+            let got_phase = c.fail_phase.unwrap_or("?");
+            let got_kind = c.fail_kind.as_deref().unwrap_or("?");
+            if (want_phase, want_kind) != (got_phase, got_kind) {
+                drift.push(format!(
+                    "{}/{}: failure class drifted: snapshot {want_phase}/{want_kind} -> \
+                     measured {got_phase}/{got_kind}",
                     c.model, c.kernel
                 ));
             }
@@ -518,42 +665,78 @@ pub fn counter_drift(measured: &Snapshot, checked_in: &Json) -> Vec<String> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_round_trip() {
-        let snap = Snapshot {
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
             iters: 2,
             retarget: vec![RetargetRow {
                 model: "demo",
                 median_ns: 123,
+                phases: vec![("parse", 60), ("extract", 50)],
                 bdd_nodes: 45,
                 templates: 6,
                 rules: 7,
                 op_cache_hit_rate: 0.5,
                 unique_avg_probe_len: 1.25,
             }],
-            compile: vec![CompileRow {
-                model: "demo",
-                kernel: "fir",
-                ok: true,
-                median_ns: 999,
-                ops: 10,
-                words: 8,
-                scratch_nodes: 3,
-                op_cache_hit_rate: 0.75,
-            }],
-        };
+            compile: vec![
+                CompileRow {
+                    model: "demo",
+                    kernel: "fir",
+                    ok: true,
+                    median_ns: 999,
+                    phases: vec![("select", 500), ("emit", 400)],
+                    ops: 10,
+                    words: 8,
+                    scratch_nodes: 3,
+                    op_cache_hit_rate: 0.75,
+                    fail_phase: None,
+                    fail_kind: None,
+                    fail_message: None,
+                },
+                CompileRow {
+                    model: "demo",
+                    kernel: "matmul",
+                    ok: false,
+                    median_ns: 0,
+                    phases: Vec::new(),
+                    ops: 0,
+                    words: 0,
+                    scratch_nodes: 0,
+                    op_cache_hit_rate: 0.0,
+                    fail_phase: Some("select"),
+                    fail_kind: Some("missing-hardware(mul)".to_owned()),
+                    fail_message: Some("no rule for `mul`".to_owned()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = sample_snapshot();
         let json = snap.to_json(Some("{\"note\": \"seed\"}"));
         let parsed = parse_json(&json).expect("parses");
-        assert_eq!(
-            parsed.get("schema").and_then(Json::as_str),
-            Some("record-perf-snapshot/v1")
-        );
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(schema_version(&parsed), Ok(2));
         assert_eq!(
             parsed
                 .get("pre_pr")
                 .and_then(|p| p.get("note"))
                 .and_then(Json::as_str),
             Some("seed")
+        );
+        // Phases and the failure taxonomy survive the round trip.
+        let rows = parsed.get("compile").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[0]
+                .get("phases")
+                .and_then(|p| p.get("select"))
+                .and_then(Json::as_num),
+            Some(500.0)
+        );
+        assert_eq!(
+            rows[1].get("fail_kind").and_then(Json::as_str),
+            Some("missing-hardware(mul)")
         );
         // No drift against itself.
         assert!(counter_drift(&snap, &parsed).is_empty());
@@ -568,8 +751,35 @@ mod tests {
         let mut dropped = snap.clone();
         dropped.compile.clear();
         let findings = counter_drift(&dropped, &parsed);
-        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings.len(), 2, "{findings:?}");
         assert!(findings[0].contains("was not measured"));
+    }
+
+    #[test]
+    fn failure_class_drift_is_gated_on_v2_only() {
+        let snap = sample_snapshot();
+        let parsed = parse_json(&snap.to_json(None)).expect("parses");
+        // Same pair still fails, but for a different reason: caught.
+        let mut reclassified = snap.clone();
+        reclassified.compile[1].fail_kind = Some("selector-gap".to_owned());
+        let findings = counter_drift(&reclassified, &parsed);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].contains("missing-hardware(mul) -> measured select/selector-gap"),
+            "{findings:?}"
+        );
+        // The same comparison against a v1 snapshot (no fail_* members)
+        // is not gated: v1 recorded no classes to hold the tree to.
+        let v1_json = snap
+            .to_json(None)
+            .replace(SCHEMA, "record-perf-snapshot/v1");
+        let v1 = parse_json(&v1_json).expect("parses");
+        assert!(counter_drift(&reclassified, &v1).is_empty());
+        // An unknown schema is itself a finding, not a silent pass.
+        let bad = parse_json("{\"schema\": \"something-else\"}").expect("parses");
+        let findings = counter_drift(&snap, &bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("unrecognized"));
     }
 
     #[test]

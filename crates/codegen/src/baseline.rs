@@ -12,13 +12,14 @@
 //! can happen.
 
 use crate::binding::Binding;
-use crate::emit::{compile_statement, EmitTables};
+use crate::emit::{compile_statement, EmitStats, EmitTables, Emitted};
 use crate::error::CodegenError;
 use crate::ops::RtOp;
 use record_bdd::BddOps;
 use record_grammar::{Et, EtBuilder, EtKind, NodeIdx};
 use record_ir::{FlatExpr, FlatStmt};
 use record_netlist::Netlist;
+use record_probe::Probe;
 use record_rtl::TemplateBase;
 use record_selgen::Selector;
 
@@ -44,26 +45,35 @@ pub fn baseline_compile<M: BddOps>(
     manager: &mut M,
     tables: &EmitTables,
     width: u16,
-) -> Result<Vec<RtOp>, CodegenError> {
+    probe: &mut Probe<'_>,
+) -> Result<Emitted, CodegenError> {
     let mut out = Vec::new();
+    let mut stats = EmitStats::default();
     for stmt in stmts {
+        probe.begin("statement");
         let mark = binding.scratch_mark();
-        let target = binding.addr_of(&stmt.target)?;
-        expand(
-            &stmt.value,
-            Some(target),
-            selector,
-            base,
-            binding,
-            netlist,
-            manager,
-            tables,
-            width,
-            &mut out,
-        )?;
+        let target = binding.addr_of(&stmt.target);
+        let r = target.and_then(|target| {
+            expand(
+                &stmt.value,
+                Some(target),
+                selector,
+                base,
+                binding,
+                netlist,
+                manager,
+                tables,
+                width,
+                &mut out,
+                &mut stats,
+            )
+        });
+        probe.end("statement");
+        r?;
+        stats.statements += 1;
         binding.release_scratch(mark)?;
     }
-    Ok(out)
+    Ok(Emitted { ops: out, stats })
 }
 
 fn mask(width: u16) -> u64 {
@@ -88,29 +98,30 @@ fn expand<M: BddOps>(
     tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
+    stats: &mut EmitStats,
 ) -> Result<Operand, CodegenError> {
     let operand = match e {
         FlatExpr::Const(c) => Operand::Const((*c as u64) & mask(width)),
         FlatExpr::Load(r) => Operand::Mem(binding.addr_of(r)?),
         FlatExpr::Unary(op, a) => {
             let ao = expand(
-                a, None, selector, base, binding, netlist, manager, tables, width, out,
+                a, None, selector, base, binding, netlist, manager, tables, width, out, stats,
             )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
             let an = leaf(&mut b, &ao, binding);
             let value = b.node(EtKind::Op(*op), vec![an]);
             emit_step(
-                b, value, dst, selector, base, binding, netlist, manager, tables, out,
+                b, value, dst, selector, base, binding, netlist, manager, tables, out, stats,
             )?;
             return Ok(Operand::Mem(dst));
         }
         FlatExpr::Binary(op, l, r) => {
             let lo = expand(
-                l, None, selector, base, binding, netlist, manager, tables, width, out,
+                l, None, selector, base, binding, netlist, manager, tables, width, out, stats,
             )?;
             let ro = expand(
-                r, None, selector, base, binding, netlist, manager, tables, width, out,
+                r, None, selector, base, binding, netlist, manager, tables, width, out, stats,
             )?;
             let dst = next_dest(target, binding)?;
             let mut b = EtBuilder::new();
@@ -118,7 +129,7 @@ fn expand<M: BddOps>(
             let rn = leaf(&mut b, &ro, binding);
             let value = b.node(EtKind::Op(*op), vec![ln, rn]);
             emit_step(
-                b, value, dst, selector, base, binding, netlist, manager, tables, out,
+                b, value, dst, selector, base, binding, netlist, manager, tables, out, stats,
             )?;
             return Ok(Operand::Mem(dst));
         }
@@ -128,7 +139,7 @@ fn expand<M: BddOps>(
         let mut b = EtBuilder::new();
         let value = leaf(&mut b, &operand, binding);
         emit_step(
-            b, value, t, selector, base, binding, netlist, manager, tables, out,
+            b, value, t, selector, base, binding, netlist, manager, tables, out, stats,
         )?;
         return Ok(Operand::Mem(t));
     }
@@ -165,11 +176,12 @@ fn emit_step<M: BddOps>(
     manager: &mut M,
     tables: &EmitTables,
     out: &mut Vec<RtOp>,
+    stats: &mut EmitStats,
 ) -> Result<(), CodegenError> {
     let addr = b.leaf(EtKind::Const(dst));
     let et = Et::store(binding.data_mem(), addr, value, b);
     out.extend(compile_statement(
-        &et, selector, base, binding, netlist, manager, tables,
+        &et, selector, base, binding, netlist, manager, tables, stats,
     )?);
     Ok(())
 }

@@ -17,12 +17,50 @@ use record_grammar::{
 };
 use record_ir::FlatStmt;
 use record_netlist::{Netlist, StorageId, StorageKind};
+use record_probe::Probe;
 use record_rtl::{Dest, Pattern, TemplateBase, TemplateId};
-use record_selgen::{Cover, RuleApp, Selector};
+use record_selgen::{Cover, RuleApp, SelectStats, Selector};
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Work counters of one compilation's selection + emission.
+///
+/// Plain fields incremented at statement granularity — always on, and
+/// independent of whether a trace sink is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmitStats {
+    /// Source statements compiled.
+    pub statements: u64,
+    /// Times a statement's tree had to be split through scratch memory
+    /// because no whole-tree cover existed.
+    pub splits: u64,
+    /// Spill stores emitted (register pressure evictions).
+    pub spill_stores: u64,
+    /// Reloads emitted (spilled values brought back into registers).
+    pub reloads: u64,
+    /// Wall-clock nanoseconds spent in the tree parser.
+    pub select_ns: u64,
+    /// Wall-clock nanoseconds spent emitting covers.
+    pub emit_ns: u64,
+    /// Labelling work done by the tree parser.
+    pub select: SelectStats,
+}
+
+/// The result of [`compile`] / [`crate::baseline_compile`]: the RT
+/// sequence plus the work counters accumulated while producing it.
+#[derive(Debug, Clone)]
+pub struct Emitted {
+    /// The compiled RT operations.
+    pub ops: Vec<RtOp>,
+    /// Selection and emission work counters.
+    pub stats: EmitStats,
+}
 
 /// Compiles a list of flat statements; scratch space is recycled between
 /// statements.
+///
+/// `probe` receives one `"statement"` span per source statement; pass
+/// [`Probe::disabled`] when no trace is wanted.
 ///
 /// # Errors
 ///
@@ -38,16 +76,22 @@ pub fn compile<M: BddOps>(
     manager: &mut M,
     tables: &EmitTables,
     width: u16,
-) -> Result<Vec<RtOp>, CodegenError> {
+    probe: &mut Probe<'_>,
+) -> Result<Emitted, CodegenError> {
     let mut out = Vec::new();
+    let mut stats = EmitStats::default();
     for stmt in stmts {
+        probe.begin("statement");
         let mark = binding.scratch_mark();
-        compile_split(
-            stmt, selector, base, binding, netlist, manager, tables, width, &mut out,
-        )?;
+        let r = compile_split(
+            stmt, selector, base, binding, netlist, manager, tables, width, &mut out, &mut stats,
+        );
+        probe.end("statement");
+        r?;
+        stats.statements += 1;
         binding.release_scratch(mark)?;
     }
-    Ok(out)
+    Ok(Emitted { ops: out, stats })
 }
 
 /// Compiles one statement, splitting the expression tree through scratch
@@ -72,13 +116,16 @@ fn compile_split<M: BddOps>(
     tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
+    stats: &mut EmitStats,
 ) -> Result<(), CodegenError> {
     let mut b = record_grammar::EtBuilder::new();
     let value = build_flat(&stmt.value, binding, width, &mut b)?;
     let target = binding.addr_of(&stmt.target)?;
     let addr = b.node(record_grammar::EtKind::Const(target), Vec::new());
     let et = record_grammar::Et::store(binding.data_mem(), addr, value, b);
-    let err = match compile_statement(&et, selector, base, binding, netlist, manager, tables) {
+    let err = match compile_statement(
+        &et, selector, base, binding, netlist, manager, tables, stats,
+    ) {
         Ok(ops) => {
             out.extend(ops);
             return Ok(());
@@ -89,9 +136,10 @@ fn compile_split<M: BddOps>(
     let Some((hoisted, remainder)) = split_deepest(&stmt.value) else {
         return Err(err);
     };
+    stats.splits += 1;
     let tmp = binding.scratch()?;
     compile_split_expr(
-        &hoisted, tmp, selector, base, binding, netlist, manager, tables, width, out,
+        &hoisted, tmp, selector, base, binding, netlist, manager, tables, width, out, stats,
     )?;
     let remainder_stmt = FlatStmt {
         target: stmt.target.clone(),
@@ -107,6 +155,7 @@ fn compile_split<M: BddOps>(
         tables,
         width,
         out,
+        stats,
     )
 }
 
@@ -123,12 +172,15 @@ fn compile_split_expr<M: BddOps>(
     tables: &EmitTables,
     width: u16,
     out: &mut Vec<RtOp>,
+    stats: &mut EmitStats,
 ) -> Result<(), CodegenError> {
     let mut b = record_grammar::EtBuilder::new();
     let v = build_flat(value, binding, width, &mut b)?;
     let addr = b.node(record_grammar::EtKind::Const(tmp), Vec::new());
     let et = record_grammar::Et::store(binding.data_mem(), addr, v, b);
-    let err = match compile_statement(&et, selector, base, binding, netlist, manager, tables) {
+    let err = match compile_statement(
+        &et, selector, base, binding, netlist, manager, tables, stats,
+    ) {
         Ok(ops) => {
             out.extend(ops);
             return Ok(());
@@ -138,9 +190,10 @@ fn compile_split_expr<M: BddOps>(
     let Some((hoisted, remainder)) = split_deepest(value) else {
         return Err(err);
     };
+    stats.splits += 1;
     let tmp2 = binding.scratch()?;
     compile_split_expr(
-        &hoisted, tmp2, selector, base, binding, netlist, manager, tables, width, out,
+        &hoisted, tmp2, selector, base, binding, netlist, manager, tables, width, out, stats,
     )?;
     compile_split_expr(
         &replace_marker(&remainder, tmp2),
@@ -153,6 +206,7 @@ fn compile_split_expr<M: BddOps>(
         tables,
         width,
         out,
+        stats,
     )
 }
 
@@ -267,11 +321,13 @@ fn build_flat(
     })
 }
 
-/// Selects and emits a single expression tree.
+/// Selects and emits a single expression tree, accumulating work
+/// counters into `stats`.
 ///
 /// # Errors
 ///
 /// See [`compile`].
+#[allow(clippy::too_many_arguments)]
 pub fn compile_statement<M: BddOps>(
     et: &Et,
     selector: &Selector,
@@ -280,14 +336,25 @@ pub fn compile_statement<M: BddOps>(
     netlist: &Netlist,
     manager: &mut M,
     tables: &EmitTables,
+    stats: &mut EmitStats,
 ) -> Result<Vec<RtOp>, CodegenError> {
-    let cover = selector.select(et).map_err(|e| CodegenError::Select {
+    let t0 = Instant::now();
+    let selected = selector.select(et);
+    stats.select_ns += t0.elapsed().as_nanos() as u64;
+    let cover = selected.map_err(|e| CodegenError::Select {
+        missing_op: e.missing_op,
         message: e.to_string(),
     })?;
+    stats.select.absorb(&cover.stats);
+    let t1 = Instant::now();
     let mut emitter = Emitter::new(
         et, &cover, selector, base, binding, netlist, manager, tables,
     );
-    emitter.run()
+    let result = emitter.run();
+    stats.emit_ns += t1.elapsed().as_nanos() as u64;
+    stats.spill_stores += emitter.spill_stores;
+    stats.reloads += emitter.reloads;
+    result
 }
 
 /// Instruction fields encoding register-file cell choices.
@@ -387,6 +454,10 @@ struct Emitter<'a, M: BddOps> {
     /// Cells we allocated (to distinguish temp cells from variable cells).
     rf_temp: HashMap<Value, (StorageId, u64)>,
     out: Vec<RtOp>,
+    /// Spill stores emitted (reported through [`EmitStats`]).
+    spill_stores: u64,
+    /// Reloads emitted (reported through [`EmitStats`]).
+    reloads: u64,
 }
 
 impl<'a, M: BddOps> Emitter<'a, M> {
@@ -427,6 +498,8 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             rf_free,
             rf_temp: HashMap::new(),
             out: Vec::new(),
+            spill_stores: 0,
+            reloads: 0,
         }
     }
 
@@ -691,6 +764,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             expr: SimExpr::Read(spill_reg),
             cond,
         });
+        self.spill_stores += 1;
         self.holder.remove(loc);
         self.value_loc
             .insert(victim, Loc::Mem(self.binding.data_mem(), addr));
@@ -706,6 +780,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             .cloned()
             .ok_or_else(|| CodegenError::Select {
                 message: "internal: operand value has no location".into(),
+                missing_op: None,
             })?;
         let expected = match self.grammar().nonterm_kind(v.1) {
             NonTermKind::Reg(s) => Loc::Reg(s),
@@ -747,6 +822,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             expr: SimExpr::MemRead(dm, Box::new(SimExpr::Const(addr))),
             cond,
         });
+        self.reloads += 1;
         self.produce(v, expected);
         Ok(())
     }
@@ -818,6 +894,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
                         .cloned()
                         .ok_or_else(|| CodegenError::Select {
                             message: "internal: operand not materialised".into(),
+                            missing_op: None,
                         })?;
                 if let Loc::Rf(s, c) = &loc {
                     if let Some(f) = self.tables.rf.get(s).and_then(|f| f.read) {

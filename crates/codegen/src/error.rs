@@ -15,6 +15,10 @@ pub enum CodegenError {
     Select {
         /// What the selector reported.
         message: String,
+        /// When the selector proved the machine has *no rule at all* for
+        /// an operator, the operator's mnemonic (see
+        /// [`record_selgen::SelectError::missing_op`]).
+        missing_op: Option<&'static str>,
     },
     /// A register conflict required a spill but the machine has no
     /// store/reload templates for the register, or the conflict is cyclic.
@@ -49,7 +53,7 @@ pub enum CodegenError {
 impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodegenError::Select { message } => write!(f, "selection failed: {message}"),
+            CodegenError::Select { message, .. } => write!(f, "selection failed: {message}"),
             CodegenError::NoSpillPath { loc, at_op, detail } => {
                 write!(f, "no spill path at RT {at_op} involving {loc}: {detail}")
             }

@@ -204,8 +204,10 @@ fn compile_and_check(r: &Rig, csrc: &str, init: &[(&str, Vec<u64>)]) -> usize {
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .expect("compiles");
+    .expect("compiles")
+    .ops;
 
     // Oracle: the mini-C interpreter.
     let mut mem = Memory::new();
@@ -373,8 +375,10 @@ fn baseline_never_chains() {
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .unwrap();
+    .unwrap()
+    .ops;
 
     let mut b2 = Binding::allocate(&prog, "f", &r.netlist, dm).unwrap();
     let naive = baseline_compile(
@@ -386,8 +390,10 @@ fn baseline_never_chains() {
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .unwrap();
+    .unwrap()
+    .ops;
 
     assert!(
         naive.len() > smart.len(),
@@ -424,10 +430,17 @@ fn select_error_reports_subtree() {
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
     .unwrap_err();
     assert!(matches!(err, CodegenError::Select { .. }), "{err}");
     assert!(err.to_string().contains("div"));
+    // The DSP8 machine genuinely has no divider, and the selector proves
+    // it: the error carries the missing operator, not just prose.
+    match err {
+        CodegenError::Select { missing_op, .. } => assert_eq!(missing_op, Some("div")),
+        _ => unreachable!(),
+    }
 }
 
 #[test]
@@ -467,8 +480,10 @@ fn rendered_listing_is_readable() {
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .unwrap();
+    .unwrap()
+    .ops;
     let listing: Vec<String> = ops.iter().map(|o| o.render(&r.netlist)).collect();
     assert!(listing.iter().any(|l| l.contains("acc :=")), "{listing:?}");
     assert!(listing.iter().any(|l| l.contains("t :=")), "{listing:?}");

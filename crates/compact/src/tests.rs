@@ -100,8 +100,10 @@ fn compile(r: &mut Rig, src: &str) -> (Vec<record_codegen::RtOp>, Binding) {
         &mut r.manager,
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .expect("compiles");
+    .expect("compiles")
+    .ops;
     (ops, binding)
 }
 

@@ -61,9 +61,11 @@ pub enum CompilePhase {
     Compact,
 }
 
-impl fmt::Display for CompilePhase {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl CompilePhase {
+    /// The phase's trace-span label — the same vocabulary
+    /// `record-probe` spans and `record-bench` snapshots use.
+    pub fn label(self) -> &'static str {
+        match self {
             CompilePhase::Parse => "parse",
             CompilePhase::Lower => "lower",
             CompilePhase::Bind => "bind",
@@ -71,8 +73,13 @@ impl fmt::Display for CompilePhase {
             CompilePhase::Emit => "emit",
             CompilePhase::Allocate => "allocate",
             CompilePhase::Compact => "compact",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for CompilePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -97,6 +104,11 @@ pub struct Diagnostic {
     /// Display text, not a lookup key — resolve storages through
     /// [`crate::Target::memory_named`] / the netlist instead.
     pub storage: Option<String>,
+    /// Mnemonic of an operator the machine has *no rule at all* for, when
+    /// the selector proved that (selection failures only).  Set means the
+    /// failure is a hardware gap, not a selector gap — see
+    /// [`CompileError::classify`].
+    pub op: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -108,6 +120,7 @@ impl Diagnostic {
             span: None,
             rt_index: None,
             storage: None,
+            op: None,
         }
     }
 }
@@ -151,16 +164,50 @@ pub enum CompileError {
     Frontend {
         /// The function that was requested.
         function: String,
-        /// What went wrong, with source position.
-        diagnostic: Diagnostic,
+        /// What went wrong, with source position.  Boxed to keep the
+        /// error (and every `Result` it rides in) pointer-small.
+        diagnostic: Box<Diagnostic>,
     },
     /// Code generation failed (selection, spill paths, storage).
     Codegen {
         /// The function being compiled.
         function: String,
         /// What went wrong, with RT index / storage name when available.
-        diagnostic: Diagnostic,
+        /// Boxed to keep the error pointer-small.
+        diagnostic: Box<Diagnostic>,
     },
+}
+
+/// The failure taxonomy: which phase a compilation died in and what
+/// *kind* of failure it was.
+///
+/// The kind separates failures that look identical in a pass/fail table:
+///
+/// * `missing-hardware(<op>)` — the machine has no rule at all for an
+///   operator; fixing it needs a different processor model.
+/// * `selector-gap` — rules exist but no cover was found; a smarter
+///   selector (or splitter) might compile this.
+/// * `no-spill-path` — a register conflict needed a spill but the machine
+///   has no store/reload templates for the register (or the conflict is
+///   cyclic).
+/// * `bind-overflow` — a storage ran out of words or cells.
+/// * `no-data-memory`, `unknown-storage`, `not-a-memory`,
+///   `unbound-variable`, `frontend` — set-up failures.
+///
+/// `record-bench` snapshots persist this pair per failing model×kernel
+/// and `perf_snapshot --check` fails when a pair silently changes class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureClass {
+    /// The phase that failed.
+    pub phase: CompilePhase,
+    /// The failure kind slug (see the type docs for the vocabulary).
+    pub kind: String,
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.phase, self.kind)
+    }
 }
 
 impl CompileError {
@@ -178,6 +225,43 @@ impl CompileError {
         self.diagnostic().map(|d| d.phase)
     }
 
+    /// Classifies the failure (see [`FailureClass`]).
+    ///
+    /// Total: every error maps to exactly one class, derived from the
+    /// structured diagnostic fields — no message parsing.
+    pub fn classify(&self) -> FailureClass {
+        let class = |phase, kind: &str| FailureClass {
+            phase,
+            kind: kind.to_owned(),
+        };
+        match self {
+            CompileError::NoDataMemory { .. } => class(CompilePhase::Bind, "no-data-memory"),
+            CompileError::UnknownStorage { .. } => class(CompilePhase::Bind, "unknown-storage"),
+            CompileError::NotAMemory { .. } => class(CompilePhase::Bind, "not-a-memory"),
+            CompileError::Frontend { diagnostic, .. } => class(diagnostic.phase, "frontend"),
+            CompileError::Codegen { diagnostic, .. } => {
+                // The diagnostic fields identify the codegen variant
+                // exactly: `op` only on proven hardware gaps, `rt_index`
+                // only on spill-path failures, `storage` (without
+                // `rt_index`) only on storage exhaustion.
+                if let Some(op) = diagnostic.op {
+                    FailureClass {
+                        phase: diagnostic.phase,
+                        kind: format!("missing-hardware({op})"),
+                    }
+                } else if diagnostic.phase == CompilePhase::Select {
+                    class(diagnostic.phase, "selector-gap")
+                } else if diagnostic.rt_index.is_some() {
+                    class(diagnostic.phase, "no-spill-path")
+                } else if diagnostic.storage.is_some() {
+                    class(diagnostic.phase, "bind-overflow")
+                } else {
+                    class(diagnostic.phase, "unbound-variable")
+                }
+            }
+        }
+    }
+
     pub(crate) fn from_frontend(
         function: &str,
         phase: CompilePhase,
@@ -185,16 +269,22 @@ impl CompileError {
     ) -> Self {
         CompileError::Frontend {
             function: function.to_owned(),
-            diagnostic: Diagnostic {
+            diagnostic: Box::new(Diagnostic {
                 span: Some((e.line(), e.column())),
                 ..Diagnostic::new(phase, e.message())
-            },
+            }),
         }
     }
 
     pub(crate) fn from_codegen(function: &str, phase: CompilePhase, e: CodegenError) -> Self {
         let diagnostic = match e {
-            CodegenError::Select { message } => Diagnostic::new(CompilePhase::Select, message),
+            CodegenError::Select {
+                message,
+                missing_op,
+            } => Diagnostic {
+                op: missing_op,
+                ..Diagnostic::new(CompilePhase::Select, message)
+            },
             CodegenError::NoSpillPath { loc, at_op, detail } => Diagnostic {
                 rt_index: Some(at_op),
                 storage: Some(loc),
@@ -211,7 +301,7 @@ impl CompileError {
         };
         CompileError::Codegen {
             function: function.to_owned(),
-            diagnostic,
+            diagnostic: Box::new(diagnostic),
         }
     }
 }

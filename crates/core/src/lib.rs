@@ -26,20 +26,32 @@
 //!
 //! let model = record_targets::models::model("bass_boost").unwrap();
 //! let target = Record::retarget(model.hdl, &RetargetOptions::default())?;
-//! assert!(target.stats().templates_extended > 0);
+//! assert!(target.report().templates_extended > 0);
 //! # Ok::<(), record_core::PipelineError>(())
 //! ```
+//!
+//! Every phase of both pipelines is instrumented through `record-probe`:
+//! [`Record::retarget_probed`] and [`CompileSession::install_collector`]
+//! stream spans into a [`record_probe::Trace`] (exportable as Chrome
+//! trace JSON), and every [`Target`] / [`CompiledKernel`] carries an
+//! always-on [`RetargetReport`] / [`CompileReport`] with per-phase times
+//! and work counters.
 
 mod error;
 mod pipeline;
 mod session;
 
-pub use error::{CompileError, CompilePhase, Diagnostic, PipelineError};
+pub use error::{CompileError, CompilePhase, Diagnostic, FailureClass, PipelineError};
+#[allow(deprecated)]
+pub use pipeline::RetargetStats;
 pub use pipeline::{
-    CompileOptions, CompiledKernel, Record, RetargetOptions, RetargetStats, Target,
+    CompileOptions, CompileReport, CompiledKernel, Record, RetargetOptions, RetargetReport, Target,
 };
 pub use record_bdd::FrozenBdd;
 pub use record_codegen::{Machine, RtOp};
+pub use record_probe::{
+    validate_chrome_json_shape, Collector, CounterVal, PhaseNs, Probe, Report, Trace, TraceSink,
+};
 pub use record_regalloc::{mem_traffic, AllocStats, Liveness, RegisterPool};
 pub use session::{CompileRequest, CompileSession};
 

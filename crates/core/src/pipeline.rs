@@ -34,10 +34,17 @@ pub struct RetargetOptions {
     pub emit_parser_source: bool,
 }
 
-/// Per-phase retargeting statistics: one row of the paper's Table 3, plus
-/// the phase breakdown.
+/// Retargeting report: one row of the paper's Table 3 (the count
+/// columns) plus the per-phase time/counter breakdown as a
+/// [`record_probe::Report`].
+///
+/// This is the single retarget-side statistics struct — phase times that
+/// used to be separate `t_*` `Duration` fields live in [`Self::report`]
+/// under the phase labels `"parse"`, `"extract"`, `"template-gen"`,
+/// `"rule-gen"`, `"selector-gen"` and `"freeze"`, with accessor methods
+/// preserving the old vocabulary.
 #[derive(Debug, Clone)]
-pub struct RetargetStats {
+pub struct RetargetReport {
     /// Processor name from the HDL model.
     pub processor: String,
     /// Templates delivered by ISE (after validity filtering and merging).
@@ -56,15 +63,56 @@ pub struct RetargetStats {
     pub pool_registers: usize,
     /// Total allocatable register cells in the pool.
     pub pool_cells: u64,
-    /// Phase times.
-    pub t_frontend: Duration,
-    pub t_extract: Duration,
-    pub t_extend: Duration,
-    pub t_grammar: Duration,
-    pub t_selector: Duration,
-    /// Total retargeting time — the paper's "retargeting time" column.
-    pub t_total: Duration,
+    /// Per-phase wall-clock times and work counters.
+    pub report: record_probe::Report,
+    /// Total retargeting wall clock in nanoseconds — the paper's
+    /// "retargeting time" column (phase times plus inter-phase glue).
+    pub total_ns: u64,
 }
+
+impl RetargetReport {
+    fn phase_dur(&self, label: &str) -> Duration {
+        Duration::from_nanos(self.report.phase_ns(label).unwrap_or(0))
+    }
+
+    /// Time in the HDL frontend (parsing + elaboration; phase `"parse"`).
+    pub fn t_frontend(&self) -> Duration {
+        self.phase_dur("parse")
+    }
+
+    /// Time in instruction-set extraction (phase `"extract"`).
+    pub fn t_extract(&self) -> Duration {
+        self.phase_dur("extract")
+    }
+
+    /// Time in algebraic template extension (phase `"template-gen"`).
+    pub fn t_extend(&self) -> Duration {
+        self.phase_dur("template-gen")
+    }
+
+    /// Time constructing the tree grammar (phase `"rule-gen"`).
+    pub fn t_grammar(&self) -> Duration {
+        self.phase_dur("rule-gen")
+    }
+
+    /// Time generating the selector tables (phase `"selector-gen"`).
+    pub fn t_selector(&self) -> Duration {
+        self.phase_dur("selector-gen")
+    }
+
+    /// Total retargeting time.
+    pub fn t_total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Deprecated name of [`RetargetReport`].
+#[deprecated(
+    since = "0.3.0",
+    note = "renamed to RetargetReport; the t_* Duration fields are now \
+            accessor methods backed by the `report` phase table"
+)]
+pub type RetargetStats = RetargetReport;
 
 /// The retargetable compiler entry point.
 #[derive(Debug)]
@@ -82,35 +130,72 @@ impl Record {
     /// Fails on malformed HDL, elaboration errors or extraction errors
     /// (combinational cycles, route explosion).
     pub fn retarget(hdl: &str, options: &RetargetOptions) -> Result<Target, PipelineError> {
+        Record::retarget_probed(hdl, options, &mut record_probe::Probe::disabled())
+    }
+
+    /// [`Record::retarget`] with a trace probe: every retargeting phase
+    /// (`parse`, `extract`, `template-gen`, `rule-gen`, `selector-gen`,
+    /// `freeze`) is bracketed by a span on `probe`, and phase sizes are
+    /// reported as counters.  The same phase labels appear in the
+    /// returned target's [`RetargetReport`], probe or not.
+    ///
+    /// # Errors
+    ///
+    /// As [`Record::retarget`].  Spans stay balanced on the error path.
+    pub fn retarget_probed(
+        hdl: &str,
+        options: &RetargetOptions,
+        probe: &mut record_probe::Probe<'_>,
+    ) -> Result<Target, PipelineError> {
+        let mut report = record_probe::Report::with_capacity(6, 8);
         let t0 = Instant::now();
-        let model = record_hdl::parse(hdl).map_err(|e| PipelineError::Hdl(e.to_string()))?;
-        let netlist =
-            record_netlist::elaborate(&model).map_err(|e| PipelineError::Netlist(e.to_string()))?;
-        let t_frontend = t0.elapsed();
+
+        probe.begin("parse");
+        let parsed = record_hdl::parse(hdl)
+            .map_err(|e| PipelineError::Hdl(e.to_string()))
+            .and_then(|model| {
+                record_netlist::elaborate(&model).map_err(|e| PipelineError::Netlist(e.to_string()))
+            });
+        probe.end("parse");
+        report.phase("parse", t0.elapsed().as_nanos() as u64);
+        let netlist = parsed?;
 
         let t1 = Instant::now();
-        let extraction = record_isex::extract(&netlist, &options.extract)
-            .map_err(|e| PipelineError::Extract(e.to_string()))?;
-        let t_extract = t1.elapsed();
+        probe.begin("extract");
+        let extracted = record_isex::extract(&netlist, &options.extract)
+            .map_err(|e| PipelineError::Extract(e.to_string()));
+        probe.end("extract");
+        report.phase("extract", t1.elapsed().as_nanos() as u64);
+        let extraction = extracted?;
         let templates_extracted = extraction.base.len();
+        probe.count("extract.templates", templates_extracted as u64);
+        report.count("extract.templates", templates_extracted as u64);
 
         let t2 = Instant::now();
+        probe.begin("template-gen");
         let mut base = extraction.base;
         record_rtl::extend(&mut base, &options.extension);
-        let t_extend = t2.elapsed();
+        probe.end("template-gen");
+        report.phase("template-gen", t2.elapsed().as_nanos() as u64);
+        probe.count("template-gen.templates", base.len() as u64);
+        report.count("template-gen.templates", base.len() as u64);
 
         let t3 = Instant::now();
-        let grammar = Arc::new(TreeGrammar::from_base(&base, &netlist));
-        let t_grammar = t3.elapsed();
+        let grammar = Arc::new(TreeGrammar::from_base_probed(&base, &netlist, probe));
+        report.phase("rule-gen", t3.elapsed().as_nanos() as u64);
+        report.count("rule-gen.nonterminals", grammar.nonterm_count() as u64);
+        report.count("rule-gen.rules", grammar.rules().len() as u64);
 
         let t4 = Instant::now();
+        probe.begin("selector-gen");
         let selector = Selector::generate(Arc::clone(&grammar));
         let parser_source = if options.emit_parser_source {
             Some(emit_rust(&grammar, netlist.name()))
         } else {
             None
         };
-        let t_selector = t4.elapsed();
+        probe.end("selector-gen");
+        report.phase("selector-gen", t4.elapsed().as_nanos() as u64);
 
         // Freeze the artifact: data memory, register pool and the
         // emission tables (register-file address fields, instruction-bit
@@ -118,6 +203,8 @@ impl Record {
         // are built *now*, not recomputed on every compile.  The literal
         // handles must be created before `freeze` so sessions see them as
         // frozen-base handles.
+        let t5 = Instant::now();
+        probe.begin("freeze");
         let mut manager = extraction.manager;
         let emit_tables =
             EmitTables::build(&netlist, &mut manager, extraction.varmap.iword_width());
@@ -128,8 +215,11 @@ impl Record {
             .max_by_key(|s| s.size)
             .map(|s| s.id);
         let pool = data_mem.map(|dm| RegisterPool::discover(&netlist, &base, dm));
+        probe.end("freeze");
+        report.phase("freeze", t5.elapsed().as_nanos() as u64);
+        report.count("freeze.bdd-nodes", manager.counters().nodes);
 
-        let stats = RetargetStats {
+        let stats = RetargetReport {
             processor: netlist.name().to_owned(),
             templates_extracted,
             templates_extended: base.len(),
@@ -138,12 +228,8 @@ impl Record {
             nonterminals: grammar.nonterm_count(),
             pool_registers: pool.as_ref().map_or(0, |p| p.classes().len()),
             pool_cells: pool.as_ref().map_or(0, |p| p.capacity()),
-            t_frontend,
-            t_extract,
-            t_extend,
-            t_grammar,
-            t_selector,
-            t_total: t0.elapsed(),
+            report,
+            total_ns: t0.elapsed().as_nanos() as u64,
         };
         Ok(Target {
             netlist,
@@ -186,6 +272,15 @@ impl Default for CompileOptions {
     }
 }
 
+/// Per-compilation phase times and work counters, attached to every
+/// [`CompiledKernel`].
+///
+/// An alias of [`record_probe::Report`]: phases use the
+/// [`crate::CompilePhase`] label vocabulary (`parse`, `lower`, `bind`,
+/// `select`, `emit`, `allocate`, `compact`); the counter vocabulary is
+/// documented in ARCHITECTURE.md's Observability section.
+pub type CompileReport = record_probe::Report;
+
 /// A compiled kernel: vertical RT code plus the compacted schedule.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
@@ -203,6 +298,9 @@ pub struct CompiledKernel {
     pub binding: Binding,
     /// Register-allocation counters (`None` when the phase did not run).
     pub alloc: Option<AllocStats>,
+    /// Per-phase times and work counters for this compilation (always
+    /// attached; see [`crate::CompileReport`]).
+    pub report: crate::CompileReport,
 }
 
 impl CompiledKernel {
@@ -236,7 +334,7 @@ pub struct Target {
     /// Emission tables (rf address fields, instruction-bit literals),
     /// fixed at retarget time.
     pub(crate) emit_tables: EmitTables,
-    pub(crate) stats: RetargetStats,
+    pub(crate) stats: RetargetReport,
     pub(crate) parser_source: Option<String>,
     /// Default data memory, fixed at retarget time (`None` when the model
     /// has none — every compile then fails with a diagnostic).
@@ -253,8 +351,15 @@ const _: () = {
 };
 
 impl Target {
+    /// The retargeting report: Table 3 counts plus the per-phase
+    /// time/counter breakdown.
+    pub fn report(&self) -> &RetargetReport {
+        &self.stats
+    }
+
     /// Retargeting statistics (a Table 3 row).
-    pub fn stats(&self) -> &RetargetStats {
+    #[deprecated(since = "0.3.0", note = "renamed to `report()`")]
+    pub fn stats(&self) -> &RetargetReport {
         &self.stats
     }
 
@@ -373,6 +478,20 @@ impl Target {
         requests: &[CompileRequest<'_>],
     ) -> Vec<Result<CompiledKernel, CompileError>> {
         crate::session::compile_batch(self, requests)
+    }
+
+    /// [`Target::compile_batch`] with tracing: each request's session
+    /// records into its own trace lane (lane id = request index) and the
+    /// lanes merge lock-free after the workers join.  Results are
+    /// byte-identical to the untraced batch.
+    pub fn compile_batch_traced(
+        &self,
+        requests: &[CompileRequest<'_>],
+    ) -> (
+        Vec<Result<CompiledKernel, CompileError>>,
+        record_probe::Trace,
+    ) {
+        crate::session::compile_batch_traced(self, requests)
     }
 
     /// Compiles `function` of the mini-C translation unit `source`.

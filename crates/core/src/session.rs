@@ -10,12 +10,14 @@
 //! byte-identical to sequential output.
 
 use crate::error::{CompileError, CompilePhase};
-use crate::pipeline::{CompileOptions, CompiledKernel, Target};
+use crate::pipeline::{CompileOptions, CompileReport, CompiledKernel, Target};
 use record_bdd::BddOverlay;
-use record_codegen::{baseline_compile, compile, Binding};
+use record_codegen::{baseline_compile, compile, Binding, Emitted};
 use record_compact::compact;
-use record_regalloc::{allocate, AllocOptions, Liveness, MemLayout};
+use record_probe::{Collector, Probe, Trace, TraceSink};
+use record_regalloc::{allocate_probed, AllocOptions, Liveness, MemLayout};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One compilation request: a mini-C translation unit, the function to
 /// compile, and the options to compile it under.
@@ -96,6 +98,10 @@ impl<'a> CompileRequest<'a> {
 pub struct CompileSession<'t> {
     target: &'t Target,
     bdd: BddOverlay<'t>,
+    /// Trace collector, when the caller wants the span stream.  Owned by
+    /// the session (one lane per session), so concurrent sessions never
+    /// contend — batch tracing merges lanes after the workers join.
+    collector: Option<Collector>,
 }
 
 impl<'t> CompileSession<'t> {
@@ -103,7 +109,21 @@ impl<'t> CompileSession<'t> {
         CompileSession {
             target,
             bdd: target.frozen.overlay(),
+            collector: None,
         }
+    }
+
+    /// Installs a trace collector recording into `lane`: subsequent
+    /// compilations stream their span and counter events into it.
+    /// Replaces any previously installed collector.
+    pub fn install_collector(&mut self, lane: u32) {
+        self.collector = Some(Collector::new(lane));
+    }
+
+    /// Removes the installed collector and returns its recorded trace
+    /// (`None` when none was installed).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.collector.take().map(Collector::into_trace)
     }
 
     /// The frozen artifact this session compiles against.
@@ -131,10 +151,16 @@ impl<'t> CompileSession<'t> {
 
     /// Compiles one request.
     ///
+    /// Every successful result carries a [`CompileReport`] with per-phase
+    /// times and work counters; when a collector is installed
+    /// ([`CompileSession::install_collector`]) the same phases also appear
+    /// as spans in the trace.  Spans stay balanced on error paths.
+    ///
     /// # Errors
     ///
     /// Structured [`CompileError`]s for mini-C errors and code-generation
-    /// failures (no cover, storage exhaustion, missing spill paths).
+    /// failures (no cover, storage exhaustion, missing spill paths); use
+    /// [`CompileError::classify`] for the failure taxonomy.
     pub fn compile(
         &mut self,
         request: &CompileRequest<'_>,
@@ -142,15 +168,42 @@ impl<'t> CompileSession<'t> {
         let target = self.target;
         let function = request.function();
         let options = request.options();
-        let program = record_ir::parse(request.source())
-            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Parse, &e))?;
-        let flat = record_ir::lower(&program, function)
-            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Lower, &e))?;
-        let dm = target.data_memory()?;
-        let width = target.netlist.storage(dm).width;
-        let mut binding = Binding::allocate(&program, function, &target.netlist, dm)
-            .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))?;
-        let ops = if options.baseline {
+        let mut report = CompileReport::with_capacity(7, 16);
+        let bdd_before = self.bdd.counters();
+        // Disjoint-field borrows: the probe holds `self.collector` for the
+        // whole compilation while codegen and compaction mutate `self.bdd`.
+        let mut probe = Probe::attached(self.collector.as_mut().map(|c| c as &mut dyn TraceSink));
+
+        let t0 = Instant::now();
+        probe.begin("parse");
+        let parsed = record_ir::parse(request.source())
+            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Parse, &e));
+        probe.end("parse");
+        report.phase("parse", t0.elapsed().as_nanos() as u64);
+        let program = parsed?;
+
+        let t1 = Instant::now();
+        probe.begin("lower");
+        let lowered = record_ir::lower(&program, function)
+            .map_err(|e| CompileError::from_frontend(function, CompilePhase::Lower, &e));
+        probe.end("lower");
+        report.phase("lower", t1.elapsed().as_nanos() as u64);
+        let flat = lowered?;
+
+        let t2 = Instant::now();
+        probe.begin("bind");
+        let bound = target.data_memory().and_then(|dm| {
+            Binding::allocate(&program, function, &target.netlist, dm)
+                .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))
+                .map(|binding| (binding, target.netlist.storage(dm).width))
+        });
+        probe.end("bind");
+        report.phase("bind", t2.elapsed().as_nanos() as u64);
+        let (mut binding, width) = bound?;
+
+        let t3 = Instant::now();
+        probe.begin("codegen");
+        let emitted = if options.baseline {
             baseline_compile(
                 &flat,
                 &target.selector,
@@ -160,6 +213,7 @@ impl<'t> CompileSession<'t> {
                 &mut self.bdd,
                 &target.emit_tables,
                 width,
+                &mut probe,
             )
         } else {
             compile(
@@ -171,33 +225,77 @@ impl<'t> CompileSession<'t> {
                 &mut self.bdd,
                 &target.emit_tables,
                 width,
+                &mut probe,
             )
-        }
-        .map_err(|e| CompileError::from_codegen(function, CompilePhase::Emit, e))?;
+        };
+        probe.end("codegen");
+        let codegen_ns = t3.elapsed().as_nanos() as u64;
+        let Emitted { ops, stats: emit } =
+            emitted.map_err(|e| CompileError::from_codegen(function, CompilePhase::Emit, e))?;
+        // Selection time is measured inside codegen per statement; the
+        // rest of the codegen wall clock (splitting, spill routing, RT
+        // emission) is the emit phase.
+        report.phase("select", emit.select_ns);
+        report.phase("emit", codegen_ns.saturating_sub(emit.select_ns));
+        report.count("emit.statements", emit.statements);
+        report.count("emit.splits", emit.splits);
+        report.count("emit.spill-stores", emit.spill_stores);
+        report.count("emit.reloads", emit.reloads);
+        report.count("select.rules-tried", emit.select.rules_tried);
+        report.count("select.labels-set", emit.select.labels_set);
+
         // Value placement: keep chained results register-resident.  The
         // baseline path stays memory-bound on purpose — it models the
         // Figure 2 target-specific compiler whose operands travel through
         // memory.
         let (ops, alloc) = match &target.pool {
             Some(pool) if options.allocate_registers && !options.baseline => {
+                let t4 = Instant::now();
+                probe.begin("allocate");
                 let liveness = Liveness::analyze(&flat);
-                let (ops, stats) = allocate(
+                let (ops, stats) = allocate_probed(
                     &ops,
                     pool,
                     &liveness,
                     MemLayout::from_binding(&binding),
                     &AllocOptions::default(),
+                    &mut probe,
                 );
+                probe.end("allocate");
+                report.phase("allocate", t4.elapsed().as_nanos() as u64);
+                report.count(
+                    "allocate.reloads-eliminated",
+                    stats.reloads_eliminated as u64,
+                );
+                report.count("allocate.stores-eliminated", stats.stores_eliminated as u64);
+                report.count("allocate.spills", stats.spills as u64);
                 (ops, Some(stats))
             }
             _ => (ops, None),
         };
-        let schedule = options.compaction.then(|| compact(&ops, &mut self.bdd));
+
+        let schedule = options.compaction.then(|| {
+            let t5 = Instant::now();
+            probe.begin("compact");
+            let schedule = compact(&ops, &mut self.bdd);
+            probe.end("compact");
+            report.phase("compact", t5.elapsed().as_nanos() as u64);
+            schedule
+        });
+
+        let bdd = self.bdd.counters().delta(&bdd_before);
+        report.count("bdd.nodes-allocated", bdd.nodes);
+        report.count("bdd.op-cache-hits", bdd.op_hits);
+        report.count("bdd.op-cache-misses", bdd.op_misses);
+        report.count("bdd.unique-probes", bdd.unique_probes);
+        report.count("bdd.unique-lookups", bdd.unique_lookups);
+
         Ok(CompiledKernel {
             ops,
             schedule,
             binding,
             alloc,
+            report,
         })
     }
 }
@@ -253,4 +351,70 @@ pub(crate) fn compile_batch(
         .into_iter()
         .map(|r| r.expect("every request index was claimed by exactly one worker"))
         .collect()
+}
+
+/// [`compile_batch`] with tracing: every request compiles in a fresh
+/// session whose collector records into lane = request index, and the
+/// lanes merge — by moving event buffers, no locks — after the workers
+/// join.  Lanes come back sorted by request index, so the merged trace
+/// is deterministic regardless of scheduling.
+pub(crate) fn compile_batch_traced(
+    target: &Target,
+    requests: &[CompileRequest<'_>],
+) -> (Vec<Result<CompiledKernel, CompileError>>, Trace) {
+    let compile_one = |i: usize, request: &CompileRequest<'_>| {
+        let mut session = target.session();
+        session.install_collector(i as u32);
+        let result = session.compile(request);
+        let trace = session.take_trace().expect("collector installed above");
+        (result, trace)
+    };
+    if requests.is_empty() {
+        return (Vec::new(), Trace::default());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(requests.len());
+    if workers <= 1 {
+        let (mut results, mut traces) = (Vec::new(), Vec::new());
+        for (i, request) in requests.iter().enumerate() {
+            let (result, trace) = compile_one(i, request);
+            results.push(result);
+            traces.push(trace);
+        }
+        return (results, Trace::merge(traces));
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(Result<CompiledKernel, CompileError>, Trace)>> =
+        (0..requests.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        done.push((i, compile_one(i, request)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("batch worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    let (mut results, mut traces) = (Vec::new(), Vec::new());
+    for slot in slots {
+        let (result, trace) = slot.expect("every request index was claimed by exactly one worker");
+        results.push(result);
+        traces.push(trace);
+    }
+    (results, Trace::merge(traces))
 }

@@ -47,12 +47,12 @@ const MEMLESS: &str = r#"
 #[test]
 fn retarget_reports_phase_times_and_counts() {
     let target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
-    let s = target.stats();
+    let s = target.report();
     assert_eq!(s.processor, "Tiny");
     assert_eq!(s.templates_extracted, 2); // acc := ram, ram := acc
     assert!(s.templates_extended >= s.templates_extracted);
     assert!(s.rules > s.templates_extended); // start + stop rules on top
-    assert!(s.t_total >= s.t_extract);
+    assert!(s.t_total() >= s.t_extract());
     assert_eq!(s.nonterminals, 2); // START + acc
 }
 
@@ -62,14 +62,14 @@ fn register_pool_is_discovered_at_retarget_time() {
     // Discovery already happened: the accessor needs no compile first.
     let pool = target.register_pool().expect("tiny has a data memory");
     assert_eq!(pool.classes().len(), 1); // the accumulator
-    assert_eq!(target.stats().pool_registers, 1);
-    assert_eq!(target.stats().pool_cells, 1);
+    assert_eq!(target.report().pool_registers, 1);
+    assert_eq!(target.report().pool_cells, 1);
 
     // A memory-less model retargets with an empty pool, reported as such.
     let memless = Record::retarget(MEMLESS, &RetargetOptions::default()).unwrap();
     assert!(memless.register_pool().is_none());
-    assert_eq!(memless.stats().pool_registers, 0);
-    assert_eq!(memless.stats().pool_cells, 0);
+    assert_eq!(memless.report().pool_registers, 0);
+    assert_eq!(memless.report().pool_cells, 0);
 }
 
 #[test]
@@ -186,7 +186,7 @@ fn sessions_are_reusable_and_deterministic() {
     // A fresh session agrees with the reused one on this workload.
     let k3 = target.compile(&request).unwrap();
     assert_eq!(k1.ops, k3.ops);
-    assert_eq!(session.target().stats().processor, "Tiny");
+    assert_eq!(session.target().report().processor, "Tiny");
 }
 
 #[test]

@@ -1,0 +1,145 @@
+//! Chrome trace-event JSON export.
+//!
+//! The [trace-event format] is the lingua franca of timeline viewers:
+//! the emitted file loads in Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`.  Span events map to `"B"`/`"E"` duration events,
+//! counters to `"C"` events, and each lane becomes a `tid` with a
+//! `thread_name` metadata record.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{EventKind, Trace};
+use std::fmt::Write as _;
+
+impl Trace {
+    /// Serializes the trace as Chrome trace-event JSON.
+    ///
+    /// `process_name` labels the single `pid` all lanes share.
+    /// Timestamps are emitted in microseconds with nanosecond precision
+    /// (the format's `ts` unit is microseconds; fractions are allowed).
+    pub fn to_chrome_json(&self, process_name: &str) -> String {
+        let mut out = String::from("{\n  \"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |s: &str, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str("    ");
+            out.push_str(s);
+        };
+        push(
+            &format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(process_name)
+            ),
+            &mut first,
+        );
+        for lane in &self.lanes {
+            push(
+                &format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"name\": \"lane-{}\"}}}}",
+                    lane.id, lane.id
+                ),
+                &mut first,
+            );
+        }
+        for lane in &self.lanes {
+            for ev in &lane.events {
+                let ts_us = ev.ts_ns as f64 / 1000.0;
+                let line = match ev.kind {
+                    EventKind::Begin => format!(
+                        "{{\"name\": {}, \"cat\": \"record\", \"ph\": \"B\", \
+                         \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {}}}",
+                        json_string(ev.label),
+                        lane.id
+                    ),
+                    EventKind::End => format!(
+                        "{{\"name\": {}, \"cat\": \"record\", \"ph\": \"E\", \
+                         \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {}}}",
+                        json_string(ev.label),
+                        lane.id
+                    ),
+                    EventKind::Counter => format!(
+                        "{{\"name\": {}, \"cat\": \"record\", \"ph\": \"C\", \
+                         \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {}, \
+                         \"args\": {{\"value\": {}}}}}",
+                        json_string(ev.label),
+                        lane.id,
+                        ev.value
+                    ),
+                };
+                push(&line, &mut first);
+            }
+        }
+        out.push_str("\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n");
+        out
+    }
+}
+
+/// Renders a JSON string literal (escaping the characters that can
+/// appear in instrumentation labels and processor names).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Structurally checks an already-serialized Chrome trace without a JSON
+/// parser: every `"ph": "B"` has a matching `"E"`, quotes and braces are
+/// balanced.  This is a smoke check for pipelines that cannot depend on
+/// a parser; full validation should parse the JSON *and* run
+/// [`Trace::validate`] on the source trace.
+///
+/// # Errors
+///
+/// A description of the first structural problem found.
+pub fn validate_chrome_json_shape(json: &str) -> Result<(), String> {
+    let begins = json.matches("\"ph\": \"B\"").count();
+    let ends = json.matches("\"ph\": \"E\"").count();
+    if begins != ends {
+        return Err(format!("unbalanced events: {begins} B vs {ends} E"));
+    }
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in json.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return Err("unbalanced braces: closed more than opened".into());
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    if depth != 0 {
+        return Err(format!("unbalanced braces: depth {depth} at end"));
+    }
+    Ok(())
+}

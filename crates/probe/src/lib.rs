@@ -1,0 +1,162 @@
+//! `record-probe`: structured tracing and phase metrics for the
+//! retarget + compile pipeline.
+//!
+//! The pipeline is instrumented at three altitudes, cheapest first:
+//!
+//! * **Plain-field counters** live where the work happens (the BDD
+//!   tables count cache hits, the selector counts rules tried, the
+//!   allocator counts evictions).  They are always on — incrementing a
+//!   local integer inside an already-allocating loop is free — and they
+//!   are *read*, never written, by this crate.
+//! * **[`Report`]s** aggregate one run: per-phase wall-clock
+//!   nanoseconds plus the counter snapshot at phase end.  Reports are
+//!   cheap enough to attach to every result (a dozen clock reads and
+//!   two small `Vec`s per compilation).
+//! * **[`TraceSink`]s** receive the full span stream — nested
+//!   begin/end events with monotonic timestamps — for timeline tooling.
+//!   No sink is installed by default, and the [`Probe`] handle that
+//!   pipeline code talks to degrades to a branch-on-null when disabled:
+//!   the hot paths (BDD apply, grammar labelling) never see the probe
+//!   at all, only phase boundaries do.
+//!
+//! The first-party sink is [`Collector`], which records events into a
+//! per-session [`Trace`] lane.  Lanes from concurrent sessions (e.g.
+//! `compile_batch` workers) merge lock-free at join time — each worker
+//! owns its collector, merging moves the event vectors.  A merged
+//! [`Trace`] exports as Chrome trace-event JSON
+//! ([`Trace::to_chrome_json`]) loadable in Perfetto or `chrome://tracing`,
+//! and validates itself ([`Trace::validate`]): balanced begin/end pairs,
+//! monotonic timestamps per lane.
+//!
+//! # Example
+//!
+//! ```
+//! use record_probe::{Collector, Probe, Trace};
+//!
+//! let mut sink = Collector::new(0);
+//! let mut probe = Probe::new(&mut sink);
+//! probe.begin("retarget");
+//! probe.begin("parse");
+//! probe.count("hdl.modules", 3);
+//! probe.end("parse");
+//! probe.end("retarget");
+//! drop(probe);
+//!
+//! let trace = sink.into_trace();
+//! trace.validate().expect("balanced and monotonic");
+//! let json = trace.to_chrome_json("example");
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+mod chrome;
+mod report;
+mod trace;
+
+pub use chrome::validate_chrome_json_shape;
+pub use report::{CounterVal, PhaseNs, Report};
+pub use trace::{Collector, EventKind, Lane, Trace, TraceEvent, TraceSink};
+
+use std::time::Instant;
+
+/// The process-wide trace epoch: all collectors timestamp events as
+/// nanoseconds since the first call, so lanes recorded by different
+/// sessions (or threads) line up on one timeline.
+fn epoch() -> Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// The handle pipeline code is threaded with.
+///
+/// A probe either borrows a [`TraceSink`] or is disabled.  Every method
+/// starts with a null check, so a disabled probe costs one predictable
+/// branch per *phase boundary* — the per-operation hot paths are not
+/// instrumented through the probe at all (see the crate docs).
+#[derive(Default)]
+pub struct Probe<'s> {
+    sink: Option<&'s mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Probe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl<'s> Probe<'s> {
+    /// A probe with no sink: every call is a no-op.
+    #[inline]
+    pub fn disabled() -> Probe<'static> {
+        Probe { sink: None }
+    }
+
+    /// A probe feeding `sink`.
+    pub fn new(sink: &'s mut dyn TraceSink) -> Probe<'s> {
+        // Touch the epoch now so the first event does not pay for the
+        // OnceLock initialisation inside a span.
+        let _ = epoch();
+        Probe { sink: Some(sink) }
+    }
+
+    /// A probe feeding `sink` when one is given, disabled otherwise.
+    pub fn attached(sink: Option<&'s mut dyn TraceSink>) -> Probe<'s> {
+        match sink {
+            Some(s) => Probe::new(s),
+            None => Probe { sink: None },
+        }
+    }
+
+    /// Is a sink installed?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Reborrows the probe for passing further down the pipeline.
+    #[inline]
+    pub fn reborrow(&mut self) -> Probe<'_> {
+        Probe {
+            sink: match &mut self.sink {
+                Some(s) => Some(&mut **s),
+                None => None,
+            },
+        }
+    }
+
+    /// Opens a span.  Spans nest: close them in LIFO order.
+    #[inline]
+    pub fn begin(&mut self, label: &'static str) {
+        if let Some(s) = &mut self.sink {
+            s.begin(label, now_ns());
+        }
+    }
+
+    /// Closes the innermost open span with this label.
+    #[inline]
+    pub fn end(&mut self, label: &'static str) {
+        if let Some(s) = &mut self.sink {
+            s.end(label, now_ns());
+        }
+    }
+
+    /// Records a named counter sample (an absolute value or a delta —
+    /// the convention is per counter and documented at the call site).
+    #[inline]
+    pub fn count(&mut self, name: &'static str, value: u64) {
+        if let Some(s) = &mut self.sink {
+            s.counter(name, value, now_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

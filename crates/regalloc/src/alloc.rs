@@ -287,6 +287,16 @@ impl<'a> Allocator<'a> {
 
     /// Rewrites `ops`, returning the allocated sequence and its stats.
     pub fn run(&self, ops: &[RtOp]) -> (Vec<RtOp>, AllocStats) {
+        self.run_probed(ops, &mut record_probe::Probe::disabled())
+    }
+
+    /// Like [`Allocator::run`], with each pass wrapped in a trace span
+    /// (`"allocate.residency"`, `"allocate.dead-store"`).
+    pub fn run_probed(
+        &self,
+        ops: &[RtOp],
+        probe: &mut record_probe::Probe<'_>,
+    ) -> (Vec<RtOp>, AllocStats) {
         let dm = self.layout.data_mem;
         let mut stats = AllocStats {
             ops_before: ops.len(),
@@ -295,8 +305,12 @@ impl<'a> Allocator<'a> {
         };
         (stats.reads_before, stats.writes_before) = mem_traffic(ops, dm);
 
+        probe.begin("allocate.residency");
         let kept = self.residency_pass(ops, &mut stats);
+        probe.end("allocate.residency");
+        probe.begin("allocate.dead-store");
         let kept = self.dead_store_pass(kept, &mut stats);
+        probe.end("allocate.dead-store");
 
         stats.ops_after = kept.len();
         (stats.reads_after, stats.writes_after) = mem_traffic(&kept, dm);
@@ -471,4 +485,16 @@ pub fn allocate(
     options: &AllocOptions,
 ) -> (Vec<RtOp>, AllocStats) {
     Allocator::new(pool, liveness, layout, options.clone()).run(ops)
+}
+
+/// [`allocate`] with per-pass trace spans.
+pub fn allocate_probed(
+    ops: &[RtOp],
+    pool: &RegisterPool,
+    liveness: &Liveness,
+    layout: MemLayout,
+    options: &AllocOptions,
+    probe: &mut record_probe::Probe<'_>,
+) -> (Vec<RtOp>, AllocStats) {
+    Allocator::new(pool, liveness, layout, options.clone()).run_probed(ops, probe)
 }

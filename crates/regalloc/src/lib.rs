@@ -29,7 +29,9 @@ mod alloc;
 mod liveness;
 mod pool;
 
-pub use alloc::{allocate, mem_traffic, AllocOptions, AllocStats, Allocator, MemLayout};
+pub use alloc::{
+    allocate, allocate_probed, mem_traffic, AllocOptions, AllocStats, Allocator, MemLayout,
+};
 pub use liveness::{Interval, Liveness};
 pub use pool::{Evicted, RegClass, RegisterPool, Residency, Resident};
 

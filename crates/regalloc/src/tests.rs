@@ -622,8 +622,10 @@ fn compile_both(
         &mut *r.manager.borrow_mut(),
         &r.tables,
         16,
+        &mut record_probe::Probe::disabled(),
     )
-    .expect("compiles");
+    .expect("compiles")
+    .ops;
 
     let liveness = Liveness::analyze(&flat);
     let pool = RegisterPool::discover(&r.netlist, &r.base, dm);

@@ -56,7 +56,7 @@ mod emit;
 mod selector;
 
 pub use emit::emit_rust;
-pub use selector::{Cover, RuleApp, SelectError, Selector};
+pub use selector::{Cover, RuleApp, SelectError, SelectStats, Selector};
 
 #[cfg(test)]
 mod tests;

@@ -13,6 +13,11 @@ pub struct SelectError {
     pub subtree: String,
     /// Human-readable explanation.
     pub reason: String,
+    /// When the derivation broke at an operator node for which the
+    /// grammar has *no rule at all*, the operator's mnemonic.  This
+    /// separates "the data path lacks this operation" (a hardware gap)
+    /// from "rules exist but none matched in context" (a selector gap).
+    pub missing_op: Option<&'static str>,
 }
 
 impl fmt::Display for SelectError {
@@ -37,6 +42,27 @@ pub struct RuleApp {
     pub operands: Vec<(NonTermId, NodeIdx)>,
 }
 
+/// Work counters of one [`Selector::select`] call.
+///
+/// Plain fields incremented inside the labelling loops — always on,
+/// machine-independent, and deterministic for a given grammar and tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Candidate rules whose pattern was matched against a node
+    /// (including chain-closure re-visits).
+    pub rules_tried: u64,
+    /// Label-matrix entries written (first writes and improvements).
+    pub labels_set: u64,
+}
+
+impl SelectStats {
+    /// Accumulates another call's counters into this one.
+    pub fn absorb(&mut self, other: &SelectStats) {
+        self.rules_tried += other.rules_tried;
+        self.labels_set += other.labels_set;
+    }
+}
+
 /// A minimum-cost cover of an expression tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cover {
@@ -44,6 +70,8 @@ pub struct Cover {
     pub cost: u32,
     /// Applications in evaluation order: operands before consumers.
     pub apps: Vec<RuleApp>,
+    /// Labelling work done to find this cover.
+    pub stats: SelectStats,
 }
 
 impl Cover {
@@ -192,7 +220,8 @@ impl Selector {
     /// `START` exists — e.g. an operator the data path lacks, or a constant
     /// that fits no immediate field and no hardwired constant.
     pub fn select(&self, et: &Et) -> Result<Cover, SelectError> {
-        let labels = self.label(et);
+        let mut stats = SelectStats::default();
+        let labels = self.label(et, &mut stats);
         let root_entry = labels.at(et.root(), NonTermId::START);
         if root_entry.is_none() {
             return Err(self.diagnose(et, &labels));
@@ -200,7 +229,7 @@ impl Selector {
         let mut apps = Vec::new();
         self.reduce(et, &labels, et.root(), NonTermId::START, &mut apps);
         let cost = root_entry.expect("checked above").cost;
-        Ok(Cover { cost, apps })
+        Ok(Cover { cost, apps, stats })
     }
 
     /// Bottom-up labelling: per node, per non-terminal, cheapest cost and
@@ -208,10 +237,11 @@ impl Selector {
     /// [`record_grammar::EtBuilder`], so index order is a valid bottom-up
     /// order.  The matrix is one dense allocation; rows are written in
     /// place, so labelling performs no per-node allocation at all.
-    fn label(&self, et: &Et) -> LabelMatrix {
+    fn label(&self, et: &Et, stats: &mut SelectStats) -> LabelMatrix {
         let mut labels = LabelMatrix::new(et.len(), self.nt_count);
         for idx in 0..et.len() {
             for &rid in self.candidates(et.kind(idx)) {
+                stats.rules_tried += 1;
                 let rule = self.grammar.rule(rid);
                 if let Some(child_cost) = self.match_cost(&rule.rhs, et, idx, &labels) {
                     let total = rule.cost.saturating_add(child_cost);
@@ -227,6 +257,7 @@ impl Selector {
                         Some(e) => total < e.cost || (total == e.cost && diversity > e.diversity),
                     };
                     if better {
+                        stats.labels_set += 1;
                         *slot = Some(LabelEntry {
                             cost: total,
                             via: Via::Base(rid),
@@ -241,12 +272,14 @@ impl Selector {
             while changed {
                 changed = false;
                 for &(rid, tgt, src, cost) in &self.chains {
+                    stats.rules_tried += 1;
                     let Some(src_entry) = labels.at(idx, src) else {
                         continue;
                     };
                     let total = src_entry.cost.saturating_add(cost);
                     let slot = labels.slot(idx, tgt);
                     if slot.is_none_or(|e| total < e.cost) {
+                        stats.labels_set += 1;
                         *slot = Some(LabelEntry {
                             cost: total,
                             via: Via::Chain(rid),
@@ -395,13 +428,28 @@ impl Selector {
             }
         }
         match best {
-            Some(idx) => SelectError {
-                subtree: et.render(idx),
-                reason: "no rule matches this subtree for any location".into(),
-            },
+            Some(idx) => {
+                // Distinguish "the machine has no rule for this operator"
+                // (missing hardware) from "rules exist but none fit here"
+                // (a selector gap).
+                let missing_op = match et.kind(idx) {
+                    EtKind::Op(o) if self.lookup(TermKey::Op(o)).is_empty() => Some(o.mnemonic()),
+                    _ => None,
+                };
+                let reason = match missing_op {
+                    Some(op) => format!("the grammar has no rule for operator `{op}`"),
+                    None => "no rule matches this subtree for any location".into(),
+                };
+                SelectError {
+                    subtree: et.render(idx),
+                    reason,
+                    missing_op,
+                }
+            }
             None => SelectError {
                 subtree: et.render(et.root()),
                 reason: "subtrees are derivable but no start rule covers the destination".into(),
+                missing_op: None,
             },
         }
     }

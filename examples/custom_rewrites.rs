@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = Record::retarget(HDL, &custom)?;
     println!(
         "with the custom rule the base grows to {} templates",
-        target.stats().templates_extended
+        target.report().templates_extended
     );
     Ok(())
 }

@@ -84,8 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hdl = variant(mac, imm);
         match Record::retarget(&hdl, &RetargetOptions::default()) {
             Ok(target) => {
-                let stats_templates = target.stats().templates_extended;
-                let stats_time = target.stats().t_total;
+                let stats_templates = target.report().templates_extended;
+                let stats_time = target.report().t_total();
                 let size = target
                     .compile(&CompileRequest::new(kernel, "f"))
                     .map(|k| k.code_size().to_string())

@@ -10,10 +10,14 @@ use record_targets::{kernels, models};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = models::model("tms320c25").expect("model exists");
     let target = Record::retarget(model.hdl, &RetargetOptions::default())?;
-    let s = target.stats();
+    let s = target.report();
     println!(
         "{}: {} extracted / {} extended templates, {} rules, retargeted in {:.2?}",
-        s.processor, s.templates_extracted, s.templates_extended, s.rules, s.t_total
+        s.processor,
+        s.templates_extracted,
+        s.templates_extended,
+        s.rules,
+        s.t_total()
     );
 
     // A few characteristic C25 templates: MAC via the P register.

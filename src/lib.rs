@@ -4,8 +4,11 @@
 //! workspace `README.md` for an overview.  The `examples/` directory of
 //! this package contains runnable end-to-end walk-throughs.
 
+#[allow(deprecated)]
+pub use record_core::RetargetStats;
 pub use record_core::{
-    CompileError, CompileOptions, CompilePhase, CompileRequest, CompileSession, CompiledKernel,
-    Diagnostic, PipelineError, Record, RetargetOptions, RetargetStats, Target,
+    CompileError, CompileOptions, CompilePhase, CompileReport, CompileRequest, CompileSession,
+    CompiledKernel, Diagnostic, FailureClass, PipelineError, Record, RetargetOptions,
+    RetargetReport, Target,
 };
 pub use record_targets as targets;

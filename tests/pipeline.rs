@@ -12,7 +12,7 @@ fn all_six_models_retarget() {
     for m in models::models() {
         let target = Record::retarget(m.hdl, &RetargetOptions::default())
             .unwrap_or_else(|e| panic!("{} failed to retarget: {e}", m.name));
-        let s = target.stats();
+        let s = target.report();
         assert!(s.templates_extended > 0, "{}: empty template base", m.name);
         assert!(s.rules > s.templates_extended, "{}: missing rules", m.name);
         // The grammar must be well-formed for each machine.
@@ -31,7 +31,7 @@ fn template_count_ordering_matches_paper() {
         let m = models::model(name).unwrap();
         Record::retarget(m.hdl, &RetargetOptions::default())
             .unwrap()
-            .stats()
+            .report()
             .templates_extended
     };
     let reference = count("ref");
@@ -154,10 +154,10 @@ fn retargeting_without_extension_shrinks_base() {
     };
     let without = Record::retarget(m.hdl, &bare).unwrap();
     let with = Record::retarget(m.hdl, &RetargetOptions::default()).unwrap();
-    assert!(with.stats().templates_extended > without.stats().templates_extended);
+    assert!(with.report().templates_extended > without.report().templates_extended);
     assert_eq!(
-        without.stats().templates_extended,
-        without.stats().templates_extracted
+        without.report().templates_extended,
+        without.report().templates_extracted
     );
 }
 

@@ -44,9 +44,9 @@ fn horizontal_and_encoded_formats() {
     let demo = retarget("demo");
     let c25 = retarget("tms320c25");
     // Horizontal: no route is discarded for encoding conflicts.
-    assert_eq!(demo.stats().unsat_discarded, 0);
+    assert_eq!(demo.report().unsat_discarded, 0);
     // Encoded: the decoder rules out combinations.
-    assert!(c25.stats().unsat_discarded > 0);
+    assert!(c25.report().unsat_discarded > 0);
 }
 
 /// "memory structure: load-store & memory-register" — the C25 model has
