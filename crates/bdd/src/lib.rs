@@ -39,7 +39,7 @@ mod symbol;
 mod table;
 
 pub use manager::{Bdd, BddCounters, BddManager, BddOps, VarId};
-pub use overlay::{BddOverlay, FrozenBdd};
+pub use overlay::{BddOverlay, FrozenBdd, OverlayPages};
 pub use sat::Assignment;
 pub use symbol::{Symbol, SymbolInterner};
 

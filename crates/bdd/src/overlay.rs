@@ -55,6 +55,21 @@ impl FrozenBdd {
         }
     }
 
+    /// Re-opens an overlay from pages returned by
+    /// [`BddOverlay::into_pages`], keeping their allocations warm.
+    ///
+    /// The pages carry no handles, so they may come from an overlay of a
+    /// *different* frozen base — only the capacity is reused.
+    pub fn overlay_from(&self, pages: OverlayPages) -> BddOverlay<'_> {
+        BddOverlay {
+            base: self,
+            nodes: pages.nodes,
+            unique: pages.unique,
+            cache: pages.cache,
+            interner: pages.interner,
+        }
+    }
+
     /// Fraction of op-cache lookups the retarget-time manager answered
     /// from cache before freezing.
     pub fn op_cache_hit_rate(&self) -> f64 {
@@ -144,6 +159,21 @@ impl FrozenBdd {
     pub fn thaw(&self) -> BddManager {
         self.inner.clone()
     }
+}
+
+/// The lifetime-free storage of a reset [`BddOverlay`]: emptied pages
+/// whose allocations stay warm for the next session.
+///
+/// Produced by [`BddOverlay::into_pages`] and turned back into an overlay
+/// by [`FrozenBdd::overlay_from`].  Holding pages instead of overlays is
+/// what lets a session pool own recycled arenas without borrowing the
+/// frozen base.
+#[derive(Debug, Default)]
+pub struct OverlayPages {
+    nodes: Vec<Node>,
+    unique: UniqueTable,
+    cache: OpCache,
+    interner: SymbolInterner,
 }
 
 /// A per-session mutable arena over a shared [`FrozenBdd`].
@@ -262,6 +292,36 @@ impl<'a> BddOverlay<'a> {
             self.base.inner.nodes[i]
         } else {
             self.nodes[i - frozen]
+        }
+    }
+
+    /// Rolls the overlay back to the frozen boundary: every session-local
+    /// node, cache line and late-registered variable is dropped, but the
+    /// pages keep their allocations so the next compilation on this arena
+    /// skips the warm-up.  Frozen handles remain valid; handles above the
+    /// boundary must not be used again.
+    ///
+    /// Because hash-consing is deterministic and the cleared tables are
+    /// contents-equal to fresh ones, a reset overlay assigns *identical*
+    /// handles to an identical operation sequence — pooled sessions are
+    /// observationally fresh (the cumulative perf counters are the only
+    /// thing that persists).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.unique.clear();
+        self.cache.clear();
+        self.interner.clear();
+    }
+
+    /// Resets the overlay and releases its pages for reuse against any
+    /// frozen base (see [`OverlayPages`]).
+    pub fn into_pages(mut self) -> OverlayPages {
+        self.reset();
+        OverlayPages {
+            nodes: self.nodes,
+            unique: self.unique,
+            cache: self.cache,
+            interner: self.interner,
         }
     }
 

@@ -82,6 +82,13 @@ impl SymbolInterner {
         Symbol(id)
     }
 
+    /// Forgets every interned name while keeping the slot allocation
+    /// (used when a session overlay is reset for reuse).
+    pub fn clear(&mut self) {
+        self.names.clear();
+        self.slots.fill(EMPTY);
+    }
+
     /// The name behind a symbol.
     ///
     /// # Panics

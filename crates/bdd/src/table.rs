@@ -150,6 +150,15 @@ impl UniqueTable {
         self.len += 1;
     }
 
+    /// Empties the table while keeping its slot allocation, so a pooled
+    /// session re-fills warm pages instead of re-growing from scratch.
+    /// The probe counters are cumulative across the table's lifetime and
+    /// deliberately survive (per-compile reporting works on deltas).
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
+
     fn grow(&mut self, nodes: &[Node]) {
         let cap = (self.slots.len() * 2).max(64);
         let mask = cap - 1;
@@ -206,6 +215,14 @@ pub(crate) const MANAGER_OP_CACHE: usize = 1 << 16;
 /// Session overlays see far fewer distinct operand pairs; 4Ki entries keep
 /// a batch of concurrent sessions cheap.
 pub(crate) const OVERLAY_OP_CACHE: usize = 1 << 12;
+
+/// Defaults to overlay sizing — the only context that needs a
+/// `Default` (recycled [`crate::OverlayPages`]) is the session overlay.
+impl Default for OpCache {
+    fn default() -> OpCache {
+        OpCache::new(OVERLAY_OP_CACHE)
+    }
+}
 
 impl OpCache {
     /// An empty cache that will allocate `capacity` slots (rounded up to a
@@ -271,6 +288,14 @@ impl OpCache {
         let (tag, a, b) = key.flatten();
         let e = self.entries[self.index(tag, a, b)];
         (e.tag == tag && e.a == a && e.b == b).then_some(Bdd(e.result))
+    }
+
+    /// Vacates every line while keeping the allocation (hit/miss counters
+    /// are lifetime-cumulative and survive, like the unique table's).
+    pub(crate) fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.tag = VACANT;
+        }
     }
 
     /// Stores `result`, overwriting whatever occupied the slot (lossy).

@@ -813,3 +813,47 @@ fn unique_table_probe_counter_is_sane() {
     assert!(p >= 1.0, "lookups happened, so probes were counted: {p}");
     assert!(p < 4.0, "linear probing at 3/4 load should stay short: {p}");
 }
+
+/// A reset overlay is observationally fresh: replaying the same op
+/// sequence after `reset()` yields the exact handles a brand-new overlay
+/// assigns, and recycled pages behave the same via `overlay_from`.
+#[test]
+fn reset_overlay_replays_identical_handles() {
+    let mut m = fresh_manager();
+    let warm: Vec<RandOp> = (0..60u32)
+        .map(|i| {
+            let x = i.wrapping_mul(0x85EB_CA6B);
+            ((x >> 9) as u8, x, x.rotate_left(7))
+        })
+        .collect();
+    apply_seq_fast(&mut m, NVARS as u32, &warm);
+    let frozen = m.freeze();
+
+    let seq: Vec<RandOp> = (0..120u32)
+        .map(|i| {
+            let x = i.wrapping_mul(0xC2B2_AE35);
+            ((x >> 5) as u8, x, x.rotate_right(11))
+        })
+        .collect();
+
+    let mut fresh = frozen.overlay();
+    let expected = apply_seq_fast(&mut fresh, NVARS as u32, &seq);
+    let fresh_locals = fresh.local_node_count();
+
+    // Dirty an overlay with a different sequence, reset, then replay.
+    let mut reused = frozen.overlay();
+    apply_seq_fast(&mut reused, NVARS as u32, &warm);
+    reused.var("late-session-var");
+    reused.reset();
+    assert_eq!(reused.local_node_count(), 0);
+    let replayed = apply_seq_fast(&mut reused, NVARS as u32, &seq);
+    assert_eq!(replayed, expected, "reset overlay must replay identically");
+    assert_eq!(reused.local_node_count(), fresh_locals);
+
+    // Pages survive a round-trip through the lifetime-free form.
+    let pages = reused.into_pages();
+    let mut recycled = frozen.overlay_from(pages);
+    let again = apply_seq_fast(&mut recycled, NVARS as u32, &seq);
+    assert_eq!(again, expected, "recycled pages must replay identically");
+    assert_eq!(recycled.local_node_count(), fresh_locals);
+}

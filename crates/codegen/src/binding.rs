@@ -1,18 +1,30 @@
 //! Variable binding: program variables → data-memory addresses.
+//!
+//! Most variables go to the target's data memory.  When the target also
+//! exposes a *constant memory* — a ROM whose read port feeds only the
+//! multiplier, like a DSP coefficient store — read-only variables whose
+//! every use is a multiplier operand can be placed there instead, freeing
+//! data-memory words and making `mul(coef, x)`-shaped rules applicable.
 
 use crate::error::CodegenError;
-use record_ir::{Program, Ref};
+use record_ir::{FlatExpr, FlatStmt, Program, Ref};
 use record_netlist::{Netlist, StorageId, StorageKind};
-use std::collections::BTreeMap;
+use record_rtl::OpKind;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Placement of program variables in the target's data memory, plus a
-/// scratch area for spills and compiler temporaries.
+/// Placement of program variables in the target's data memory (plus,
+/// optionally, its constant memory), and a scratch area for spills and
+/// compiler temporaries.
 #[derive(Debug, Clone)]
 pub struct Binding {
     data_mem: StorageId,
     mem_name: String,
     mem_size: u64,
     map: BTreeMap<String, u64>,
+    /// The constant memory, when the target has one and placement used it.
+    rom: Option<StorageId>,
+    /// Variables placed in the constant memory (name → base address).
+    rom_map: BTreeMap<String, u64>,
     scratch_next: u64,
 }
 
@@ -30,6 +42,32 @@ impl Binding {
         netlist: &Netlist,
         data_mem: StorageId,
     ) -> Result<Binding, CodegenError> {
+        Binding::allocate_with_const_mem(program, function, netlist, data_mem, None, &[])
+    }
+
+    /// Like [`Binding::allocate`], but may place read-only variables into
+    /// the constant memory `const_mem` when `stmts` (the function's
+    /// lowered body) proves every one of their reads feeds a multiply.
+    ///
+    /// Eligibility is conservative: a variable qualifies only if it is
+    /// never written, is read at least once, and every read is a direct
+    /// operand of a `*`.  When both operands of one multiply would end up
+    /// in the ROM (the read port serves one operand per cycle), the
+    /// right operand is demoted back to data memory; variables that no
+    /// longer fit the ROM are demoted from the end of declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Binding::allocate`] (capacity is checked after ROM
+    /// placement, so moving coefficients out can make a kernel fit).
+    pub fn allocate_with_const_mem(
+        program: &Program,
+        function: &str,
+        netlist: &Netlist,
+        data_mem: StorageId,
+        const_mem: Option<StorageId>,
+        stmts: &[FlatStmt],
+    ) -> Result<Binding, CodegenError> {
         let storage = netlist.storage(data_mem);
         assert_eq!(
             storage.kind,
@@ -41,11 +79,27 @@ impl Binding {
             .ok_or_else(|| CodegenError::UnboundVariable {
                 name: function.to_owned(),
             })?;
+
+        let rom_vars = match const_mem {
+            Some(_) => rom_placeable(stmts),
+            None => BTreeSet::new(),
+        };
+        let rom_size = const_mem.map_or(0, |rom| netlist.storage(rom).size);
+
         let mut map = BTreeMap::new();
+        let mut rom_map = BTreeMap::new();
         let mut next = 0u64;
+        let mut rom_next = 0u64;
         for d in program.globals.iter().chain(&f.locals) {
-            map.insert(d.name.clone(), next);
-            next += d.words();
+            // ROM capacity is enforced here, against declared sizes and in
+            // declaration order, so overflow demotes the later variables.
+            if rom_vars.contains(&d.name) && rom_next + d.words() <= rom_size {
+                rom_map.insert(d.name.clone(), rom_next);
+                rom_next += d.words();
+            } else {
+                map.insert(d.name.clone(), next);
+                next += d.words();
+            }
         }
         if next > storage.size {
             return Err(CodegenError::OutOfStorage {
@@ -61,6 +115,8 @@ impl Binding {
             mem_name: storage.name.clone(),
             mem_size: storage.size,
             map,
+            rom: const_mem.filter(|_| !rom_map.is_empty()),
+            rom_map,
             scratch_next: next,
         })
     }
@@ -70,7 +126,23 @@ impl Binding {
         self.data_mem
     }
 
-    /// Address of a variable reference.
+    /// The constant memory, when any variable was placed there.
+    pub fn const_mem(&self) -> Option<StorageId> {
+        self.rom
+    }
+
+    /// The storage a variable reference reads from (constant memory for
+    /// ROM-placed variables, data memory for everything else, including
+    /// `$scratch` temporaries).
+    pub fn storage_of(&self, r: &Ref) -> StorageId {
+        match self.rom {
+            Some(rom) if self.rom_map.contains_key(&r.name) => rom,
+            _ => self.data_mem,
+        }
+    }
+
+    /// Address of a variable reference (in [`Binding::storage_of`] its
+    /// reference).
     ///
     /// # Errors
     ///
@@ -78,6 +150,7 @@ impl Binding {
     pub fn addr_of(&self, r: &Ref) -> Result<u64, CodegenError> {
         self.map
             .get(&r.name)
+            .or_else(|| self.rom_map.get(&r.name))
             .map(|base| base + r.offset)
             .ok_or_else(|| CodegenError::UnboundVariable {
                 name: r.name.clone(),
@@ -104,9 +177,16 @@ impl Binding {
         Ok(a)
     }
 
-    /// Addresses currently assigned (variable name → base address).
+    /// Addresses currently assigned in data memory (variable name → base
+    /// address).
     pub fn assignments(&self) -> impl Iterator<Item = (&str, u64)> {
         self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Addresses assigned in the constant memory (variable name → base
+    /// address); empty unless placement used a ROM.
+    pub fn rom_assignments(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.rom_map.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Current scratch watermark; pass to [`Binding::release_scratch`] to
@@ -137,4 +217,70 @@ impl Binding {
         self.scratch_next = mark;
         Ok(())
     }
+}
+
+/// The set of variable names eligible for constant-memory placement in
+/// `stmts`, after multiplier-port conflicts are resolved (ROM capacity
+/// is enforced later, during layout, against declared sizes).
+fn rom_placeable(stmts: &[FlatStmt]) -> BTreeSet<String> {
+    #[derive(Default)]
+    struct Use {
+        reads: u64,
+        mul_reads: u64,
+        written: bool,
+    }
+    let mut uses: BTreeMap<String, Use> = BTreeMap::new();
+
+    fn scan(e: &FlatExpr, under_mul: bool, uses: &mut BTreeMap<String, Use>) {
+        match e {
+            FlatExpr::Const(_) => {}
+            FlatExpr::Load(r) => {
+                let u = uses.entry(r.name.clone()).or_default();
+                u.reads += 1;
+                if under_mul {
+                    u.mul_reads += 1;
+                }
+            }
+            FlatExpr::Unary(_, a) => scan(a, false, uses),
+            FlatExpr::Binary(op, l, r) => {
+                let mul = *op == OpKind::Mul;
+                scan(l, mul, uses);
+                scan(r, mul, uses);
+            }
+        }
+    }
+    for s in stmts {
+        uses.entry(s.target.name.clone()).or_default().written = true;
+        scan(&s.value, false, &mut uses);
+    }
+
+    let mut eligible: BTreeSet<String> = uses
+        .into_iter()
+        .filter(|(_, u)| !u.written && u.reads > 0 && u.reads == u.mul_reads)
+        .map(|(n, _)| n)
+        .collect();
+
+    // One ROM read per multiply: when both operands would live in the
+    // ROM, demote the right one (deterministically, in statement order).
+    fn demote_conflicts(e: &FlatExpr, eligible: &mut BTreeSet<String>) {
+        match e {
+            FlatExpr::Const(_) | FlatExpr::Load(_) => {}
+            FlatExpr::Unary(_, a) => demote_conflicts(a, eligible),
+            FlatExpr::Binary(op, l, r) => {
+                if *op == OpKind::Mul {
+                    if let (FlatExpr::Load(a), FlatExpr::Load(b)) = (&**l, &**r) {
+                        if eligible.contains(&a.name) && eligible.contains(&b.name) {
+                            eligible.remove(&b.name);
+                        }
+                    }
+                }
+                demote_conflicts(l, eligible);
+                demote_conflicts(r, eligible);
+            }
+        }
+    }
+    for s in stmts {
+        demote_conflicts(&s.value, &mut eligible);
+    }
+    eligible
 }

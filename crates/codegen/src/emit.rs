@@ -84,7 +84,7 @@ pub fn compile<M: BddOps>(
         probe.begin("statement");
         let mark = binding.scratch_mark();
         let r = compile_split(
-            stmt, selector, base, binding, netlist, manager, tables, width, &mut out, &mut stats,
+            stmt, selector, base, binding, netlist, manager, tables, width, &mut out, &mut stats, 0,
         );
         probe.end("statement");
         r?;
@@ -94,6 +94,15 @@ pub fn compile<M: BddOps>(
     Ok(Emitted { ops: out, stats })
 }
 
+/// How many times statement legalization may recurse through itself.
+///
+/// The worst well-formed chain is short (a multiply expansion whose
+/// prologue materialises a constant, whose statements select directly);
+/// the cap exists so a machine missing the building blocks (e.g. no
+/// shifter to materialise constants with) fails fast instead of
+/// re-deriving the same shapes forever.
+const MAX_LEGALIZE_DEPTH: usize = 4;
+
 /// Compiles one statement, splitting the expression tree through scratch
 /// memory when no cover exists for the whole tree.
 ///
@@ -102,9 +111,12 @@ pub fn compile<M: BddOps>(
 /// storage or memory leaf.  The paper resolves this with "an extension of
 /// the scheduling technique from [8]": computed subtrees are evaluated
 /// first and stored to memory, then re-read as memory operands.  Each
-/// hoist strictly reduces nesting, so the recursion terminates; if a
-/// single-operator tree over leaves still has no cover, the machine really
-/// lacks the operation and the selection error propagates.
+/// hoist strictly reduces nesting, so the recursion terminates; when a
+/// single-operator tree over leaves still has no cover, [`legalize`]
+/// gets one speculative shot at rewriting the statement into covered
+/// shapes (subtraction via two's complement, multiplication via
+/// shift-and-add, constants via shifts) before the selection error is
+/// accepted as final.
 #[allow(clippy::too_many_arguments)]
 fn compile_split<M: BddOps>(
     stmt: &FlatStmt,
@@ -117,10 +129,11 @@ fn compile_split<M: BddOps>(
     width: u16,
     out: &mut Vec<RtOp>,
     stats: &mut EmitStats,
+    depth: usize,
 ) -> Result<(), CodegenError> {
     let mut b = record_grammar::EtBuilder::new();
     let value = build_flat(&stmt.value, binding, width, &mut b)?;
-    let target = binding.addr_of(&stmt.target)?;
+    let target = target_addr(binding, &stmt.target)?;
     let addr = b.node(record_grammar::EtKind::Const(target), Vec::new());
     let et = record_grammar::Et::store(binding.data_mem(), addr, value, b);
     let err = match compile_statement(
@@ -133,81 +146,293 @@ fn compile_split<M: BddOps>(
         Err(e) => e,
     };
     // Hoist a nested computation into scratch memory and retry.
-    let Some((hoisted, remainder)) = split_deepest(&stmt.value) else {
+    if let Some((hoisted, remainder)) = split_deepest(&stmt.value) {
+        stats.splits += 1;
+        let tmp = binding.scratch()?;
+        let hoisted_stmt = FlatStmt {
+            target: scratch_ref(tmp),
+            value: hoisted,
+        };
+        compile_split(
+            &hoisted_stmt,
+            selector,
+            base,
+            binding,
+            netlist,
+            manager,
+            tables,
+            width,
+            out,
+            stats,
+            depth,
+        )?;
+        let remainder_stmt = FlatStmt {
+            target: stmt.target.clone(),
+            value: replace_marker(&remainder, tmp),
+        };
+        return compile_split(
+            &remainder_stmt,
+            selector,
+            base,
+            binding,
+            netlist,
+            manager,
+            tables,
+            width,
+            out,
+            stats,
+            depth,
+        );
+    }
+    // Unsplittable and uncovered: speculatively legalize.  On failure,
+    // roll back everything the attempt emitted or reserved and report
+    // the *original* selection error — legalization only ever converts
+    // failures into successes, never one failure class into another.
+    if depth >= MAX_LEGALIZE_DEPTH {
+        return Err(err);
+    }
+    let len0 = out.len();
+    let mark0 = binding.scratch_mark();
+    let Some(plan) = legalize(stmt, binding, width) else {
         return Err(err);
     };
-    stats.splits += 1;
-    let tmp = binding.scratch()?;
-    compile_split_expr(
-        &hoisted, tmp, selector, base, binding, netlist, manager, tables, width, out, stats,
-    )?;
-    let remainder_stmt = FlatStmt {
-        target: stmt.target.clone(),
-        value: replace_marker(&remainder, tmp),
+    let mut run = || -> Result<(), CodegenError> {
+        for sub in &plan {
+            let mark = binding.scratch_mark();
+            compile_split(
+                sub,
+                selector,
+                base,
+                binding,
+                netlist,
+                manager,
+                tables,
+                width,
+                out,
+                stats,
+                depth + 1,
+            )?;
+            binding.release_scratch(mark)?;
+        }
+        Ok(())
     };
-    compile_split(
-        &remainder_stmt,
-        selector,
-        base,
-        binding,
-        netlist,
-        manager,
-        tables,
-        width,
-        out,
-        stats,
-    )
+    if run().is_err() {
+        out.truncate(len0);
+        binding.release_scratch(mark0)?;
+        return Err(err);
+    }
+    Ok(())
 }
 
-/// Like [`compile_split`] but with an anonymous scratch target.
-#[allow(clippy::too_many_arguments)]
-fn compile_split_expr<M: BddOps>(
-    value: &record_ir::FlatExpr,
-    tmp: u64,
-    selector: &Selector,
-    base: &TemplateBase,
-    binding: &mut Binding,
-    netlist: &Netlist,
-    manager: &mut M,
-    tables: &EmitTables,
-    width: u16,
-    out: &mut Vec<RtOp>,
-    stats: &mut EmitStats,
-) -> Result<(), CodegenError> {
-    let mut b = record_grammar::EtBuilder::new();
-    let v = build_flat(value, binding, width, &mut b)?;
-    let addr = b.node(record_grammar::EtKind::Const(tmp), Vec::new());
-    let et = record_grammar::Et::store(binding.data_mem(), addr, v, b);
-    let err = match compile_statement(
-        &et, selector, base, binding, netlist, manager, tables, stats,
-    ) {
-        Ok(ops) => {
-            out.extend(ops);
-            return Ok(());
+/// Store address of a statement target: named variables resolve through
+/// the binding, `$scratch` temporaries carry their address directly.
+fn target_addr(binding: &Binding, r: &record_ir::Ref) -> Result<u64, CodegenError> {
+    if r.name.starts_with("$scratch") {
+        Ok(r.offset)
+    } else {
+        binding.addr_of(r)
+    }
+}
+
+/// A reference naming scratch word `addr`.
+fn scratch_ref(addr: u64) -> record_ir::Ref {
+    record_ir::Ref {
+        name: format!("$scratch{addr}"),
+        offset: addr,
+    }
+}
+
+/// Rewrites an unsplittable, uncovered statement into a sequence of
+/// statements the machine may be able to cover (the caller compiles the
+/// plan speculatively and rolls back on failure):
+///
+/// * `t = a - b` / `t = -a` — two's complement: `a + (!b + 1)`.
+/// * `t = a * b` — shift-and-add over the word width, using scratch
+///   cells for the shifting operands, the running sum and the `-(b & 1)`
+///   mask (branch-free Horner form needing only `and`, `not`,
+///   `add ±const 1`, `shl`, `shr`).
+/// * `t = c` — constant materialisation by shifting: `width` left
+///   shifts force `t` to zero from any prior value, then the bits of
+///   `c` are rebuilt MSB-first with shift/increment steps.
+/// * any remaining statement with an embedded constant — hoist one
+///   constant into a scratch cell (materialised by the rule above) so a
+///   memory-operand rule can cover the rest.
+fn legalize(stmt: &FlatStmt, binding: &mut Binding, width: u16) -> Option<Vec<FlatStmt>> {
+    use record_ir::FlatExpr as E;
+    use record_rtl::OpKind as Op;
+    let neg = |e: &E| {
+        E::Binary(
+            Op::Add,
+            Box::new(E::Unary(Op::Not, Box::new(e.clone()))),
+            Box::new(E::Const(1)),
+        )
+    };
+    match &stmt.value {
+        E::Binary(Op::Sub, a, b) => Some(vec![FlatStmt {
+            target: stmt.target.clone(),
+            value: E::Binary(Op::Add, a.clone(), Box::new(neg(b))),
+        }]),
+        E::Unary(Op::Neg, a) => Some(vec![FlatStmt {
+            target: stmt.target.clone(),
+            value: neg(a),
+        }]),
+        E::Binary(Op::Mul, a, b) => {
+            let steps = width.min(64);
+            let sa = scratch_ref(binding.scratch().ok()?);
+            let sb = scratch_ref(binding.scratch().ok()?);
+            let one = scratch_ref(binding.scratch().ok()?);
+            let mask = scratch_ref(binding.scratch().ok()?);
+            let res = scratch_ref(binding.scratch().ok()?);
+            let ld = |r: &record_ir::Ref| E::Load(r.clone());
+            let mut plan = vec![
+                FlatStmt {
+                    target: sa.clone(),
+                    value: (**a).clone(),
+                },
+                FlatStmt {
+                    target: sb.clone(),
+                    value: (**b).clone(),
+                },
+                FlatStmt {
+                    target: one.clone(),
+                    value: E::Const(1),
+                },
+                FlatStmt {
+                    target: res.clone(),
+                    value: E::Const(0),
+                },
+            ];
+            for _ in 0..steps {
+                // mask = -(sb & 1); res += sa & mask; sa <<= 1; sb >>= 1.
+                plan.push(FlatStmt {
+                    target: mask.clone(),
+                    value: neg(&E::Binary(Op::And, Box::new(ld(&sb)), Box::new(ld(&one)))),
+                });
+                plan.push(FlatStmt {
+                    target: res.clone(),
+                    value: E::Binary(
+                        Op::Add,
+                        Box::new(ld(&res)),
+                        Box::new(E::Binary(Op::And, Box::new(ld(&sa)), Box::new(ld(&mask)))),
+                    ),
+                });
+                plan.push(FlatStmt {
+                    target: sa.clone(),
+                    value: E::Binary(Op::Shl, Box::new(ld(&sa)), Box::new(E::Const(1))),
+                });
+                plan.push(FlatStmt {
+                    target: sb.clone(),
+                    value: E::Binary(Op::Shr, Box::new(ld(&sb)), Box::new(E::Const(1))),
+                });
+            }
+            plan.push(FlatStmt {
+                target: stmt.target.clone(),
+                value: ld(&res),
+            });
+            Some(plan)
         }
-        Err(e) => e,
+        E::Const(c) => {
+            let bits = width.min(64);
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let c = (*c as u64) & mask;
+            let shl1 = |t: &record_ir::Ref| FlatStmt {
+                target: t.clone(),
+                value: E::Binary(Op::Shl, Box::new(E::Load(t.clone())), Box::new(E::Const(1))),
+            };
+            // `width` left shifts clear the target from any prior value
+            // (no load-immediate path needed), then shift/increment
+            // rebuilds `c` MSB-first.
+            let mut plan: Vec<FlatStmt> = (0..bits).map(|_| shl1(&stmt.target)).collect();
+            for i in (0..u64::from(bits)).rev().take_while(|_| c != 0) {
+                if i < 63 && c >> (i + 1) != 0 {
+                    plan.push(shl1(&stmt.target));
+                }
+                if (c >> i) & 1 == 1 {
+                    plan.push(FlatStmt {
+                        target: stmt.target.clone(),
+                        value: E::Binary(
+                            Op::Add,
+                            Box::new(E::Load(stmt.target.clone())),
+                            Box::new(E::Const(1)),
+                        ),
+                    });
+                }
+            }
+            Some(plan)
+        }
+        value => {
+            // Hoist one embedded constant into a scratch cell; the
+            // recursion materialises it and retries with a memory operand.
+            let (hoisted, c) = hoist_first_const(value)?;
+            let tmp = scratch_ref(binding.scratch().ok()?);
+            Some(vec![
+                FlatStmt {
+                    target: tmp.clone(),
+                    value: E::Const(c),
+                },
+                FlatStmt {
+                    target: stmt.target.clone(),
+                    value: replace_const_marker(&hoisted, &tmp),
+                },
+            ])
+        }
+    }
+}
+
+/// Replaces the first (leftmost-outermost) `Const` leaf of a computed
+/// expression with the split marker; returns the rewritten expression and
+/// the constant.  `None` when the expression has no constant leaf to
+/// hoist (then legalization has nothing left to try).
+fn hoist_first_const(e: &record_ir::FlatExpr) -> Option<(record_ir::FlatExpr, i64)> {
+    use record_ir::FlatExpr as E;
+    let marker = || {
+        E::Load(record_ir::Ref {
+            name: SPLIT_MARKER.to_owned(),
+            offset: 0,
+        })
     };
-    let Some((hoisted, remainder)) = split_deepest(value) else {
-        return Err(err);
-    };
-    stats.splits += 1;
-    let tmp2 = binding.scratch()?;
-    compile_split_expr(
-        &hoisted, tmp2, selector, base, binding, netlist, manager, tables, width, out, stats,
-    )?;
-    compile_split_expr(
-        &replace_marker(&remainder, tmp2),
-        tmp,
-        selector,
-        base,
-        binding,
-        netlist,
-        manager,
-        tables,
-        width,
-        out,
-        stats,
-    )
+    match e {
+        E::Unary(op, a) => {
+            if let E::Const(c) = **a {
+                return Some((E::Unary(*op, Box::new(marker())), c));
+            }
+            let (ra, c) = hoist_first_const(a)?;
+            Some((E::Unary(*op, Box::new(ra)), c))
+        }
+        E::Binary(op, l, r) => {
+            if let E::Const(c) = **l {
+                return Some((E::Binary(*op, Box::new(marker()), r.clone()), c));
+            }
+            if let E::Const(c) = **r {
+                return Some((E::Binary(*op, l.clone(), Box::new(marker())), c));
+            }
+            if let Some((rl, c)) = hoist_first_const(l) {
+                return Some((E::Binary(*op, Box::new(rl), r.clone()), c));
+            }
+            let (rr, c) = hoist_first_const(r)?;
+            Some((E::Binary(*op, l.clone(), Box::new(rr)), c))
+        }
+        _ => None,
+    }
+}
+
+/// Replaces the split marker with a load of `tmp`.
+fn replace_const_marker(e: &record_ir::FlatExpr, tmp: &record_ir::Ref) -> record_ir::FlatExpr {
+    use record_ir::FlatExpr as E;
+    match e {
+        E::Load(r) if r.name == SPLIT_MARKER => E::Load(tmp.clone()),
+        E::Unary(op, a) => E::Unary(*op, Box::new(replace_const_marker(a, tmp))),
+        E::Binary(op, l, r) => E::Binary(
+            *op,
+            Box::new(replace_const_marker(l, tmp)),
+            Box::new(replace_const_marker(r, tmp)),
+        ),
+        other => other.clone(),
+    }
 }
 
 /// Marker name used while splitting; replaced by a scratch-address load.
@@ -307,7 +532,7 @@ fn build_flat(
         FlatExpr::Load(r) => {
             let addr = binding.addr_of(r)?;
             let a = b.leaf(EtKind::Const(addr));
-            b.node(EtKind::MemRead(binding.data_mem()), vec![a])
+            b.node(EtKind::MemRead(binding.storage_of(r)), vec![a])
         }
         FlatExpr::Unary(op, a) => {
             let an = build_flat(a, binding, width, b)?;

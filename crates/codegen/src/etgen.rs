@@ -42,7 +42,7 @@ fn build_expr(
         FlatExpr::Load(r) => {
             let addr = binding.addr_of(r)?;
             let a = b.leaf(EtKind::Const(addr));
-            b.node(EtKind::MemRead(binding.data_mem()), vec![a])
+            b.node(EtKind::MemRead(binding.storage_of(r)), vec![a])
         }
         FlatExpr::Unary(op, a) => {
             let an = build_expr(a, binding, width, b)?;

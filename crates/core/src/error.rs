@@ -14,8 +14,9 @@ use std::fmt;
 /// Any error of the end-to-end pipeline.
 ///
 /// Retargeting ([`crate::Record::retarget`]) reports `Hdl`, `Netlist` and
-/// `Extract`; the deprecated [`crate::Target::compile_mut`] shim folds
-/// structured [`CompileError`]s back into the legacy string variants.
+/// `Extract`; the `From<CompileError>` impl folds structured
+/// [`CompileError`]s into the legacy string variants for callers that
+/// want one error type across both pipelines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
     Hdl(String),
@@ -176,6 +177,17 @@ pub enum CompileError {
         /// Boxed to keep the error pointer-small.
         diagnostic: Box<Diagnostic>,
     },
+    /// The request's deadline passed before compilation finished.
+    ///
+    /// Raised at phase boundaries (cooperative cancellation through the
+    /// probe's deadline hook), so `phase` names the last phase that ran
+    /// to completion.
+    DeadlineExceeded {
+        /// The function being compiled.
+        function: String,
+        /// The last phase that completed before the deadline check fired.
+        phase: CompilePhase,
+    },
 }
 
 /// The failure taxonomy: which phase a compilation died in and what
@@ -191,6 +203,8 @@ pub enum CompileError {
 ///   has no store/reload templates for the register (or the conflict is
 ///   cyclic).
 /// * `bind-overflow` — a storage ran out of words or cells.
+/// * `deadline-exceeded` — the request's deadline passed mid-compile
+///   (phase = the last phase that completed).
 /// * `no-data-memory`, `unknown-storage`, `not-a-memory`,
 ///   `unbound-variable`, `frontend` — set-up failures.
 ///
@@ -220,9 +234,13 @@ impl CompileError {
         }
     }
 
-    /// The phase that failed.
+    /// The phase that failed (for deadline errors: the last phase that
+    /// completed before the deadline fired).
     pub fn phase(&self) -> Option<CompilePhase> {
-        self.diagnostic().map(|d| d.phase)
+        match self {
+            CompileError::DeadlineExceeded { phase, .. } => Some(*phase),
+            _ => self.diagnostic().map(|d| d.phase),
+        }
     }
 
     /// Classifies the failure (see [`FailureClass`]).
@@ -239,6 +257,7 @@ impl CompileError {
             CompileError::UnknownStorage { .. } => class(CompilePhase::Bind, "unknown-storage"),
             CompileError::NotAMemory { .. } => class(CompilePhase::Bind, "not-a-memory"),
             CompileError::Frontend { diagnostic, .. } => class(diagnostic.phase, "frontend"),
+            CompileError::DeadlineExceeded { phase, .. } => class(*phase, "deadline-exceeded"),
             CompileError::Codegen { diagnostic, .. } => {
                 // The diagnostic fields identify the codegen variant
                 // exactly: `op` only on proven hardware gaps, `rt_index`
@@ -330,6 +349,12 @@ impl fmt::Display for CompileError {
             } => {
                 write!(f, "code generation (`{function}`): {diagnostic}")
             }
+            CompileError::DeadlineExceeded { function, phase } => {
+                write!(
+                    f,
+                    "deadline exceeded compiling `{function}` (after phase `{phase}`)"
+                )
+            }
         }
     }
 }
@@ -353,6 +378,7 @@ impl From<CompileError> for PipelineError {
             CompileError::Codegen { ref diagnostic, .. } => {
                 PipelineError::Codegen(diagnostic.to_string())
             }
+            CompileError::DeadlineExceeded { .. } => PipelineError::Codegen(e.to_string()),
         }
     }
 }

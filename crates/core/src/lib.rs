@@ -42,8 +42,6 @@ mod pipeline;
 mod session;
 
 pub use error::{CompileError, CompilePhase, Diagnostic, FailureClass, PipelineError};
-#[allow(deprecated)]
-pub use pipeline::RetargetStats;
 pub use pipeline::{
     CompileOptions, CompileReport, CompiledKernel, Record, RetargetOptions, RetargetReport, Target,
 };
@@ -53,7 +51,7 @@ pub use record_probe::{
     validate_chrome_json_shape, Collector, CounterVal, PhaseNs, Probe, Report, Trace, TraceSink,
 };
 pub use record_regalloc::{mem_traffic, AllocStats, Liveness, RegisterPool};
-pub use session::{CompileRequest, CompileSession};
+pub use session::{CompileRequest, CompileSession, SessionPages};
 
 #[cfg(test)]
 mod tests;

@@ -106,14 +106,6 @@ impl RetargetReport {
     }
 }
 
-/// Deprecated name of [`RetargetReport`].
-#[deprecated(
-    since = "0.3.0",
-    note = "renamed to RetargetReport; the t_* Duration fields are now \
-            accessor methods backed by the `report` phase table"
-)]
-pub type RetargetStats = RetargetReport;
-
 /// The retargetable compiler entry point.
 #[derive(Debug)]
 pub struct Record;
@@ -214,6 +206,7 @@ impl Record {
             .filter(|s| s.kind == StorageKind::Memory)
             .max_by_key(|s| s.size)
             .map(|s| s.id);
+        let const_mem = const_memory_of(&grammar, &netlist, data_mem);
         let pool = data_mem.map(|dm| RegisterPool::discover(&netlist, &base, dm));
         probe.end("freeze");
         report.phase("freeze", t5.elapsed().as_nanos() as u64);
@@ -242,9 +235,58 @@ impl Record {
             stats,
             parser_source,
             data_mem,
+            const_mem,
             pool,
         })
     }
+}
+
+/// Detects a *constant memory*: a second memory whose read port feeds
+/// multiplier operands (a DSP coefficient ROM, like the paper's
+/// `bassboost` example) and which no template ever writes.
+///
+/// The evidence is the generated grammar itself: a memory qualifies when
+/// some rule reads it as a direct operand of a `*` pattern and no rule
+/// stores to it.  Variable binding uses this to place read-only,
+/// multiply-only variables where the `mul(coef, x)`-shaped rules can
+/// reach them.
+fn const_memory_of(
+    grammar: &TreeGrammar,
+    netlist: &Netlist,
+    data_mem: Option<StorageId>,
+) -> Option<StorageId> {
+    use record_grammar::{GPat, TermKey};
+    use record_rtl::OpKind;
+    let mut mul_read: Vec<StorageId> = Vec::new();
+    let mut written: Vec<StorageId> = Vec::new();
+    fn walk(
+        p: &GPat,
+        under_mul: bool,
+        mul_read: &mut Vec<StorageId>,
+        written: &mut Vec<StorageId>,
+    ) {
+        let GPat::T(key, kids) = p else { return };
+        match key {
+            TermKey::MemRead(s) if under_mul => mul_read.push(*s),
+            TermKey::Store(s) => written.push(*s),
+            _ => {}
+        }
+        let is_mul = matches!(key, TermKey::Op(OpKind::Mul));
+        for k in kids {
+            walk(k, is_mul, mul_read, written);
+        }
+    }
+    for rule in grammar.rules() {
+        walk(&rule.rhs, false, &mut mul_read, &mut written);
+    }
+    // First qualifying storage in netlist declaration order, for
+    // determinism when a model would somehow have several.
+    netlist
+        .storages()
+        .iter()
+        .filter(|s| s.kind == StorageKind::Memory)
+        .map(|s| s.id)
+        .find(|id| Some(*id) != data_mem && mul_read.contains(id) && !written.contains(id))
 }
 
 /// Options for [`Target::compile`].
@@ -260,6 +302,14 @@ pub struct CompileOptions {
     /// statements instead of round-tripping through data memory.  Ignored
     /// on the baseline path, which deliberately stays memory-bound.
     pub allocate_registers: bool,
+    /// Compilation time budget in nanoseconds, `None` for unbounded.
+    ///
+    /// The deadline is cooperative: the session arms the probe's deadline
+    /// when compilation starts and checks it at phase boundaries, so an
+    /// exceeded budget surfaces as a structured
+    /// [`CompileError::DeadlineExceeded`] naming the last completed phase
+    /// rather than interrupting a phase mid-flight.
+    pub deadline_ns: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -268,6 +318,7 @@ impl Default for CompileOptions {
             baseline: false,
             compaction: true,
             allocate_registers: true,
+            deadline_ns: None,
         }
     }
 }
@@ -339,6 +390,9 @@ pub struct Target {
     /// Default data memory, fixed at retarget time (`None` when the model
     /// has none — every compile then fails with a diagnostic).
     pub(crate) data_mem: Option<StorageId>,
+    /// Constant memory (multiplier-fed ROM), detected at retarget time;
+    /// see [`const_memory_of`].
+    pub(crate) const_mem: Option<StorageId>,
     /// Register pool, discovered eagerly at retarget time.
     pub(crate) pool: Option<RegisterPool>,
 }
@@ -354,12 +408,6 @@ impl Target {
     /// The retargeting report: Table 3 counts plus the per-phase
     /// time/counter breakdown.
     pub fn report(&self) -> &RetargetReport {
-        &self.stats
-    }
-
-    /// Retargeting statistics (a Table 3 row).
-    #[deprecated(since = "0.3.0", note = "renamed to `report()`")]
-    pub fn stats(&self) -> &RetargetReport {
         &self.stats
     }
 
@@ -453,6 +501,17 @@ impl Target {
         CompileSession::new(self)
     }
 
+    /// Opens a compilation session that reuses the retained allocations of
+    /// a previous session (see [`crate::SessionPages`]).
+    ///
+    /// The pages may come from a session of *any* target — they carry no
+    /// handles, only capacity — which is what lets a session pool rebuild
+    /// warm sessions against whichever artifact a request resolves to.
+    /// Compilation output is byte-identical to a fresh [`Target::session`].
+    pub fn session_from(&self, pages: crate::SessionPages) -> CompileSession<'_> {
+        CompileSession::from_pages(self, pages)
+    }
+
     /// Compiles one request against the frozen artifact.
     ///
     /// Shorthand for `self.session().compile(request)` — a fresh session
@@ -494,34 +553,6 @@ impl Target {
         crate::session::compile_batch_traced(self, requests)
     }
 
-    /// Compiles `function` of the mini-C translation unit `source`.
-    ///
-    /// # Deprecation
-    ///
-    /// This is the pre-freeze `&mut self` entry point, kept for one
-    /// release as a thin shim.  It takes `&mut self` only for signature
-    /// compatibility — compilation no longer mutates the target — and
-    /// folds structured [`CompileError`]s back into stringly
-    /// [`PipelineError`] variants.  Use [`Target::compile`] with a
-    /// [`CompileRequest`], or [`Target::compile_batch`].
-    ///
-    /// # Errors
-    ///
-    /// Fails on mini-C errors and on code-generation failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "Target is immutable now: use `compile(&self, &CompileRequest)` or `compile_batch`"
-    )]
-    pub fn compile_mut(
-        &mut self,
-        source: &str,
-        function: &str,
-        options: &CompileOptions,
-    ) -> Result<CompiledKernel, PipelineError> {
-        let request = CompileRequest::new(source, function).with_options(options.clone());
-        self.compile(&request).map_err(PipelineError::from)
-    }
-
     /// Runs compiled code on a zeroed machine with `init` memory words
     /// (`(variable, values)` pairs resolved through the kernel's binding)
     /// and returns the machine afterwards.
@@ -536,14 +567,24 @@ impl Target {
             .expect("compile succeeded, data memory exists");
         let mut machine = Machine::new(&self.netlist);
         for (name, values) in init {
-            let base = kernel
+            // Variables live in data memory, except ROM-placed constants
+            // (coefficients the binding moved into the constant memory).
+            let (storage, base) = kernel
                 .binding
                 .assignments()
                 .find(|(n, _)| n == name)
-                .unwrap_or_else(|| panic!("variable `{name}` is not bound"))
-                .1;
+                .map(|(_, base)| (dm, base))
+                .or_else(|| {
+                    let rom = kernel.binding.const_mem()?;
+                    kernel
+                        .binding
+                        .rom_assignments()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, base)| (rom, base))
+                })
+                .unwrap_or_else(|| panic!("variable `{name}` is not bound"));
             for (i, v) in values.iter().enumerate() {
-                machine.set_mem(dm, base + i as u64, *v);
+                machine.set_mem(storage, base + i as u64, *v);
             }
         }
         match &kernel.schedule {

@@ -69,6 +69,13 @@ impl<'a> CompileRequest<'a> {
         self
     }
 
+    /// Sets the compilation time budget in nanoseconds (`None` for
+    /// unbounded).  See [`CompileOptions::deadline_ns`] for semantics.
+    pub fn deadline_ns(mut self, budget: Option<u64>) -> CompileRequest<'a> {
+        self.options.deadline_ns = budget;
+        self
+    }
+
     /// The mini-C translation unit.
     pub fn source(&self) -> &'a str {
         self.source
@@ -110,6 +117,38 @@ impl<'t> CompileSession<'t> {
             target,
             bdd: target.frozen.overlay(),
             collector: None,
+        }
+    }
+
+    pub(crate) fn from_pages(target: &'t Target, pages: SessionPages) -> CompileSession<'t> {
+        CompileSession {
+            target,
+            bdd: target.frozen.overlay_from(pages.bdd),
+            collector: None,
+        }
+    }
+
+    /// Rolls the session back to its just-opened state while keeping its
+    /// allocated capacity (overlay node pages, hash tables, interner
+    /// storage).
+    ///
+    /// After `reset()` the session is observationally identical to a fresh
+    /// [`Target::session`] — the overlay replays the same handles for the
+    /// same operation sequence — which is what lets a session pool hand
+    /// out warmed sessions without perturbing compile output.  Any
+    /// installed trace collector is discarded (its lane belonged to the
+    /// previous tenancy).
+    pub fn reset(&mut self) {
+        self.bdd.reset();
+        self.collector = None;
+    }
+
+    /// Tears the session down to its retained allocations, for reuse by a
+    /// later session — of this target or any other — via
+    /// [`Target::session_from`].
+    pub fn into_pages(self) -> SessionPages {
+        SessionPages {
+            bdd: self.bdd.into_pages(),
         }
     }
 
@@ -173,6 +212,22 @@ impl<'t> CompileSession<'t> {
         // Disjoint-field borrows: the probe holds `self.collector` for the
         // whole compilation while codegen and compaction mutate `self.bdd`.
         let mut probe = Probe::attached(self.collector.as_mut().map(|c| c as &mut dyn TraceSink));
+        if let Some(budget) = options.deadline_ns {
+            probe.set_deadline_ns(Some(record_probe::now_ns().saturating_add(budget)));
+        }
+        // Cooperative deadline: checked here at phase boundaries (and by
+        // instrumented loops inside codegen via the probe), never
+        // mid-phase, so `phase` always names the last *completed* phase.
+        let expired = |probe: &Probe<'_>, phase: CompilePhase| {
+            if probe.deadline_exceeded() {
+                Err(CompileError::DeadlineExceeded {
+                    function: function.to_owned(),
+                    phase,
+                })
+            } else {
+                Ok(())
+            }
+        };
 
         let t0 = Instant::now();
         probe.begin("parse");
@@ -181,6 +236,7 @@ impl<'t> CompileSession<'t> {
         probe.end("parse");
         report.phase("parse", t0.elapsed().as_nanos() as u64);
         let program = parsed?;
+        expired(&probe, CompilePhase::Parse)?;
 
         let t1 = Instant::now();
         probe.begin("lower");
@@ -189,17 +245,33 @@ impl<'t> CompileSession<'t> {
         probe.end("lower");
         report.phase("lower", t1.elapsed().as_nanos() as u64);
         let flat = lowered?;
+        expired(&probe, CompilePhase::Lower)?;
 
         let t2 = Instant::now();
         probe.begin("bind");
+        // The baseline path ignores the constant memory on purpose: the
+        // Figure 2 comparator routes every operand through data memory.
+        let const_mem = if options.baseline {
+            None
+        } else {
+            target.const_mem
+        };
         let bound = target.data_memory().and_then(|dm| {
-            Binding::allocate(&program, function, &target.netlist, dm)
-                .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))
-                .map(|binding| (binding, target.netlist.storage(dm).width))
+            Binding::allocate_with_const_mem(
+                &program,
+                function,
+                &target.netlist,
+                dm,
+                const_mem,
+                &flat,
+            )
+            .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))
+            .map(|binding| (binding, target.netlist.storage(dm).width))
         });
         probe.end("bind");
         report.phase("bind", t2.elapsed().as_nanos() as u64);
         let (mut binding, width) = bound?;
+        expired(&probe, CompilePhase::Bind)?;
 
         let t3 = Instant::now();
         probe.begin("codegen");
@@ -243,6 +315,7 @@ impl<'t> CompileSession<'t> {
         report.count("emit.reloads", emit.reloads);
         report.count("select.rules-tried", emit.select.rules_tried);
         report.count("select.labels-set", emit.select.labels_set);
+        expired(&probe, CompilePhase::Emit)?;
 
         // Value placement: keep chained results register-resident.  The
         // baseline path stays memory-bound on purpose — it models the
@@ -273,6 +346,7 @@ impl<'t> CompileSession<'t> {
             }
             _ => (ops, None),
         };
+        expired(&probe, CompilePhase::Allocate)?;
 
         let schedule = options.compaction.then(|| {
             let t5 = Instant::now();
@@ -298,6 +372,18 @@ impl<'t> CompileSession<'t> {
             report,
         })
     }
+}
+
+/// The retained allocations of a torn-down [`CompileSession`]: overlay
+/// node pages, hash tables and interner storage, with their *contents*
+/// cleared.
+///
+/// Pages carry no handles, so they are not tied to the target that
+/// produced them — [`Target::session_from`] accepts pages from any
+/// session.  `Default` gives empty pages (a cold session).
+#[derive(Debug, Default)]
+pub struct SessionPages {
+    bdd: record_bdd::OverlayPages,
 }
 
 /// Thread-parallel batch compilation over one frozen target.

@@ -218,32 +218,45 @@ fn compile_batch_matches_sequential() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_mut_shim_still_compiles_and_maps_errors() {
-    let mut target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
-    let kernel = target
-        .compile_mut(
-            "int x, y; void f() { x = y; }",
-            "f",
-            &CompileOptions::default(),
-        )
+fn pooled_session_reset_matches_fresh() {
+    let target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let request = CompileRequest::new("int x, y; void f() { x = y; }", "f");
+    let fresh = target.session().compile(&request).unwrap();
+    // Dirty a session with a different compilation, reset, recompile: the
+    // warmed session must be observationally identical to a fresh one.
+    let mut session = target.session();
+    let other = CompileRequest::new("int a, b, c; void g() { a = b; c = a; }", "g");
+    session.compile(&other).unwrap();
+    session.reset();
+    let pooled = session.compile(&request).unwrap();
+    assert_eq!(pooled.ops, fresh.ops);
+    assert_eq!(pooled.schedule, fresh.schedule);
+    // Round-trip the retained pages into a new session.
+    let again = target
+        .session_from(session.into_pages())
+        .compile(&request)
         .unwrap();
-    assert_eq!(kernel.code_size(), 2);
-    // Frontend failures come back as the legacy stringly variant.
+    assert_eq!(again.ops, fresh.ops);
+    assert_eq!(again.schedule, fresh.schedule);
+}
+
+#[test]
+fn deadline_surfaces_as_structured_timeout() {
+    let target = Record::retarget(TINY, &RetargetOptions::default()).unwrap();
+    let source = "int x, y; void f() { x = y; }";
+    // A zero budget expires at the first phase boundary.
     let err = target
-        .compile_mut("int x; void f() { x = ; }", "f", &CompileOptions::default())
+        .compile(&CompileRequest::new(source, "f").deadline_ns(Some(0)))
         .unwrap_err();
-    assert!(matches!(err, PipelineError::Frontend(_)), "{err}");
-    // And the structured NoDataMemory maps onto the legacy one.
-    let mut memless = Record::retarget(MEMLESS, &RetargetOptions::default()).unwrap();
-    let err = memless
-        .compile_mut(
-            "int x; void f() { x = 1; }",
-            "f",
-            &CompileOptions::default(),
-        )
-        .unwrap_err();
-    assert!(matches!(err, PipelineError::NoDataMemory), "{err}");
+    assert!(
+        matches!(err, CompileError::DeadlineExceeded { .. }),
+        "{err}"
+    );
+    assert_eq!(err.classify().kind, "deadline-exceeded");
+    // A generous budget never fires.
+    target
+        .compile(&CompileRequest::new(source, "f").deadline_ns(Some(u64::MAX)))
+        .unwrap();
 }
 
 #[test]

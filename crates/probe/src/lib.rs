@@ -79,9 +79,16 @@ pub fn now_ns() -> u64 {
 /// starts with a null check, so a disabled probe costs one predictable
 /// branch per *phase boundary* — the per-operation hot paths are not
 /// instrumented through the probe at all (see the crate docs).
+/// A probe can also carry a **deadline**: an absolute [`now_ns`]
+/// timestamp after which cooperative cancellation points (phase
+/// boundaries in the compile pipeline) should abort.  The deadline is
+/// orthogonal to tracing — a disabled probe can still enforce one — and
+/// checking it is a branch on an `Option`, paid only at boundaries.
 #[derive(Default)]
 pub struct Probe<'s> {
     sink: Option<&'s mut dyn TraceSink>,
+    /// Absolute deadline in [`now_ns`] time, if any.
+    deadline_ns: Option<u64>,
 }
 
 impl std::fmt::Debug for Probe<'_> {
@@ -96,7 +103,10 @@ impl<'s> Probe<'s> {
     /// A probe with no sink: every call is a no-op.
     #[inline]
     pub fn disabled() -> Probe<'static> {
-        Probe { sink: None }
+        Probe {
+            sink: None,
+            deadline_ns: None,
+        }
     }
 
     /// A probe feeding `sink`.
@@ -104,14 +114,20 @@ impl<'s> Probe<'s> {
         // Touch the epoch now so the first event does not pay for the
         // OnceLock initialisation inside a span.
         let _ = epoch();
-        Probe { sink: Some(sink) }
+        Probe {
+            sink: Some(sink),
+            deadline_ns: None,
+        }
     }
 
     /// A probe feeding `sink` when one is given, disabled otherwise.
     pub fn attached(sink: Option<&'s mut dyn TraceSink>) -> Probe<'s> {
         match sink {
             Some(s) => Probe::new(s),
-            None => Probe { sink: None },
+            None => Probe {
+                sink: None,
+                deadline_ns: None,
+            },
         }
     }
 
@@ -121,7 +137,27 @@ impl<'s> Probe<'s> {
         self.sink.is_some()
     }
 
-    /// Reborrows the probe for passing further down the pipeline.
+    /// Arms (or with `None` disarms) the cancellation deadline, given as
+    /// an absolute [`now_ns`] timestamp.
+    #[inline]
+    pub fn set_deadline_ns(&mut self, deadline_ns: Option<u64>) {
+        self.deadline_ns = deadline_ns;
+    }
+
+    /// The armed deadline, if any (absolute [`now_ns`] time).
+    #[inline]
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.deadline_ns
+    }
+
+    /// Has the armed deadline passed?  Always `false` when disarmed.
+    #[inline]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline_ns.is_some_and(|d| now_ns() > d)
+    }
+
+    /// Reborrows the probe for passing further down the pipeline (the
+    /// deadline travels with it).
     #[inline]
     pub fn reborrow(&mut self) -> Probe<'_> {
         Probe {
@@ -129,6 +165,7 @@ impl<'s> Probe<'s> {
                 Some(s) => Some(&mut **s),
                 None => None,
             },
+            deadline_ns: self.deadline_ns,
         }
     }
 

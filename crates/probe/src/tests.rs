@@ -147,3 +147,26 @@ fn report_accumulates_and_renders() {
     assert!(table.contains("1.5 µs"));
     assert!(table.contains("ops"));
 }
+
+/// Deadlines: disarmed probes never expire, armed ones expire exactly
+/// when `now_ns` passes the absolute timestamp, and reborrows carry the
+/// deadline down the pipeline.
+#[test]
+fn deadline_arming_and_reborrow() {
+    let mut probe = Probe::disabled();
+    assert!(!probe.deadline_exceeded(), "disarmed probe never expires");
+
+    probe.set_deadline_ns(Some(u64::MAX));
+    assert!(!probe.deadline_exceeded());
+    assert!(!probe.reborrow().deadline_exceeded());
+
+    probe.set_deadline_ns(Some(0));
+    assert!(probe.deadline_exceeded(), "epoch-zero deadline has passed");
+    assert!(
+        probe.reborrow().deadline_exceeded(),
+        "reborrow carries the deadline"
+    );
+
+    probe.set_deadline_ns(None);
+    assert!(!probe.deadline_exceeded(), "disarming clears expiry");
+}

@@ -1,0 +1,130 @@
+//! CI smoke test for the compile service: starts a server on a loopback
+//! socket, retargets, batch-compiles on a warm session, checks cache
+//! hits, and drives a deliberately overloaded request.  Exits non-zero
+//! with a message on any failure.
+
+use record_serve::{Client, CompileSpec, Json, Model, ServeError, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+// A minimal accumulator machine (same shape as record-core's unit-test
+// model); the smoke test is about the service plumbing, not codegen.
+const TINY: &str = r#"
+    module Acc {
+        in d: bit(8);
+        ctrl en: bit(1);
+        out q: bit(8);
+        register q = d when en == 1;
+    }
+    module Ram {
+        in addr: bit(3);
+        in din: bit(8);
+        ctrl w: bit(1);
+        out dout: bit(8);
+        memory cells[8]: bit(8);
+        read dout = cells[addr];
+        write cells[addr] = din when w == 1;
+    }
+    processor Tiny {
+        instruction word: bit(8);
+        parts { acc: Acc; ram: Ram; }
+        connections {
+            acc.d = ram.dout;
+            acc.en = I[7];
+            ram.addr = I[2:0];
+            ram.din = acc.q;
+            ram.w = I[6];
+        }
+    }
+"#;
+
+fn main() {
+    let handle = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Retarget, then again: second one must be a cache hit (same key).
+    let first = client.retarget(TINY).expect("retarget");
+    let second = client.retarget(TINY).expect("retarget again");
+    assert_eq!(first.key, second.key, "content key is stable");
+    assert_eq!(first.processor, "Tiny");
+
+    // Batch compile by key on one warm session.
+    let specs = [
+        CompileSpec::new("int x, y; void f() { x = y; }", "f").listing(true),
+        CompileSpec::new("int a, b, c; void g() { a = b; c = a; }", "g"),
+        CompileSpec::new("int x; void bad() { x = ; }", "bad"),
+    ];
+    let results = client
+        .batch_compile(&Model::Key(&first.key), &specs)
+        .expect("batch");
+    assert_eq!(results.len(), 3);
+    let ok = results[0].as_ref().expect("first kernel compiles");
+    assert!(ok.code_size > 0 && ok.listing.is_some());
+    assert!(results[1].is_ok(), "second kernel compiles");
+    assert!(
+        matches!(&results[2], Err(ServeError::Remote { kind, .. }) if kind == "compile"),
+        "syntax error is a structured compile failure"
+    );
+
+    // A zero deadline must come back as a structured timeout.
+    let err = client
+        .compile(
+            &Model::Key(&first.key),
+            &CompileSpec::new("int x, y; void f() { x = y; }", "f").deadline_ms(0),
+        )
+        .expect_err("zero deadline");
+    assert!(matches!(err, ServeError::Timeout { .. }), "{err}");
+
+    // Stats prove the cache coalesced: one retarget, several hits.
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("retargets").and_then(Json::as_u64), Some(1));
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 2);
+
+    drop(client);
+    overload_check();
+    handle.shutdown();
+    println!("serve smoke OK");
+}
+
+/// Drives a tiny server (1 worker, queue depth 1) into overload: one
+/// connection parks the worker, one fills the queue, the third must be
+/// rejected with an `overloaded` line.
+fn overload_check() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", config).expect("bind loopback");
+    let addr = handle.addr();
+
+    // Park the single worker: connect and send nothing (the worker blocks
+    // reading the first request line).
+    let parked = TcpStream::connect(addr).expect("park worker");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Fill the queue.
+    let queued = TcpStream::connect(addr).expect("fill queue");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // This one must be rejected at admission.
+    let mut rejected = TcpStream::connect(addr).expect("third connection");
+    rejected
+        .write_all(b"{\"op\":\"stats\"}\n")
+        .expect("write on rejected connection");
+    let mut line = String::new();
+    BufReader::new(&rejected)
+        .read_line(&mut line)
+        .expect("read rejection");
+    assert!(
+        line.contains("overloaded"),
+        "expected overloaded rejection, got: {line}"
+    );
+
+    // Close the held connections *before* shutdown: the worker is blocked
+    // reading them and only EOF sends it back to the queue.
+    drop(parked);
+    drop(queued);
+    handle.shutdown();
+}

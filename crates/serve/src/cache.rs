@@ -1,0 +1,242 @@
+//! Content-addressed cache of frozen retarget artifacts.
+//!
+//! Retargeting is the expensive step (milliseconds) and its product — a
+//! frozen, `Send + Sync` [`Target`] — is immutable, so the service
+//! retargets each distinct model exactly once and shares the artifact via
+//! `Arc`.  Keys are content digests of the normalized HDL source
+//! ([`crate::digest::model_key`]); a re-indented copy of a model is the
+//! same model.
+//!
+//! Concurrency contract: for each key there is at most one retarget in
+//! flight.  The first requester inserts an in-flight marker and runs the
+//! retarget *outside* the lock; concurrent requesters for the same key
+//! block on a condvar and receive the same `Arc` when it lands.  A failed
+//! retarget clears the marker and wakes the waiters, who retry (and
+//! typically fail the same way, each seeing the real error).
+
+use crate::digest::{model_key, ModelKey};
+use record_core::{PipelineError, Record, RetargetOptions, Target};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that found nothing and started a retarget.
+    pub misses: u64,
+    /// Retargets actually run (misses minus in-flight coalescing, plus
+    /// retries after failures).
+    pub retargets: u64,
+    /// Waits behind another requester's in-flight retarget (one per
+    /// waiter, however long it waits).
+    pub inflight_waits: u64,
+    /// Ready entries discarded to respect the capacity bound.
+    pub evictions: u64,
+}
+
+enum Entry {
+    /// Retargeted and ready to share; `last_used` orders LRU eviction.
+    Ready { target: Arc<Target>, last_used: u64 },
+    /// A retarget for this key is running on some requester's thread.
+    InFlight,
+}
+
+struct CacheState {
+    map: HashMap<ModelKey, Entry>,
+    /// Logical clock for LRU ordering (bumped on every touch).
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, content-addressed store of retargeted compilers.
+pub struct TargetCache {
+    capacity: usize,
+    options: RetargetOptions,
+    state: Mutex<CacheState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for TargetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TargetCache {
+    /// A cache holding at most `capacity` ready artifacts (clamped to at
+    /// least 1), all retargeted under `options`.
+    pub fn new(capacity: usize, options: RetargetOptions) -> TargetCache {
+        TargetCache {
+            capacity: capacity.max(1),
+            options,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The artifact for `hdl`, retargeting at most once per content key
+    /// no matter how many threads ask concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retargeting failures ([`PipelineError`]); failures are
+    /// not cached, so a later call retries.
+    pub fn get_or_retarget(&self, hdl: &str) -> Result<(ModelKey, Arc<Target>), PipelineError> {
+        let key = model_key(hdl);
+        let mut waited = false;
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        loop {
+            let ready = match state.map.get(&key) {
+                Some(Entry::Ready { target, .. }) => Some(Some(Arc::clone(target))),
+                Some(Entry::InFlight) => Some(None),
+                None => None,
+            };
+            match ready {
+                Some(Some(target)) => {
+                    state.stats.hits += 1;
+                    state.tick += 1;
+                    let tick = state.tick;
+                    if let Some(Entry::Ready { last_used, .. }) = state.map.get_mut(&key) {
+                        *last_used = tick;
+                    }
+                    return Ok((key, target));
+                }
+                Some(None) => {
+                    if !waited {
+                        state.stats.inflight_waits += 1;
+                        waited = true;
+                    }
+                    state = self.cv.wait(state).expect("cache lock poisoned");
+                }
+                None => {
+                    state.stats.misses += 1;
+                    state.stats.retargets += 1;
+                    state.map.insert(key, Entry::InFlight);
+                    drop(state);
+
+                    // The expensive part runs without the lock; other keys
+                    // proceed, same-key requesters park on the condvar.
+                    let retargeted = Record::retarget(hdl, &self.options);
+
+                    let mut state = self.state.lock().expect("cache lock poisoned");
+                    match retargeted {
+                        Ok(target) => {
+                            let target = Arc::new(target);
+                            state.tick += 1;
+                            let tick = state.tick;
+                            state.map.insert(
+                                key,
+                                Entry::Ready {
+                                    target: Arc::clone(&target),
+                                    last_used: tick,
+                                },
+                            );
+                            self.evict_to_capacity(&mut state);
+                            self.cv.notify_all();
+                            return Ok((key, target));
+                        }
+                        Err(e) => {
+                            state.map.remove(&key);
+                            self.cv.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A ready artifact by key (`None` when absent or still in flight);
+    /// counts as a hit or miss like [`TargetCache::get_or_retarget`].
+    pub fn get(&self, key: ModelKey) -> Option<Arc<Target>> {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        match state.map.get_mut(&key) {
+            Some(Entry::Ready { target, last_used }) => {
+                *last_used = tick;
+                let target = Arc::clone(target);
+                state.stats.hits += 1;
+                Some(target)
+            }
+            _ => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Evicts least-recently-used ready entries until the bound holds.
+    /// In-flight markers are never evicted (their requester will insert
+    /// over them) and do not count against capacity.
+    fn evict_to_capacity(&self, state: &mut CacheState) {
+        loop {
+            let ready = state
+                .map
+                .values()
+                .filter(|e| matches!(e, Entry::Ready { .. }))
+                .count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = state
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Entry::InFlight => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            if let Some(k) = victim {
+                state.map.remove(&k);
+                state.stats.evictions += 1;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Keys of ready entries, most recently used first (diagnostics and
+    /// eviction-order tests).
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let state = self.state.lock().expect("cache lock poisoned");
+        let mut keys: Vec<(u64, ModelKey)> = state
+            .map
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                Entry::InFlight => None,
+            })
+            .collect();
+        keys.sort_unstable_by_key(|&(last_used, _)| std::cmp::Reverse(last_used));
+        keys.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// A snapshot of the behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock poisoned").stats
+    }
+
+    /// The counters as a [`record_probe::Report`] (the same vocabulary the
+    /// rest of the pipeline reports in).
+    pub fn report(&self) -> record_probe::Report {
+        let stats = self.stats();
+        let mut report = record_probe::Report::with_capacity(0, 5);
+        report.count("cache.hits", stats.hits);
+        report.count("cache.misses", stats.misses);
+        report.count("cache.retargets", stats.retargets);
+        report.count("cache.inflight-waits", stats.inflight_waits);
+        report.count("cache.evictions", stats.evictions);
+        report
+    }
+}

@@ -1,0 +1,46 @@
+//! `record-serve` — the compile service layer.
+//!
+//! PRs 1-6 made retargeting produce a frozen, shareable artifact and
+//! compilation a pure function over it.  This crate turns that shape
+//! into a long-running service:
+//!
+//! ```text
+//!  client ──TCP──▶ admission queue ──▶ worker ──▶ TargetCache ──▶ SessionPool
+//!                  (bounded; excess       │        retarget once    warm overlay
+//!                   → `overloaded`)       │        per model key    pages per target
+//!                                         ▼
+//!                                  newline-delimited JSON responses
+//! ```
+//!
+//! * [`TargetCache`] — content-addressed artifact cache: one retarget per
+//!   distinct (normalized) HDL model, concurrent requesters coalesce onto
+//!   a single in-flight retarget, ready artifacts share via `Arc`, LRU
+//!   eviction beyond capacity.
+//! * [`SessionPool`] — warm [`record_core::CompileSession`]s: finished
+//!   sessions return their overlay pages (capacity, not contents) and
+//!   later checkouts skip the arena growth path.  Pooled output is
+//!   byte-identical to fresh-session output.
+//! * [`Server`] / [`Client`] — a `std::net` TCP server (thread pool,
+//!   bounded admission queue, per-request deadlines checked at compile
+//!   phase boundaries) and its blocking client.
+//!
+//! Like the rest of the workspace, the crate has no external
+//! dependencies; the JSON codec is in-tree ([`Json`] / [`parse_json`]).
+
+mod cache;
+mod client;
+mod digest;
+mod json;
+mod pool;
+mod proto;
+mod server;
+
+pub use cache::{CacheStats, TargetCache};
+pub use client::{
+    local_key, Client, CompileSpec, CompileSummary, Model, RetargetSummary, ServeError,
+};
+pub use digest::{model_key, parse_key, render_key, ModelKey};
+pub use json::{parse as parse_json, Json};
+pub use pool::{PoolStats, PooledSession, SessionPool};
+pub use proto::{parse_request, CompileItem, ModelRef, Request};
+pub use server::{Server, ServerConfig, ServerHandle};

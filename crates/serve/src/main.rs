@@ -1,0 +1,56 @@
+//! `record-serve` — run the compile service from the command line.
+//!
+//! ```text
+//! record-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--cache-capacity N] [--pool-max-idle N]
+//! ```
+//!
+//! Serves the newline-delimited JSON protocol (see `record_serve::proto`)
+//! until killed.
+
+use record_serve::{Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7457".to_owned();
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = next("HOST:PORT"),
+            "--workers" => config.workers = parse(&next("N"), "--workers"),
+            "--queue-depth" => config.queue_depth = parse(&next("N"), "--queue-depth"),
+            "--cache-capacity" => config.cache_capacity = parse(&next("N"), "--cache-capacity"),
+            "--pool-max-idle" => config.pool_max_idle = parse(&next("N"), "--pool-max-idle"),
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let handle = match Server::start(&addr, config) {
+        Ok(handle) => handle,
+        Err(e) => fail(&format!("cannot bind `{addr}`: {e}")),
+    };
+    println!("record-serve listening on {}", handle.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse(s: &str, flag: &str) -> usize {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} needs a number, got `{s}`")))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("record-serve: {message}");
+    eprintln!(
+        "usage: record-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--cache-capacity N] [--pool-max-idle N]"
+    );
+    std::process::exit(2);
+}

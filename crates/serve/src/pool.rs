@@ -1,0 +1,138 @@
+//! A pool of warm compilation sessions over one frozen artifact.
+//!
+//! Opening a session is cheap but not free: the BDD overlay arena, its
+//! hash tables and the symbol interner all start empty and grow on
+//! demand, so the first compilation of every session pays the growth
+//! path.  The pool keeps the *pages* of finished sessions
+//! ([`record_core::SessionPages`] — capacity with cleared contents) and
+//! rebuilds warm sessions from them, skipping the growth.  Because reset
+//! pages replay identical handles for identical operation sequences,
+//! pooled output is byte-identical to fresh-session output — the
+//! differential test in `tests/pool_differential.rs` holds this.
+
+use record_core::{CompileSession, SessionPages, Target};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing pool behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Sessions opened cold (no idle pages available).
+    pub created: u64,
+    /// Sessions rebuilt from pooled pages.
+    pub reused: u64,
+    /// Sessions whose pages went back to the pool on drop.
+    pub returned: u64,
+    /// Sessions dropped because the pool was full.
+    pub dropped: u64,
+}
+
+/// A bounded pool of reusable session pages for one target.
+#[derive(Debug)]
+pub struct SessionPool {
+    target: Arc<Target>,
+    idle: Mutex<Vec<SessionPages>>,
+    max_idle: usize,
+    created: AtomicU64,
+    reused: AtomicU64,
+    returned: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SessionPool {
+    /// A pool over `target` retaining at most `max_idle` idle page sets.
+    pub fn new(target: Arc<Target>, max_idle: usize) -> SessionPool {
+        SessionPool {
+            target,
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The artifact this pool compiles against.
+    pub fn target(&self) -> &Arc<Target> {
+        &self.target
+    }
+
+    /// Checks a session out: warm (rebuilt from pooled pages) when idle
+    /// pages exist, cold otherwise.  The session returns its pages to the
+    /// pool when the guard drops.
+    pub fn checkout(&self) -> PooledSession<'_> {
+        let pages = self.idle.lock().expect("pool lock poisoned").pop();
+        let session = match pages {
+            Some(pages) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                self.target.session_from(pages)
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                self.target.session()
+            }
+        };
+        PooledSession {
+            pool: self,
+            session: Some(session),
+        }
+    }
+
+    /// Idle page sets currently held.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().expect("pool lock poisoned").len()
+    }
+
+    /// A snapshot of the behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn checkin(&self, session: CompileSession<'_>) {
+        let pages = session.into_pages();
+        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(pages);
+            self.returned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A checked-out session; derefs to [`CompileSession`] and returns its
+/// pages to the pool on drop.
+#[derive(Debug)]
+pub struct PooledSession<'p> {
+    pool: &'p SessionPool,
+    session: Option<CompileSession<'p>>,
+}
+
+impl<'p> Deref for PooledSession<'p> {
+    type Target = CompileSession<'p>;
+
+    fn deref(&self) -> &CompileSession<'p> {
+        self.session.as_ref().expect("session present until drop")
+    }
+}
+
+impl<'p> DerefMut for PooledSession<'p> {
+    fn deref_mut(&mut self) -> &mut CompileSession<'p> {
+        self.session.as_mut().expect("session present until drop")
+    }
+}
+
+impl Drop for PooledSession<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.pool.checkin(session);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The request server: TCP accept loop, bounded admission queue, worker
+//! pool.
+//!
+//! Layering: each worker serves whole connections; each request resolves
+//! its model through the [`TargetCache`] (retarget-once, shared `Arc`s)
+//! and compiles on a session checked out of that target's [`SessionPool`]
+//! (warm overlay pages).  Admission control is explicit: when the pending
+//! queue is full, new connections get an `overloaded` error line instead
+//! of an invisible wait, so callers can shed load or back off.
+
+use crate::cache::TargetCache;
+use crate::digest::{render_key, ModelKey};
+use crate::json::Json;
+use crate::pool::SessionPool;
+use crate::proto::{
+    compile_error_response, error_response, parse_request, pipeline_error_response, CompileItem,
+    ModelRef, Request,
+};
+use record_core::{CompileRequest, RetargetOptions, Target};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker; beyond this, admission
+    /// control rejects with `overloaded`.
+    pub queue_depth: usize,
+    /// Retarget artifacts kept ready (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Idle warm sessions kept per target.
+    pub pool_max_idle: usize,
+    /// Options every retarget runs under.
+    pub retarget: RetargetOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 8,
+            pool_max_idle: 4,
+            retarget: RetargetOptions::default(),
+        }
+    }
+}
+
+struct Shared {
+    cache: TargetCache,
+    pools: Mutex<HashMap<ModelKey, Arc<SessionPool>>>,
+    pool_max_idle: usize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    shutdown: AtomicBool,
+    /// Requests handled (all ops, success or failure).
+    served: AtomicU64,
+    /// Connections rejected by admission control.
+    rejected: AtomicU64,
+}
+
+/// The compile service.  See [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and starts serving; returns a handle owning the
+    /// accept and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: TargetCache::new(config.cache_capacity, config.retarget.clone()),
+            pools: Mutex::new(HashMap::new()),
+            pool_max_idle: config.pool_max_idle.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server; shuts down (joining all threads) on
+/// [`ServerHandle::shutdown`] or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains nothing (queued connections are dropped),
+    /// and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection and the
+        // workers through the condvar.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.queue_depth {
+            drop(queue);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let line = format!(
+                "{}\n",
+                error_response("overloaded", "admission queue full, retry later")
+            );
+            let _ = stream.write_all(line.as_bytes());
+            // Dropping the stream closes the connection.
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        serve_connection(shared, stream);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // A short read timeout keeps shutdown bounded: a worker parked on an
+    // idle connection re-checks the flag a few times a second instead of
+    // blocking in `read` until the peer closes.
+    let _ = read_half.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Reassemble one line across timeouts: `read_line` appends, so a
+        // partial line survives the retry.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(line.trim_end()) {
+            Ok(request) => handle_request(shared, &request),
+            Err(message) => error_response("protocol", &message),
+        };
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, request: &Request) -> Json {
+    match request {
+        Request::Retarget { hdl } => match shared.cache.get_or_retarget(hdl) {
+            Ok((key, target)) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("key", Json::str(render_key(key))),
+                ("processor", Json::str(target.report().processor.clone())),
+                ("rules", Json::num(target.report().rules as u64)),
+                (
+                    "templates",
+                    Json::num(target.report().templates_extended as u64),
+                ),
+            ]),
+            Err(e) => pipeline_error_response(&e),
+        },
+        Request::Compile { model, item } => match resolve(shared, model) {
+            Ok((key, target)) => {
+                let pool = pool_for(shared, key, &target);
+                let mut session = pool.checkout();
+                compile_response(key, &mut session, item)
+            }
+            Err(response) => response,
+        },
+        Request::BatchCompile { model, items } => match resolve(shared, model) {
+            Ok((key, target)) => {
+                let pool = pool_for(shared, key, &target);
+                let mut session = pool.checkout();
+                let mut results = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        // Roll the warm session back so every item sees
+                        // fresh-session (byte-identical) output.
+                        session.reset();
+                    }
+                    results.push(compile_response(key, &mut session, item));
+                }
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("results", Json::Arr(results)),
+                ])
+            }
+            Err(response) => response,
+        },
+        Request::Stats => stats_response(shared),
+    }
+}
+
+fn resolve(shared: &Shared, model: &ModelRef) -> Result<(ModelKey, Arc<Target>), Json> {
+    match model {
+        ModelRef::Hdl(hdl) => shared
+            .cache
+            .get_or_retarget(hdl)
+            .map_err(|e| pipeline_error_response(&e)),
+        ModelRef::Key(key) => shared
+            .cache
+            .get(*key)
+            .map(|target| (*key, target))
+            .ok_or_else(|| {
+                error_response(
+                    "unknown-key",
+                    &format!("no cached artifact for key `{}`", render_key(*key)),
+                )
+            }),
+    }
+}
+
+fn pool_for(shared: &Shared, key: ModelKey, target: &Arc<Target>) -> Arc<SessionPool> {
+    let mut pools = shared.pools.lock().expect("pools lock poisoned");
+    Arc::clone(
+        pools.entry(key).or_insert_with(|| {
+            Arc::new(SessionPool::new(Arc::clone(target), shared.pool_max_idle))
+        }),
+    )
+}
+
+fn compile_response(
+    key: ModelKey,
+    session: &mut record_core::CompileSession<'_>,
+    item: &CompileItem,
+) -> Json {
+    let request =
+        CompileRequest::new(&item.source, &item.function).with_options(item.options.clone());
+    match session.compile(&request) {
+        Ok(kernel) => {
+            let mut fields = vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("key".to_owned(), Json::str(render_key(key))),
+                ("function".to_owned(), Json::str(item.function.clone())),
+                ("ops".to_owned(), Json::num(kernel.ops.len() as u64)),
+                ("code_size".to_owned(), Json::num(kernel.code_size() as u64)),
+            ];
+            if item.listing {
+                fields.push((
+                    "listing".to_owned(),
+                    Json::str(session.target().listing(&kernel)),
+                ));
+            }
+            Json::Obj(fields)
+        }
+        Err(e) => compile_error_response(&e),
+    }
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let cache = shared.cache.stats();
+    let pools = shared.pools.lock().expect("pools lock poisoned");
+    let mut created = 0;
+    let mut reused = 0;
+    let mut returned = 0;
+    let mut dropped = 0;
+    for pool in pools.values() {
+        let s = pool.stats();
+        created += s.created;
+        reused += s.reused;
+        returned += s.returned;
+        dropped += s.dropped;
+    }
+    let pool_count = pools.len() as u64;
+    drop(pools);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::num(cache.hits)),
+                ("misses", Json::num(cache.misses)),
+                ("retargets", Json::num(cache.retargets)),
+                ("inflight_waits", Json::num(cache.inflight_waits)),
+                ("evictions", Json::num(cache.evictions)),
+                ("entries", Json::num(shared.cache.keys().len() as u64)),
+            ]),
+        ),
+        (
+            "pools",
+            Json::obj(vec![
+                ("count", Json::num(pool_count)),
+                ("created", Json::num(created)),
+                ("reused", Json::num(reused)),
+                ("returned", Json::num(returned)),
+                ("dropped", Json::num(dropped)),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("served", Json::num(shared.served.load(Ordering::Relaxed))),
+                (
+                    "rejected",
+                    Json::num(shared.rejected.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ])
+}

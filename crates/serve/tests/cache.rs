@@ -1,0 +1,88 @@
+//! Cache-layer tests: retarget-once under concurrency, shared `Arc`
+//! handout, LRU eviction order.
+
+use record_core::RetargetOptions;
+use record_serve::{model_key, TargetCache};
+use record_targets::models;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_requests_retarget_once_and_share_the_artifact() {
+    let cache = TargetCache::new(4, RetargetOptions::default());
+    let hdl = models::model("ref").unwrap().hdl;
+    const THREADS: usize = 8;
+
+    let targets: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| scope.spawn(|| cache.get_or_retarget(hdl).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Everyone got the same key and literally the same artifact.
+    let (key0, first) = &targets[0];
+    for (key, target) in &targets {
+        assert_eq!(key, key0);
+        assert!(Arc::ptr_eq(target, first), "one artifact, shared");
+    }
+
+    // The counters prove the retarget ran exactly once: one miss did the
+    // work, every other thread was served from the ready entry (after
+    // waiting behind the in-flight retarget, when it arrived early).
+    let stats = cache.stats();
+    assert_eq!(stats.retargets, 1, "{stats:?}");
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert_eq!(stats.hits, (THREADS - 1) as u64, "{stats:?}");
+    assert!(stats.inflight_waits <= (THREADS - 1) as u64, "{stats:?}");
+}
+
+#[test]
+fn failed_retargets_are_not_cached() {
+    let cache = TargetCache::new(4, RetargetOptions::default());
+    assert!(cache.get_or_retarget("processor syntax error {").is_err());
+    let after_first = cache.stats().retargets;
+    assert_eq!(after_first, 1);
+    // The failure was not cached: a retry runs the retarget again.
+    assert!(cache.get_or_retarget("processor syntax error {").is_err());
+    assert_eq!(cache.stats().retargets, 2);
+    assert!(cache.keys().is_empty());
+}
+
+#[test]
+fn eviction_follows_least_recent_use() {
+    let cache = TargetCache::new(2, RetargetOptions::default());
+    let a = models::model("demo").unwrap().hdl;
+    let b = models::model("manocpu").unwrap().hdl;
+    let c = models::model("bass_boost").unwrap().hdl;
+    let (ka, _) = cache.get_or_retarget(a).unwrap();
+    let (kb, _) = cache.get_or_retarget(b).unwrap();
+    assert_eq!(cache.keys(), vec![kb, ka], "most recently used first");
+
+    // Touch `a` so `b` becomes the LRU victim.
+    cache.get_or_retarget(a).unwrap();
+    let (kc, _) = cache.get_or_retarget(c).unwrap();
+    assert_eq!(cache.keys(), vec![kc, ka], "b was evicted");
+    assert_eq!(cache.stats().evictions, 1);
+
+    // The evicted model is gone from key-addressed lookup but comes back
+    // (with a fresh retarget) through content addressing.
+    assert!(cache.get(kb).is_none());
+    let retargets_before = cache.stats().retargets;
+    cache.get_or_retarget(b).unwrap();
+    assert_eq!(cache.stats().retargets, retargets_before + 1);
+}
+
+#[test]
+fn content_addressing_survives_reformatting() {
+    let cache = TargetCache::new(2, RetargetOptions::default());
+    let hdl = models::model("demo").unwrap().hdl;
+    let reformatted: String = hdl
+        .lines()
+        .map(|l| format!("  {}\r\n", l.trim_end()))
+        .collect();
+    assert_eq!(model_key(hdl), model_key(&reformatted));
+    let (k1, _) = cache.get_or_retarget(hdl).unwrap();
+    let (k2, _) = cache.get_or_retarget(&reformatted).unwrap();
+    assert_eq!(k1, k2);
+    assert_eq!(cache.stats().retargets, 1);
+}

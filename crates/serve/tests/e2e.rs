@@ -1,0 +1,183 @@
+//! End-to-end service test: a real server on a loopback socket, eight
+//! concurrent clients across two HDL models, exactly one retarget per
+//! model (proved by the served counters), listings byte-identical to
+//! local fresh compiles, structured timeouts, and admission control.
+
+use record_core::{CompileRequest, Record, RetargetOptions};
+use record_serve::{local_key, Client, CompileSpec, Json, Model, ServeError, Server, ServerConfig};
+use record_targets::{kernels, models};
+
+#[test]
+fn eight_concurrent_clients_two_models_one_retarget_each() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let model_names = ["ref", "tms320c25"];
+    let picks: Vec<_> = kernels::kernels().into_iter().take(4).collect();
+
+    // Local reference listings, compiled on fresh sessions: what the
+    // server's pooled sessions must reproduce byte for byte.
+    let mut expected: Vec<Vec<String>> = Vec::new();
+    for name in model_names {
+        let hdl = models::model(name).unwrap().hdl;
+        let target = Record::retarget(hdl, &RetargetOptions::default()).unwrap();
+        expected.push(
+            picks
+                .iter()
+                .map(|k| {
+                    let kernel = target
+                        .compile(&CompileRequest::new(k.source, k.function))
+                        .unwrap();
+                    target.listing(&kernel)
+                })
+                .collect(),
+        );
+    }
+
+    // Eight clients, four per model, all hammering the server at once.
+    std::thread::scope(|scope| {
+        for client_id in 0..8 {
+            let model_idx = client_id % 2;
+            let expected = &expected[model_idx];
+            let picks = &picks;
+            scope.spawn(move || {
+                let hdl = models::model(model_names[model_idx]).unwrap().hdl;
+                let mut client = Client::connect(addr).expect("connect");
+
+                // Half the clients go through explicit retarget + key
+                // addressing, half send inline HDL; both routes must
+                // coalesce on the cache.
+                let key_storage;
+                let model = if client_id < 4 {
+                    let summary = client.retarget(hdl).expect("retarget");
+                    assert_eq!(summary.key, local_key(hdl), "client {client_id}");
+                    key_storage = summary.key;
+                    Model::Key(&key_storage)
+                } else {
+                    Model::Hdl(hdl)
+                };
+
+                for (kernel, want) in picks.iter().zip(expected) {
+                    let got = client
+                        .compile(
+                            &model,
+                            &CompileSpec::new(kernel.source, kernel.function).listing(true),
+                        )
+                        .unwrap_or_else(|e| panic!("client {client_id} {}: {e}", kernel.name));
+                    assert_eq!(
+                        got.listing.as_deref(),
+                        Some(want.as_str()),
+                        "client {client_id} {}: served listing differs from fresh local compile",
+                        kernel.name
+                    );
+                }
+
+                // And a batch on one warm session, same guarantee.
+                let specs: Vec<_> = picks
+                    .iter()
+                    .map(|k| CompileSpec::new(k.source, k.function).listing(true))
+                    .collect();
+                let results = client.batch_compile(&model, &specs).expect("batch");
+                for ((result, want), kernel) in results.iter().zip(expected).zip(picks.iter()) {
+                    let got = result.as_ref().unwrap_or_else(|e| {
+                        panic!("client {client_id} batch {}: {e}", kernel.name)
+                    });
+                    assert_eq!(
+                        got.listing.as_deref(),
+                        Some(want.as_str()),
+                        "{}",
+                        kernel.name
+                    );
+                }
+            });
+        }
+    });
+
+    // The cache retargeted each model exactly once, everything else hit.
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(
+        cache.get("retargets").and_then(Json::as_u64),
+        Some(2),
+        "one retarget per model: {stats}"
+    );
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(2));
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    let waits = cache.get("inflight_waits").and_then(Json::as_u64).unwrap();
+    assert!(hits >= 8, "coalesced requests hit the cache: {stats}");
+    let pools = stats.get("pools").expect("pools section");
+    assert_eq!(pools.get("count").and_then(Json::as_u64), Some(2));
+    assert!(
+        pools.get("reused").and_then(Json::as_u64).unwrap() > 0,
+        "warm sessions were reused: {stats}"
+    );
+    let _ = waits;
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_and_admission_control_reject_structurally() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let hdl = models::model("ref").unwrap().hdl;
+    let kernel = kernels::kernels()[0];
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Zero budget: expires at the first phase boundary, long before
+    // codegen; the error is structured, names a phase, and the
+    // connection stays usable.
+    let err = client
+        .compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function).deadline_ms(0),
+        )
+        .expect_err("zero deadline must time out");
+    match &err {
+        ServeError::Timeout { phase, message } => {
+            assert!(!phase.is_empty(), "{err}");
+            assert!(message.contains("deadline"), "{message}");
+        }
+        other => panic!("expected timeout, got {other}"),
+    }
+
+    // A generous deadline sails through on the same connection.
+    client
+        .compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function).deadline_ms(60_000),
+        )
+        .expect("generous deadline compiles");
+
+    // Unknown keys are structured errors too.
+    let err = client
+        .compile(
+            &Model::Key("00000000deadbeef"),
+            &CompileSpec::new(kernel.source, kernel.function),
+        )
+        .expect_err("unknown key");
+    assert!(
+        matches!(&err, ServeError::Remote { kind, .. } if kind == "unknown-key"),
+        "{err}"
+    );
+
+    drop(client);
+    server.shutdown();
+}

@@ -1,0 +1,98 @@
+//! Differential guarantee of the session pool: a warmed (reset) session
+//! produces byte-identical output to a fresh session, for every model ×
+//! kernel pair — successes compare listings and code size, failures
+//! compare the full structured error.
+
+use record_core::{CompileRequest, Record, RetargetOptions};
+use record_serve::SessionPool;
+use record_targets::{kernels, models};
+use std::sync::Arc;
+
+#[test]
+fn pooled_sessions_match_fresh_sessions_everywhere() {
+    for model in models::models() {
+        let target = Arc::new(
+            Record::retarget(model.hdl, &RetargetOptions::default())
+                .unwrap_or_else(|e| panic!("{} retargets: {e}", model.name)),
+        );
+        let pool = SessionPool::new(Arc::clone(&target), 2);
+
+        // Warm the pool: one checkout compiles something and goes back.
+        {
+            let mut warm = pool.checkout();
+            let first = kernels::kernels()[0];
+            let _ = warm.compile(&CompileRequest::new(first.source, first.function));
+        }
+        assert_eq!(pool.idle_len(), 1, "{}: pages returned", model.name);
+
+        for kernel in kernels::kernels() {
+            let request = CompileRequest::new(kernel.source, kernel.function);
+            let fresh = target.session().compile(&request);
+            let pooled = {
+                let mut session = pool.checkout();
+                session.compile(&request)
+            };
+            match (&fresh, &pooled) {
+                (Ok(f), Ok(p)) => {
+                    assert_eq!(
+                        f.ops, p.ops,
+                        "{}/{}: pooled RT ops differ",
+                        model.name, kernel.name
+                    );
+                    assert_eq!(
+                        f.schedule, p.schedule,
+                        "{}/{}: pooled schedule differs",
+                        model.name, kernel.name
+                    );
+                    assert_eq!(
+                        target.listing(f),
+                        target.listing(p),
+                        "{}/{}: pooled listing differs",
+                        model.name,
+                        kernel.name
+                    );
+                }
+                (Err(f), Err(p)) => {
+                    assert_eq!(f, p, "{}/{}: pooled error differs", model.name, kernel.name)
+                }
+                _ => panic!(
+                    "{}/{}: fresh {:?} but pooled {:?}",
+                    model.name,
+                    kernel.name,
+                    fresh.as_ref().map(|_| "ok"),
+                    pooled.as_ref().map(|_| "ok"),
+                ),
+            }
+        }
+
+        let stats = pool.stats();
+        assert!(stats.reused > 0, "{}: pool reuse happened", model.name);
+    }
+}
+
+#[test]
+fn mid_session_reset_replays_identical_output() {
+    let model = models::model("tms320c25").unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let kernels = kernels::kernels();
+    let reference: Vec<_> = kernels
+        .iter()
+        .map(|k| {
+            target
+                .session()
+                .compile(&CompileRequest::new(k.source, k.function))
+                .unwrap()
+        })
+        .collect();
+    // One session, reset between kernels: every compile must replay the
+    // fresh-session output exactly.
+    let mut session = target.session();
+    for (kernel, fresh) in kernels.iter().zip(&reference) {
+        session.reset();
+        let again = session
+            .compile(&CompileRequest::new(kernel.source, kernel.function))
+            .unwrap();
+        assert_eq!(again.ops, fresh.ops, "{}", kernel.name);
+        assert_eq!(again.schedule, fresh.schedule, "{}", kernel.name);
+    }
+}

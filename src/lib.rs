@@ -4,11 +4,9 @@
 //! workspace `README.md` for an overview.  The `examples/` directory of
 //! this package contains runnable end-to-end walk-throughs.
 
-#[allow(deprecated)]
-pub use record_core::RetargetStats;
 pub use record_core::{
     CompileError, CompileOptions, CompilePhase, CompileReport, CompileRequest, CompileSession,
     CompiledKernel, Diagnostic, FailureClass, PipelineError, Record, RetargetOptions,
-    RetargetReport, Target,
+    RetargetReport, SessionPages, Target,
 };
 pub use record_targets as targets;
