@@ -26,6 +26,11 @@ pub enum PipelineError {
     Codegen(String),
     /// The model has no memory suitable as data memory.
     NoDataMemory,
+    /// The retargeting pipeline panicked; the payload is the panic
+    /// message.  Produced by panic-containment boundaries (the serve
+    /// layer's target cache, the fuzz oracle) that run
+    /// [`crate::Record::retarget`] under `catch_unwind`.
+    Internal(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -37,6 +42,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Frontend(s) => write!(f, "mini-C frontend: {s}"),
             PipelineError::Codegen(s) => write!(f, "code generation: {s}"),
             PipelineError::NoDataMemory => write!(f, "model has no data memory"),
+            PipelineError::Internal(s) => write!(f, "internal retargeting error: {s}"),
         }
     }
 }
@@ -74,6 +80,21 @@ impl CompilePhase {
             CompilePhase::Emit => "emit",
             CompilePhase::Allocate => "allocate",
             CompilePhase::Compact => "compact",
+        }
+    }
+
+    /// The inverse of [`CompilePhase::label`] (`None` for unknown text).
+    /// Lets wire protocols and fuzz corpora name phases by slug.
+    pub fn from_label(label: &str) -> Option<CompilePhase> {
+        match label {
+            "parse" => Some(CompilePhase::Parse),
+            "lower" => Some(CompilePhase::Lower),
+            "bind" => Some(CompilePhase::Bind),
+            "select" => Some(CompilePhase::Select),
+            "emit" => Some(CompilePhase::Emit),
+            "allocate" => Some(CompilePhase::Allocate),
+            "compact" => Some(CompilePhase::Compact),
+            _ => None,
         }
     }
 }
@@ -188,6 +209,23 @@ pub enum CompileError {
         /// The last phase that completed before the deadline check fired.
         phase: CompilePhase,
     },
+    /// The compiler panicked.
+    ///
+    /// [`crate::CompileSession::compile`] runs the pipeline under
+    /// `catch_unwind`, so a bug that would otherwise abort the calling
+    /// thread (and kill a server worker) surfaces as this structured
+    /// error instead.  The session that produced it is
+    /// [poisoned](crate::CompileSession::poisoned): its overlay may be
+    /// mid-mutation, so discard it (or [`crate::CompileSession::reset`]
+    /// it) rather than compiling further requests on it.
+    Internal {
+        /// The function being compiled.
+        function: String,
+        /// The phase that was running when the panic unwound.
+        phase: CompilePhase,
+        /// The panic payload (message), when it was a string.
+        payload: String,
+    },
 }
 
 /// The failure taxonomy: which phase a compilation died in and what
@@ -235,10 +273,13 @@ impl CompileError {
     }
 
     /// The phase that failed (for deadline errors: the last phase that
-    /// completed before the deadline fired).
+    /// completed before the deadline fired; for internal errors: the
+    /// phase that was running when the panic unwound).
     pub fn phase(&self) -> Option<CompilePhase> {
         match self {
-            CompileError::DeadlineExceeded { phase, .. } => Some(*phase),
+            CompileError::DeadlineExceeded { phase, .. } | CompileError::Internal { phase, .. } => {
+                Some(*phase)
+            }
             _ => self.diagnostic().map(|d| d.phase),
         }
     }
@@ -258,6 +299,7 @@ impl CompileError {
             CompileError::NotAMemory { .. } => class(CompilePhase::Bind, "not-a-memory"),
             CompileError::Frontend { diagnostic, .. } => class(diagnostic.phase, "frontend"),
             CompileError::DeadlineExceeded { phase, .. } => class(*phase, "deadline-exceeded"),
+            CompileError::Internal { phase, .. } => class(*phase, "internal"),
             CompileError::Codegen { diagnostic, .. } => {
                 // The diagnostic fields identify the codegen variant
                 // exactly: `op` only on proven hardware gaps, `rt_index`
@@ -355,11 +397,37 @@ impl fmt::Display for CompileError {
                     "deadline exceeded compiling `{function}` (after phase `{phase}`)"
                 )
             }
+            CompileError::Internal {
+                function,
+                phase,
+                payload,
+            } => {
+                write!(
+                    f,
+                    "internal compiler error in phase `{phase}` compiling `{function}`: {payload}"
+                )
+            }
         }
     }
 }
 
 impl Error for CompileError {}
+
+/// Renders a `catch_unwind` payload as a message string (`&str` and
+/// `String` payloads verbatim, anything else a placeholder).
+///
+/// Shared by every panic-containment boundary (the compile session, the
+/// serve layer's retarget cache, the fuzz oracle) so `Internal` errors
+/// carry the same payload text no matter which boundary caught them.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 impl From<CompileError> for PipelineError {
     fn from(e: CompileError) -> PipelineError {
@@ -378,7 +446,9 @@ impl From<CompileError> for PipelineError {
             CompileError::Codegen { ref diagnostic, .. } => {
                 PipelineError::Codegen(diagnostic.to_string())
             }
-            CompileError::DeadlineExceeded { .. } => PipelineError::Codegen(e.to_string()),
+            CompileError::DeadlineExceeded { .. } | CompileError::Internal { .. } => {
+                PipelineError::Codegen(e.to_string())
+            }
         }
     }
 }

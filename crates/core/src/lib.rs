@@ -41,7 +41,9 @@ mod error;
 mod pipeline;
 mod session;
 
-pub use error::{CompileError, CompilePhase, Diagnostic, FailureClass, PipelineError};
+pub use error::{
+    panic_message, CompileError, CompilePhase, Diagnostic, FailureClass, PipelineError,
+};
 pub use pipeline::{
     CompileOptions, CompileReport, CompiledKernel, Record, RetargetOptions, RetargetReport, Target,
 };

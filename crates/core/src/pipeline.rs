@@ -310,6 +310,15 @@ pub struct CompileOptions {
     /// [`CompileError::DeadlineExceeded`] naming the last completed phase
     /// rather than interrupting a phase mid-flight.
     pub deadline_ns: Option<u64>,
+    /// Fault-injection hook: deliberately panic when compilation enters
+    /// this phase.
+    ///
+    /// Exists to *prove* the panic-containment boundary: the injected
+    /// panic must come back as a structured [`CompileError::Internal`]
+    /// (wire kind `internal`), not kill the calling thread.  Used by the
+    /// serve smoke test and the fuzz harness's containment tests; never
+    /// set it in production requests.
+    pub inject_panic: Option<crate::CompilePhase>,
 }
 
 impl Default for CompileOptions {
@@ -319,6 +328,7 @@ impl Default for CompileOptions {
             compaction: true,
             allocate_registers: true,
             deadline_ns: None,
+            inject_panic: None,
         }
     }
 }

@@ -9,13 +9,15 @@
 //! simply opens one per request, which also makes batch output
 //! byte-identical to sequential output.
 
-use crate::error::{CompileError, CompilePhase};
+use crate::error::{panic_message, CompileError, CompilePhase};
 use crate::pipeline::{CompileOptions, CompileReport, CompiledKernel, Target};
 use record_bdd::BddOverlay;
 use record_codegen::{baseline_compile, compile, Binding, Emitted};
 use record_compact::compact;
 use record_probe::{Collector, Probe, Trace, TraceSink};
 use record_regalloc::{allocate_probed, AllocOptions, Liveness, MemLayout};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -76,6 +78,13 @@ impl<'a> CompileRequest<'a> {
         self
     }
 
+    /// Arms the fault-injection hook: compilation panics on entering
+    /// `phase`.  See [`CompileOptions::inject_panic`].
+    pub fn inject_panic(mut self, phase: Option<CompilePhase>) -> CompileRequest<'a> {
+        self.options.inject_panic = phase;
+        self
+    }
+
     /// The mini-C translation unit.
     pub fn source(&self) -> &'a str {
         self.source
@@ -109,6 +118,9 @@ pub struct CompileSession<'t> {
     /// the session (one lane per session), so concurrent sessions never
     /// contend — batch tracing merges lanes after the workers join.
     collector: Option<Collector>,
+    /// Set when a compilation panicked inside this session (see
+    /// [`CompileSession::poisoned`]).
+    poisoned: bool,
 }
 
 impl<'t> CompileSession<'t> {
@@ -117,6 +129,7 @@ impl<'t> CompileSession<'t> {
             target,
             bdd: target.frozen.overlay(),
             collector: None,
+            poisoned: false,
         }
     }
 
@@ -125,7 +138,18 @@ impl<'t> CompileSession<'t> {
             target,
             bdd: target.frozen.overlay_from(pages.bdd),
             collector: None,
+            poisoned: false,
         }
+    }
+
+    /// Whether a compilation panicked inside this session.
+    ///
+    /// A panic unwinds out of arbitrary overlay mutation, so a poisoned
+    /// session's scratch state is suspect: [`CompileSession::reset`]
+    /// before compiling on it again, and do not recycle its pages into a
+    /// session pool.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Rolls the session back to its just-opened state while keeping its
@@ -141,6 +165,7 @@ impl<'t> CompileSession<'t> {
     pub fn reset(&mut self) {
         self.bdd.reset();
         self.collector = None;
+        self.poisoned = false;
     }
 
     /// Tears the session down to its retained allocations, for reuse by a
@@ -193,7 +218,16 @@ impl<'t> CompileSession<'t> {
     /// Every successful result carries a [`CompileReport`] with per-phase
     /// times and work counters; when a collector is installed
     /// ([`CompileSession::install_collector`]) the same phases also appear
-    /// as spans in the trace.  Spans stay balanced on error paths.
+    /// as spans in the trace.  Spans stay balanced on error paths (panics
+    /// excepted — a contained panic abandons its open spans along with
+    /// the rest of the poisoned session's scratch state).
+    ///
+    /// The whole pipeline runs under `catch_unwind`: a compiler bug that
+    /// panics (or an armed [`CompileOptions::inject_panic`] hook) comes
+    /// back as [`CompileError::Internal`] naming the phase that was
+    /// running, and the session is marked
+    /// [poisoned](CompileSession::poisoned) instead of taking the calling
+    /// thread down.
     ///
     /// # Errors
     ///
@@ -204,6 +238,37 @@ impl<'t> CompileSession<'t> {
         &mut self,
         request: &CompileRequest<'_>,
     ) -> Result<CompiledKernel, CompileError> {
+        let phase = Cell::new(CompilePhase::Parse);
+        let contained = {
+            let phase = &phase;
+            catch_unwind(AssertUnwindSafe(|| self.compile_inner(request, phase)))
+        };
+        match contained {
+            Ok(result) => result,
+            Err(payload) => {
+                self.poisoned = true;
+                Err(CompileError::Internal {
+                    function: request.function().to_owned(),
+                    phase: phase.get(),
+                    payload: panic_message(payload),
+                })
+            }
+        }
+    }
+
+    /// The pipeline body; `at` tracks the phase currently running so the
+    /// containment wrapper can attribute a panic.
+    fn compile_inner(
+        &mut self,
+        request: &CompileRequest<'_>,
+        at: &Cell<CompilePhase>,
+    ) -> Result<CompiledKernel, CompileError> {
+        let enter = |phase: CompilePhase| {
+            at.set(phase);
+            if request.options().inject_panic == Some(phase) {
+                panic!("injected panic in phase `{phase}` (fault-injection hook)");
+            }
+        };
         let target = self.target;
         let function = request.function();
         let options = request.options();
@@ -230,6 +295,7 @@ impl<'t> CompileSession<'t> {
         };
 
         let t0 = Instant::now();
+        enter(CompilePhase::Parse);
         probe.begin("parse");
         let parsed = record_ir::parse(request.source())
             .map_err(|e| CompileError::from_frontend(function, CompilePhase::Parse, &e));
@@ -239,6 +305,7 @@ impl<'t> CompileSession<'t> {
         expired(&probe, CompilePhase::Parse)?;
 
         let t1 = Instant::now();
+        enter(CompilePhase::Lower);
         probe.begin("lower");
         let lowered = record_ir::lower(&program, function)
             .map_err(|e| CompileError::from_frontend(function, CompilePhase::Lower, &e));
@@ -248,6 +315,7 @@ impl<'t> CompileSession<'t> {
         expired(&probe, CompilePhase::Lower)?;
 
         let t2 = Instant::now();
+        enter(CompilePhase::Bind);
         probe.begin("bind");
         // The baseline path ignores the constant memory on purpose: the
         // Figure 2 comparator routes every operand through data memory.
@@ -274,6 +342,9 @@ impl<'t> CompileSession<'t> {
         expired(&probe, CompilePhase::Bind)?;
 
         let t3 = Instant::now();
+        // Selection and emission both happen inside codegen; attribute
+        // panics there to the emit phase (the enclosing span).
+        enter(CompilePhase::Emit);
         probe.begin("codegen");
         let emitted = if options.baseline {
             baseline_compile(
@@ -324,6 +395,7 @@ impl<'t> CompileSession<'t> {
         let (ops, alloc) = match &target.pool {
             Some(pool) if options.allocate_registers && !options.baseline => {
                 let t4 = Instant::now();
+                enter(CompilePhase::Allocate);
                 probe.begin("allocate");
                 let liveness = Liveness::analyze(&flat);
                 let (ops, stats) = allocate_probed(
@@ -350,6 +422,7 @@ impl<'t> CompileSession<'t> {
 
         let schedule = options.compaction.then(|| {
             let t5 = Instant::now();
+            enter(CompilePhase::Compact);
             probe.begin("compact");
             let schedule = compact(&ops, &mut self.bdd);
             probe.end("compact");

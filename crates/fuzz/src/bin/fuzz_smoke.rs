@@ -1,0 +1,186 @@
+//! CI fuzzing smoke run: a fixed seed range through the differential
+//! oracle, with minimized reproducers for anything that looks like a
+//! genuine bug.
+//!
+//! ```text
+//! fuzz_smoke [--seed-range LO..HI] [--out DIR] [--no-minimize] [-v]
+//! ```
+//!
+//! Exits 0 when every case either agrees or fails with an
+//! expected-unsupported class; exits 1 when any case diverges, panics, or
+//! produces an `internal` error, after writing a minimized `.repro` file
+//! per distinct failure key to `--out` (default `target/fuzz-repro`).
+//! Deterministic: the same seed range always produces the same cases and
+//! the same summary.
+
+use record_fuzz::{corpus, minimize, oracle, FuzzCase};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    lo: u64,
+    hi: u64,
+    out: String,
+    minimize: bool,
+    verbose: bool,
+    /// Seeds to minimize and write as corpus reproducers (regardless of
+    /// bug status), instead of running the smoke sweep.
+    emit_corpus: Vec<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        lo: 0,
+        hi: 200,
+        out: "target/fuzz-repro".to_owned(),
+        minimize: true,
+        verbose: false,
+        emit_corpus: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed-range" => {
+                let v = it.next().ok_or("--seed-range needs LO..HI")?;
+                let (lo, hi) = v.split_once("..").ok_or("--seed-range needs LO..HI")?;
+                args.lo = lo.parse().map_err(|e| format!("bad LO: {e}"))?;
+                args.hi = hi.parse().map_err(|e| format!("bad HI: {e}"))?;
+                if args.lo >= args.hi {
+                    return Err(format!("empty seed range {v}"));
+                }
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a directory")?,
+            "--no-minimize" => args.minimize = false,
+            "--emit-corpus" => {
+                let v = it.next().ok_or("--emit-corpus needs SEED[,SEED...]")?;
+                for s in v.split(',') {
+                    args.emit_corpus
+                        .push(s.parse().map_err(|e| format!("bad seed `{s}`: {e}"))?);
+                }
+            }
+            "-v" | "--verbose" => args.verbose = true,
+            "-h" | "--help" => {
+                println!(
+                    "usage: fuzz_smoke [--seed-range LO..HI] [--out DIR] [--no-minimize] \
+                     [--emit-corpus SEED,SEED,...] [-v]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Minimizes each seed and writes its reproducer (whatever the verdict)
+/// to `out` — the maintenance path for refreshing `tests/corpus/`.
+fn emit_corpus(args: &Args) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("fuzz_smoke: cannot create {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    for &seed in &args.emit_corpus {
+        let case = FuzzCase::generate(seed);
+        let m = minimize::minimize(&case);
+        let key = m.verdict.key();
+        let repro = corpus::Reproducer {
+            seed: Some(seed),
+            verdict_key: key.clone(),
+            case: m.case,
+        };
+        let fname = format!(
+            "{}/seed{seed}-{}.repro",
+            args.out,
+            key.replace(['/', ':', '(', ')'], "-")
+        );
+        if let Err(e) = std::fs::write(&fname, corpus::render(&repro)) {
+            eprintln!("fuzz_smoke: write {fname} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("fuzz_smoke: seed {seed} [{key}] -> {fname}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The oracle contains panics with `catch_unwind`; silence the default
+    // hook's backtrace spew so contained panics don't flood CI logs.
+    if !args.verbose {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    if !args.emit_corpus.is_empty() {
+        return emit_corpus(&args);
+    }
+
+    let mut tally: BTreeMap<String, u64> = BTreeMap::new();
+    // One representative seed per genuine-bug key: minimizing every
+    // duplicate of the same failure would only burn CI time.
+    let mut bugs: BTreeMap<String, u64> = BTreeMap::new();
+
+    for seed in args.lo..args.hi {
+        let case = FuzzCase::generate(seed);
+        let verdict = oracle::run_case(&case);
+        let key = verdict.key();
+        if args.verbose {
+            eprintln!("seed {seed}: {key}");
+        }
+        if verdict.is_bug() {
+            bugs.entry(key.clone()).or_insert(seed);
+        }
+        *tally.entry(key).or_insert(0) += 1;
+    }
+
+    let total = args.hi - args.lo;
+    println!("fuzz_smoke: {total} cases (seeds {}..{})", args.lo, args.hi);
+    for (key, count) in &tally {
+        println!("  {count:>5}  {key}");
+    }
+
+    if bugs.is_empty() {
+        println!("fuzz_smoke: no genuine bugs");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("fuzz_smoke: cannot create {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    for (key, seed) in &bugs {
+        let case = FuzzCase::generate(*seed);
+        let (case, verdict) = if args.minimize {
+            let m = minimize::minimize(&case);
+            (m.case, m.verdict)
+        } else {
+            (case.clone(), oracle::run_case(&case))
+        };
+        let repro = corpus::Reproducer {
+            seed: Some(*seed),
+            verdict_key: verdict.key(),
+            case,
+        };
+        // Keys contain `/` and `:` (phase/kind slugs); flatten for paths.
+        let fname = format!(
+            "{}/seed{seed}-{}.repro",
+            args.out,
+            key.replace(['/', ':', '(', ')'], "-")
+        );
+        match std::fs::write(&fname, corpus::render(&repro)) {
+            Ok(()) => eprintln!("fuzz_smoke: BUG {key} (seed {seed}) -> {fname}"),
+            Err(e) => eprintln!("fuzz_smoke: BUG {key} (seed {seed}); write {fname} failed: {e}"),
+        }
+    }
+    eprintln!(
+        "fuzz_smoke: {} genuine bug key(s) across {total} cases",
+        bugs.len()
+    );
+    ExitCode::FAILURE
+}

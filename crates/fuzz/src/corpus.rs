@@ -1,0 +1,201 @@
+//! Reproducer files: minimized failing cases as self-contained text.
+//!
+//! A reproducer pins one (model, program) pair plus the verdict key it
+//! must produce.  The model is stored as its [`ModelSpec`] fields (not
+//! rendered HDL) so replay re-renders deterministically and the file
+//! stays diff-friendly; the program is stored as mini-C source, which
+//! round-trips through the parser exactly (see `program::render`).
+//!
+//! Minimized reproducers live in `tests/corpus/*.repro` at the repo root
+//! and are replayed by the corpus runner test: each file's recomputed
+//! verdict key must equal the recorded one, so a behavior change in any
+//! pipeline phase that re-breaks (or silently re-classifies) an old
+//! failure is caught immediately.
+
+use crate::model::{AluOp, ModelSpec};
+use crate::oracle::FuzzCase;
+
+/// A parsed reproducer file.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// Seed the case was originally found under (informational).
+    pub seed: Option<u64>,
+    /// The verdict key this case must produce.
+    pub verdict_key: String,
+    /// The case itself.
+    pub case: FuzzCase,
+}
+
+fn op_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Mul => "mul",
+        AluOp::Not => "not",
+        AluOp::Neg => "neg",
+        AluOp::Mov => "mov",
+    }
+}
+
+fn op_from_name(name: &str) -> Result<AluOp, String> {
+    Ok(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "mul" => AluOp::Mul,
+        "not" => AluOp::Not,
+        "neg" => AluOp::Neg,
+        "mov" => AluOp::Mov,
+        other => return Err(format!("unknown ALU op `{other}`")),
+    })
+}
+
+/// Serializes a reproducer to file text.
+pub fn render(r: &Reproducer) -> String {
+    let spec = &r.case.spec;
+    let ops: Vec<&str> = spec.ops.iter().map(|&o| op_name(o)).collect();
+    let mut out = String::from("record-fuzz reproducer v1\n");
+    if let Some(seed) = r.seed {
+        out.push_str(&format!("seed: {seed}\n"));
+    }
+    out.push_str(&format!("verdict: {}\n", r.verdict_key));
+    out.push_str(&format!("width: {}\n", spec.width));
+    out.push_str(&format!("mem-cells: {}\n", spec.mem_cells));
+    out.push_str(&format!("ops: {}\n", ops.join(",")));
+    out.push_str(&format!("regs: {}\n", spec.regs));
+    out.push_str(&format!("regfile: {}\n", spec.regfile.unwrap_or(0)));
+    out.push_str(&format!("shifter: {}\n", spec.shifter));
+    out.push_str(&format!("mul-unit: {}\n", spec.mul_unit));
+    out.push_str(&format!("imm-bits: {}\n", spec.imm_bits));
+    out.push_str(&format!("function: {}\n", r.case.function));
+    out.push_str("== program ==\n");
+    out.push_str(&crate::program::render(&r.case.program));
+    out
+}
+
+/// Parses reproducer file text.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or a missing field.
+pub fn parse(text: &str) -> Result<Reproducer, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("record-fuzz reproducer v1") => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+
+    let mut seed = None;
+    let mut verdict_key = None;
+    let mut width = None;
+    let mut mem_cells = None;
+    let mut ops = None;
+    let mut regs = None;
+    let mut regfile = None;
+    let mut shifter = None;
+    let mut mul_unit = None;
+    let mut imm_bits = None;
+    let mut function = None;
+
+    for line in lines.by_ref() {
+        if line == "== program ==" {
+            break;
+        }
+        let Some((key, value)) = line.split_once(": ") else {
+            return Err(format!("malformed header line `{line}`"));
+        };
+        let bad = |e: std::num::ParseIntError| format!("field `{key}`: {e}");
+        match key {
+            "seed" => seed = Some(value.parse::<u64>().map_err(bad)?),
+            "verdict" => verdict_key = Some(value.to_owned()),
+            "width" => width = Some(value.parse::<u16>().map_err(bad)?),
+            "mem-cells" => mem_cells = Some(value.parse::<u64>().map_err(bad)?),
+            "ops" => {
+                ops = Some(
+                    value
+                        .split(',')
+                        .map(op_from_name)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "regs" => regs = Some(value.parse::<usize>().map_err(bad)?),
+            "regfile" => {
+                let n = value.parse::<u64>().map_err(bad)?;
+                regfile = Some(if n == 0 { None } else { Some(n) });
+            }
+            "shifter" => shifter = Some(value == "true"),
+            "mul-unit" => mul_unit = Some(value == "true"),
+            "imm-bits" => imm_bits = Some(value.parse::<u16>().map_err(bad)?),
+            "function" => function = Some(value.to_owned()),
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+
+    let missing = |f: &str| format!("missing field `{f}`");
+    let spec = ModelSpec {
+        width: width.ok_or_else(|| missing("width"))?,
+        mem_cells: mem_cells.ok_or_else(|| missing("mem-cells"))?,
+        ops: ops.ok_or_else(|| missing("ops"))?,
+        regs: regs.ok_or_else(|| missing("regs"))?,
+        regfile: regfile.ok_or_else(|| missing("regfile"))?,
+        shifter: shifter.ok_or_else(|| missing("shifter"))?,
+        mul_unit: mul_unit.ok_or_else(|| missing("mul-unit"))?,
+        imm_bits: imm_bits.ok_or_else(|| missing("imm-bits"))?,
+    };
+
+    let source: String = lines.collect::<Vec<_>>().join("\n");
+    let program = record_ir::parse(&source).map_err(|e| format!("program section: {e}"))?;
+
+    Ok(Reproducer {
+        seed,
+        verdict_key: verdict_key.ok_or_else(|| missing("verdict"))?,
+        case: FuzzCase {
+            spec,
+            program,
+            function: function.ok_or_else(|| missing("function"))?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::run_case;
+
+    #[test]
+    fn reproducers_round_trip() {
+        let case = FuzzCase::generate(5);
+        let verdict = run_case(&case);
+        let r = Reproducer {
+            seed: Some(5),
+            verdict_key: verdict.key(),
+            case,
+        };
+        let text = render(&r);
+        let back = parse(&text).expect("parse rendered reproducer");
+        assert_eq!(back.seed, Some(5));
+        assert_eq!(back.verdict_key, r.verdict_key);
+        assert_eq!(back.case.spec, r.case.spec);
+        assert_eq!(back.case.program, r.case.program);
+        assert_eq!(back.case.function, r.case.function);
+    }
+
+    #[test]
+    fn malformed_reproducers_are_rejected_with_context() {
+        assert!(parse("").unwrap_err().contains("bad header"));
+        let text = "record-fuzz reproducer v1\nwidth: potato\n";
+        assert!(parse(text).unwrap_err().contains("width"));
+        let text =
+            "record-fuzz reproducer v1\nverdict: agree\n== program ==\nint x;\nvoid f() { }\n";
+        assert!(parse(text).unwrap_err().contains("missing field"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Generative differential fuzzing for the whole RECORD pipeline.
+//!
+//! The paper's pipeline — HDL model in, retargeted code selector out,
+//! compiled kernels on top — has two independent semantic descriptions of
+//! every program: the mini-C reference interpreter and the RT machine
+//! simulator running the emitted code.  This crate exploits that
+//! redundancy as a *differential oracle* over generated inputs:
+//!
+//! * [`model::ModelSpec`] — seeded random MIMOLA-like processor models
+//!   (register widths, memory shapes, ALU op subsets, bus/mux
+//!   topologies), always structurally well-formed by construction;
+//! * [`program`] — seeded random mini-C kernels sized to the model, as
+//!   ASTs with an exact round-tripping renderer;
+//! * [`oracle`] — runs both paths and triages every outcome with the
+//!   [`record_core::FailureClass`] taxonomy into expected-unsupported
+//!   rejections vs genuine bugs (divergence, panic, internal error);
+//! * [`minimize`](mod@minimize) — delta-debugs a failing case, shrinking model and
+//!   program independently while the failure key reproduces;
+//! * [`corpus`] — serializes minimized reproducers for `tests/corpus/`.
+//!
+//! The `fuzz_smoke` binary drives a fixed seed range per CI run and
+//! fails on any unexplained divergence, writing minimized reproducers
+//! for anything it finds.  Zero external dependencies: the PRNG is a
+//! vendored SplitMix64, so every case is a pure function of its seed.
+
+pub mod corpus;
+pub mod minimize;
+pub mod model;
+pub mod oracle;
+pub mod program;
+pub mod rng;
+
+pub use corpus::Reproducer;
+pub use minimize::{minimize, Minimized};
+pub use model::{AluOp, ModelSpec};
+pub use oracle::{differential, run_case, FuzzCase, Verdict};
+pub use rng::Rng;

@@ -1,0 +1,300 @@
+//! Delta-debugging minimizer: shrink a failing case while its failure
+//! reproduces.
+//!
+//! Greedy first-improvement search with restart, the classic ddmin
+//! shape adapted to structured inputs: program shrinks operate on the
+//! mini-C AST (drop a statement, unwrap a loop, replace an expression by
+//! a sub-expression or a smaller constant, prune unused declarations) and
+//! model shrinks operate on the [`ModelSpec`](crate::model::ModelSpec) (drop an ALU op, drop a
+//! unit, shrink the memory) — both sides therefore only ever produce
+//! well-formed candidates.  A candidate is accepted iff the *failure
+//! key* ([`Verdict::key`]) reproduces exactly, so a `diverge` never
+//! silently minimizes into an unrelated `compile:...` rejection.
+//!
+//! The search is bounded by an evaluation budget; every evaluation is a
+//! full oracle run, so minimization cost stays proportional to (small)
+//! case size, not to fuzzing throughput.
+
+use crate::oracle::{run_case, FuzzCase, Verdict};
+use record_ir::{Expr, LValue, Program, Stmt, VarDecl};
+use std::collections::BTreeSet;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest case found that still reproduces the failure key.
+    pub case: FuzzCase,
+    /// The verdict of the minimized case (same key as the original).
+    pub verdict: Verdict,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Maximum oracle evaluations per minimization.
+const BUDGET: usize = 400;
+
+/// Shrinks `case` while [`Verdict::key`] stays identical to the
+/// original's.  Always returns a case whose verdict key equals the
+/// input's (the input itself in the worst case).
+pub fn minimize(case: &FuzzCase) -> Minimized {
+    let key = run_case(case).key();
+    let mut best = case.clone();
+    let mut evaluations = 0usize;
+
+    let reproduces = |cand: &FuzzCase, evaluations: &mut usize| {
+        *evaluations += 1;
+        run_case(cand).key() == key
+    };
+
+    'outer: loop {
+        // Program-side shrinks first: they are the bulk of the search
+        // space and usually where the signal lives.
+        for program in program_shrinks(&best.program) {
+            if evaluations >= BUDGET {
+                break 'outer;
+            }
+            let cand = FuzzCase {
+                program,
+                ..best.clone()
+            };
+            if reproduces(&cand, &mut evaluations) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        for spec in best.spec.shrinks() {
+            if evaluations >= BUDGET {
+                break 'outer;
+            }
+            let cand = FuzzCase {
+                spec,
+                ..best.clone()
+            };
+            if reproduces(&cand, &mut evaluations) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    let verdict = run_case(&best);
+    debug_assert_eq!(
+        verdict.key(),
+        key,
+        "minimizer must preserve the failure key"
+    );
+    Minimized {
+        case: best,
+        verdict,
+        evaluations,
+    }
+}
+
+/// All one-step program shrinks, smallest-impact last so whole-statement
+/// deletions are tried before expression surgery.
+fn program_shrinks(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for body in body_shrinks(&f.body) {
+            let mut p = program.clone();
+            p.functions[fi].body = body;
+            out.push(p);
+        }
+    }
+    if let Some(p) = prune_unused(program) {
+        out.push(p);
+    }
+    out
+}
+
+fn body_shrinks(body: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for k in 0..body.len() {
+        // Drop the statement outright.
+        let mut without = body.to_vec();
+        without.remove(k);
+        out.push(without);
+
+        match &body[k] {
+            Stmt::For { body: inner, .. } => {
+                // Unwrap the loop: splice its body in place (the loop
+                // variable stays declared, reading as zero).
+                let mut unwrapped = body.to_vec();
+                unwrapped.splice(k..=k, inner.iter().cloned());
+                out.push(unwrapped);
+                for shrunk in body_shrinks(inner) {
+                    let mut b = body.to_vec();
+                    if let Stmt::For { body: ib, .. } = &mut b[k] {
+                        *ib = shrunk;
+                    }
+                    out.push(b);
+                }
+            }
+            Stmt::Assign { target, value } => {
+                for e in expr_shrinks(value) {
+                    let mut b = body.to_vec();
+                    b[k] = Stmt::Assign {
+                        target: target.clone(),
+                        value: e,
+                    };
+                    out.push(b);
+                }
+                if let LValue::Elem(name, idx) = target {
+                    for e in expr_shrinks(idx) {
+                        let mut b = body.to_vec();
+                        b[k] = Stmt::Assign {
+                            target: LValue::Elem(name.clone(), e),
+                            value: value.clone(),
+                        };
+                        out.push(b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn expr_shrinks(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Const(c) => {
+            if *c != 0 {
+                out.push(Expr::Const(0));
+            }
+            if *c / 2 != *c && *c / 2 != 0 {
+                out.push(Expr::Const(*c / 2));
+            }
+        }
+        Expr::Var(_) => out.push(Expr::Const(0)),
+        Expr::Elem(name, idx) => {
+            out.push(Expr::Const(0));
+            for i in expr_shrinks(idx) {
+                out.push(Expr::Elem(name.clone(), Box::new(i)));
+            }
+        }
+        Expr::Unary(op, a) => {
+            out.push((**a).clone());
+            for s in expr_shrinks(a) {
+                out.push(Expr::Unary(*op, Box::new(s)));
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for s in expr_shrinks(a) {
+                out.push(Expr::Binary(*op, Box::new(s), b.clone()));
+            }
+            for s in expr_shrinks(b) {
+                out.push(Expr::Binary(*op, a.clone(), Box::new(s)));
+            }
+        }
+    }
+    out
+}
+
+/// Drops globals and locals no statement references (one candidate, or
+/// `None` when everything is used).
+fn prune_unused(program: &Program) -> Option<Program> {
+    fn expr_refs(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Elem(n, idx) => {
+                out.insert(n.clone());
+                expr_refs(idx, out);
+            }
+            Expr::Unary(_, a) => expr_refs(a, out),
+            Expr::Binary(_, a, b) => {
+                expr_refs(a, out);
+                expr_refs(b, out);
+            }
+        }
+    }
+    fn stmt_refs(s: &Stmt, out: &mut BTreeSet<String>) {
+        match s {
+            Stmt::Assign { target, value } => {
+                match target {
+                    LValue::Scalar(n) => {
+                        out.insert(n.clone());
+                    }
+                    LValue::Elem(n, idx) => {
+                        out.insert(n.clone());
+                        expr_refs(idx, out);
+                    }
+                }
+                expr_refs(value, out);
+            }
+            Stmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                for s in body {
+                    stmt_refs(s, out);
+                }
+            }
+        }
+    }
+
+    let mut used = BTreeSet::new();
+    for f in &program.functions {
+        for s in &f.body {
+            stmt_refs(s, &mut used);
+        }
+    }
+    let keep = |d: &VarDecl| used.contains(&d.name);
+    if program.globals.iter().all(keep)
+        && program.functions.iter().flat_map(|f| &f.locals).all(keep)
+    {
+        return None;
+    }
+    let mut p = program.clone();
+    p.globals.retain(|d| keep(d));
+    for f in &mut p.functions {
+        f.locals.retain(|d| keep(d));
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_rtl::OpKind;
+
+    #[test]
+    fn expr_shrinks_strictly_reduce() {
+        let e = Expr::Binary(
+            OpKind::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Const(8)),
+        );
+        let shrinks = expr_shrinks(&e);
+        assert!(shrinks.contains(&Expr::Var("x".into())));
+        assert!(shrinks.contains(&Expr::Const(8)));
+    }
+
+    #[test]
+    fn unsupported_op_case_minimizes_to_its_core() {
+        // Find a seed whose verdict is an expected-unsupported compile
+        // rejection, then check the minimizer preserves the exact class
+        // while shrinking the program.
+        for seed in 0..64 {
+            let case = FuzzCase::generate(seed);
+            let verdict = run_case(&case);
+            if !matches!(verdict, Verdict::CompileRejected { .. }) {
+                continue;
+            }
+            let min = minimize(&case);
+            assert_eq!(min.verdict.key(), verdict.key(), "seed {seed}");
+            let orig_stmts = case.program.functions[0].body.len();
+            let min_stmts = min.case.program.functions[0].body.len();
+            assert!(
+                min_stmts <= orig_stmts,
+                "seed {seed}: {min_stmts} vs {orig_stmts}"
+            );
+            return;
+        }
+        panic!("no compile-rejected seed in 0..64 — generator bias is off");
+    }
+}

@@ -1,0 +1,492 @@
+//! Seeded generation of MIMOLA-like HDL processor models.
+//!
+//! A [`ModelSpec`] is a *structured* description of a horizontal-code
+//! machine in the family of the Table 3 models (`demo`/`ref`): an ALU
+//! with a random operation subset, one to three working registers, an
+//! optional register file, optional dedicated shift and multiply units
+//! behind a result mux, a data RAM of random shape, two operand busses
+//! with random driver sets, and an immediate field of random width.
+//!
+//! Rendering a spec always yields *structurally well-formed* HDL: every
+//! port is connected, every instruction field is allocated exactly once
+//! by `FieldAlloc` (no overlapping bit ranges), every case arm index
+//! fits its control field.  The interesting variation is semantic — what
+//! the machine can and cannot compute — which is exactly what the
+//! differential oracle wants to probe.  Shrinking for minimization
+//! happens on the spec (drop an op, drop a unit, shrink the memory), so
+//! a shrunk model is well-formed by the same construction.
+
+use crate::rng::Rng;
+use record_rtl::OpKind;
+use std::fmt::Write as _;
+
+/// One ALU case arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+    /// `y = ~a`
+    Not,
+    /// `y = -a`
+    Neg,
+    /// `y = b` — the pass-through arm every machine needs for moves.
+    Mov,
+}
+
+impl AluOp {
+    /// The behavior right-hand side for this arm.
+    fn rhs(self) -> &'static str {
+        match self {
+            AluOp::Add => "a + b",
+            AluOp::Sub => "a - b",
+            AluOp::And => "a & b",
+            AluOp::Or => "a | b",
+            AluOp::Xor => "a ^ b",
+            AluOp::Shl => "a << b",
+            AluOp::Shr => "a >> b",
+            AluOp::Mul => "a * b",
+            AluOp::Not => "~a",
+            AluOp::Neg => "-a",
+            AluOp::Mov => "b",
+        }
+    }
+
+    /// The source-level operator this arm implements (`None` for the
+    /// pass-through arm).
+    pub fn op_kind(self) -> Option<OpKind> {
+        Some(match self {
+            AluOp::Add => OpKind::Add,
+            AluOp::Sub => OpKind::Sub,
+            AluOp::And => OpKind::And,
+            AluOp::Or => OpKind::Or,
+            AluOp::Xor => OpKind::Xor,
+            AluOp::Shl => OpKind::Shl,
+            AluOp::Shr => OpKind::Shr,
+            AluOp::Mul => OpKind::Mul,
+            AluOp::Not => OpKind::Not,
+            AluOp::Neg => OpKind::Neg,
+            AluOp::Mov => return None,
+        })
+    }
+
+    /// Optional arms the generator samples from (beyond the always-on
+    /// `Add` and `Mov`).
+    const OPTIONAL: [AluOp; 8] = [
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Mul,
+        AluOp::Neg,
+    ];
+}
+
+/// A structured, shrinkable description of one generated processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Data word width in bits.
+    pub width: u16,
+    /// Data memory cells (power of two, so the address field is exact).
+    pub mem_cells: u64,
+    /// ALU case arms in encoding order (always contains `Add` and `Mov`).
+    pub ops: Vec<AluOp>,
+    /// Working registers besides the accumulator (`r0`, `r1`, ...).
+    pub regs: usize,
+    /// Register-file cells (`None` for no register file).
+    pub regfile: Option<u64>,
+    /// Dedicated shift unit (`<<`/`>>`) behind the result mux.
+    pub shifter: bool,
+    /// Dedicated multiplier (`r0.q * bbus`) behind the result mux;
+    /// requires `regs >= 1`.
+    pub mul_unit: bool,
+    /// Immediate field width in bits.
+    pub imm_bits: u16,
+}
+
+impl ModelSpec {
+    /// Generates a random, always-renderable spec from `rng`.
+    pub fn generate(rng: &mut Rng) -> ModelSpec {
+        let width = *rng.pick(&[8u16, 12, 16, 16, 24, 32]);
+        let mem_cells = *rng.pick(&[16u64, 32, 64, 128, 256]);
+        let shifter = rng.chance(30);
+        let mul_unit = rng.chance(30);
+        let extra = rng.range(1, 6) as usize;
+        let mut ops = vec![AluOp::Add, AluOp::Mov];
+        for op in rng.subset(&AluOp::OPTIONAL, extra) {
+            // Dedicated units own their operators exclusively; the case
+            // arm would be dead weight (and another template source).
+            if shifter && matches!(op, AluOp::Shl | AluOp::Shr) {
+                continue;
+            }
+            if mul_unit && op == AluOp::Mul {
+                continue;
+            }
+            ops.push(op);
+        }
+        let regs = rng.range(u64::from(mul_unit), 3) as usize;
+        let regfile = if rng.chance(40) {
+            Some(*rng.pick(&[4u64, 8]))
+        } else {
+            None
+        };
+        let imm_bits = rng.range(4, u64::from(width.min(8))) as u16;
+        ModelSpec {
+            width,
+            mem_cells,
+            ops,
+            regs,
+            regfile,
+            shifter,
+            mul_unit,
+            imm_bits,
+        }
+    }
+
+    /// Source-level operators this machine has hardware for.
+    pub fn supported_ops(&self) -> Vec<OpKind> {
+        let mut ops: Vec<OpKind> = self.ops.iter().filter_map(|o| o.op_kind()).collect();
+        if self.shifter {
+            ops.extend([OpKind::Shl, OpKind::Shr]);
+        }
+        if self.mul_unit {
+            ops.push(OpKind::Mul);
+        }
+        ops.sort_unstable();
+        ops.dedup();
+        ops
+    }
+
+    /// Instance name of the data memory (fixed by construction).
+    pub fn data_mem(&self) -> &'static str {
+        "dmem"
+    }
+
+    /// All one-step shrinks of this spec, for delta-debugging: each is a
+    /// strictly simpler, still-renderable spec.
+    pub fn shrinks(&self) -> Vec<ModelSpec> {
+        let mut out = Vec::new();
+        let mut push = |s: ModelSpec| out.push(s);
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, AluOp::Add | AluOp::Mov) {
+                continue;
+            }
+            let mut s = self.clone();
+            s.ops.remove(i);
+            push(s);
+        }
+        if self.shifter {
+            let mut s = self.clone();
+            s.shifter = false;
+            push(s);
+        }
+        if self.mul_unit {
+            let mut s = self.clone();
+            s.mul_unit = false;
+            push(s);
+        }
+        if self.regfile.is_some() {
+            let mut s = self.clone();
+            s.regfile = None;
+            push(s);
+        }
+        if self.regs > usize::from(self.mul_unit) {
+            let mut s = self.clone();
+            s.regs -= 1;
+            push(s);
+        }
+        if self.mem_cells > 16 {
+            let mut s = self.clone();
+            s.mem_cells /= 2;
+            push(s);
+        }
+        out
+    }
+
+    /// Renders the spec as HDL source.
+    pub fn render(&self) -> String {
+        render(self)
+    }
+}
+
+/// Allocates non-overlapping instruction-word bit fields bottom-up.
+struct FieldAlloc {
+    next: u16,
+}
+
+impl FieldAlloc {
+    fn new() -> FieldAlloc {
+        FieldAlloc { next: 0 }
+    }
+
+    /// Reserves `width` bits; returns the field as `I[hi:lo]` text.
+    fn field(&mut self, width: u16) -> String {
+        let lo = self.next;
+        self.next += width;
+        format!("I[{}:{}]", self.next - 1, lo)
+    }
+
+    /// Reserves one bit; returns it as `I[k]` text (the single-bit form
+    /// the Table 3 models use for enables).
+    fn bit(&mut self) -> String {
+        let k = self.next;
+        self.next += 1;
+        format!("I[{k}]")
+    }
+}
+
+/// Bits needed to encode `n` distinct values (minimum 1).
+fn sel_bits(n: usize) -> u16 {
+    let mut bits = 1;
+    while (1usize << bits) < n {
+        bits += 1;
+    }
+    bits
+}
+
+fn render(spec: &ModelSpec) -> String {
+    let w = spec.width;
+    let addr_bits = sel_bits(spec.mem_cells as usize).max(spec.mem_cells.trailing_zeros() as u16);
+    let mut s = String::new();
+
+    // -- modules --------------------------------------------------------
+    let f_bits = sel_bits(spec.ops.len());
+    let _ = writeln!(s, "module Alu {{");
+    let _ = writeln!(s, "    in a: bit({w});");
+    let _ = writeln!(s, "    in b: bit({w});");
+    let _ = writeln!(s, "    ctrl f: bit({f_bits});");
+    let _ = writeln!(s, "    out y: bit({w});");
+    let _ = writeln!(s, "    behavior {{");
+    let _ = writeln!(s, "        case f {{");
+    for (i, op) in spec.ops.iter().enumerate() {
+        let _ = writeln!(s, "            {i} => y = {};", op.rhs());
+    }
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+
+    if spec.shifter {
+        let _ = writeln!(s, "module Shift {{");
+        let _ = writeln!(s, "    in a: bit({w});");
+        let _ = writeln!(s, "    in b: bit({w});");
+        let _ = writeln!(s, "    ctrl f: bit(1);");
+        let _ = writeln!(s, "    out y: bit({w});");
+        let _ = writeln!(
+            s,
+            "    behavior {{ case f {{ 0 => y = a << b; 1 => y = a >> b; }} }}"
+        );
+        let _ = writeln!(s, "}}");
+    }
+    if spec.mul_unit {
+        let _ = writeln!(s, "module Mul {{");
+        let _ = writeln!(s, "    in a: bit({w});");
+        let _ = writeln!(s, "    in b: bit({w});");
+        let _ = writeln!(s, "    out y: bit({w});");
+        let _ = writeln!(s, "    behavior {{ y = a * b; }}");
+        let _ = writeln!(s, "}}");
+    }
+
+    let result_units = 1 + usize::from(spec.shifter) + usize::from(spec.mul_unit);
+    if result_units > 1 {
+        let names = ["a", "b", "c"];
+        let rs_bits = sel_bits(result_units);
+        let _ = writeln!(s, "module ResMux {{");
+        for name in &names[..result_units] {
+            let _ = writeln!(s, "    in {name}: bit({w});");
+        }
+        let _ = writeln!(s, "    ctrl s: bit({rs_bits});");
+        let _ = writeln!(s, "    out y: bit({w});");
+        let _ = write!(s, "    behavior {{ case s {{");
+        for (i, name) in names[..result_units].iter().enumerate() {
+            let _ = write!(s, " {i} => y = {name};");
+        }
+        let _ = writeln!(s, " }} }}");
+        let _ = writeln!(s, "}}");
+    }
+
+    let _ = writeln!(s, "module Reg {{");
+    let _ = writeln!(s, "    in d: bit({w});");
+    let _ = writeln!(s, "    ctrl en: bit(1);");
+    let _ = writeln!(s, "    out q: bit({w});");
+    let _ = writeln!(s, "    register q = d when en == 1;");
+    let _ = writeln!(s, "}}");
+
+    if let Some(cells) = spec.regfile {
+        let ra = sel_bits(cells as usize);
+        let _ = writeln!(s, "module Rf {{");
+        let _ = writeln!(s, "    in raddr: bit({ra});");
+        let _ = writeln!(s, "    in waddr: bit({ra});");
+        let _ = writeln!(s, "    in din: bit({w});");
+        let _ = writeln!(s, "    ctrl w: bit(1);");
+        let _ = writeln!(s, "    out dout: bit({w});");
+        let _ = writeln!(s, "    memory cells[{cells}]: bit({w});");
+        let _ = writeln!(s, "    read dout = cells[raddr];");
+        let _ = writeln!(s, "    write cells[waddr] = din when w == 1;");
+        let _ = writeln!(s, "}}");
+    }
+
+    let _ = writeln!(s, "module Ram {{");
+    let _ = writeln!(s, "    in addr: bit({addr_bits});");
+    let _ = writeln!(s, "    in din: bit({w});");
+    let _ = writeln!(s, "    ctrl w: bit(1);");
+    let _ = writeln!(s, "    out dout: bit({w});");
+    let _ = writeln!(s, "    memory cells[{}]: bit({w});", spec.mem_cells);
+    let _ = writeln!(s, "    read dout = cells[addr];");
+    let _ = writeln!(s, "    write cells[addr] = din when w == 1;");
+    let _ = writeln!(s, "}}");
+
+    // -- processor ------------------------------------------------------
+    // Allocate every field first so the instruction width is known before
+    // the header is written.
+    let mut alloc = FieldAlloc::new();
+    let dmem_addr = alloc.field(addr_bits);
+    let imm = alloc.field(spec.imm_bits);
+    let alu_f = alloc.field(f_bits);
+
+    let reg_names: Vec<String> = (0..spec.regs).map(|i| format!("r{i}")).collect();
+    let mut abus_srcs: Vec<String> = vec!["acc.q".to_owned()];
+    abus_srcs.extend(reg_names.iter().map(|r| format!("{r}.q")));
+    abus_srcs.push("dmem.dout".to_owned());
+    if spec.regfile.is_some() {
+        abus_srcs.push("rf.dout".to_owned());
+    }
+    let mut bbus_srcs = abus_srcs.clone();
+    bbus_srcs.push(imm.clone());
+
+    let asel = alloc.field(sel_bits(abus_srcs.len()).max(2));
+    let bsel = alloc.field(sel_bits(bbus_srcs.len()).max(2));
+    let res_sel = if result_units > 1 {
+        Some(alloc.field(sel_bits(result_units)))
+    } else {
+        None
+    };
+    let sh_f = spec.shifter.then(|| alloc.field(1));
+    let acc_en = alloc.bit();
+    let reg_ens: Vec<String> = (0..spec.regs).map(|_| alloc.bit()).collect();
+    let dmem_w = alloc.bit();
+    let rf_fields = spec.regfile.map(|cells| {
+        let ra = sel_bits(cells as usize);
+        (alloc.field(ra), alloc.field(ra), alloc.bit())
+    });
+    let iword = alloc.next;
+
+    let _ = writeln!(s, "processor FuzzProc {{");
+    let _ = writeln!(s, "    instruction word: bit({iword});");
+    let _ = writeln!(s, "    bus abus: bit({w});");
+    let _ = writeln!(s, "    bus bbus: bit({w});");
+    let _ = write!(s, "    parts {{\n        alu: Alu;");
+    if spec.shifter {
+        let _ = write!(s, " sh: Shift;");
+    }
+    if spec.mul_unit {
+        let _ = write!(s, " mul: Mul;");
+    }
+    if result_units > 1 {
+        let _ = write!(s, " resmux: ResMux;");
+    }
+    let _ = write!(s, " acc: Reg;");
+    for r in &reg_names {
+        let _ = write!(s, " {r}: Reg;");
+    }
+    if spec.regfile.is_some() {
+        let _ = write!(s, " rf: Rf;");
+    }
+    let _ = writeln!(s, " dmem: Ram;\n    }}");
+    if spec.regfile.is_some() {
+        let _ = writeln!(s, "    regfiles {{ rf }}");
+    }
+    let _ = writeln!(s, "    connections {{");
+    for (i, src) in abus_srcs.iter().enumerate() {
+        let _ = writeln!(s, "        drive abus = {src} when {asel} == {i};");
+    }
+    for (i, src) in bbus_srcs.iter().enumerate() {
+        let _ = writeln!(s, "        drive bbus = {src} when {bsel} == {i};");
+    }
+    let _ = writeln!(s, "        alu.a = abus;");
+    let _ = writeln!(s, "        alu.b = bbus;");
+    let _ = writeln!(s, "        alu.f = {alu_f};");
+    if spec.shifter {
+        let _ = writeln!(s, "        sh.a = abus;");
+        let _ = writeln!(s, "        sh.b = bbus;");
+        if let Some(f) = &sh_f {
+            let _ = writeln!(s, "        sh.f = {f};");
+        }
+    }
+    if spec.mul_unit {
+        // The multiplier reads its left operand from a dedicated working
+        // register, like the reference machine's `t` path.
+        let _ = writeln!(s, "        mul.a = r0.q;");
+        let _ = writeln!(s, "        mul.b = bbus;");
+    }
+    let result = if let Some(sel) = &res_sel {
+        let mut idx = 1;
+        let _ = writeln!(s, "        resmux.a = alu.y;");
+        if spec.shifter {
+            let _ = writeln!(s, "        resmux.{} = sh.y;", ["a", "b", "c"][idx]);
+            idx += 1;
+        }
+        if spec.mul_unit {
+            let _ = writeln!(s, "        resmux.{} = mul.y;", ["a", "b", "c"][idx]);
+        }
+        let _ = writeln!(s, "        resmux.s = {sel};");
+        "resmux.y"
+    } else {
+        "alu.y"
+    };
+    let _ = writeln!(s, "        acc.d = {result};");
+    let _ = writeln!(s, "        acc.en = {acc_en};");
+    for (r, en) in reg_names.iter().zip(&reg_ens) {
+        let _ = writeln!(s, "        {r}.d = {result};");
+        let _ = writeln!(s, "        {r}.en = {en};");
+    }
+    if let Some((raddr, waddr, rf_w)) = &rf_fields {
+        let _ = writeln!(s, "        rf.din = {result};");
+        let _ = writeln!(s, "        rf.w = {rf_w};");
+        let _ = writeln!(s, "        rf.raddr = {raddr};");
+        let _ = writeln!(s, "        rf.waddr = {waddr};");
+    }
+    let _ = writeln!(s, "        dmem.addr = {dmem_addr};");
+    let _ = writeln!(s, "        dmem.din = abus;");
+    let _ = writeln!(s, "        dmem.w = {dmem_w};");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_render_and_stay_deterministic() {
+        for seed in 0..32 {
+            let spec = ModelSpec::generate(&mut Rng::new(seed));
+            let again = ModelSpec::generate(&mut Rng::new(seed));
+            assert_eq!(spec, again, "seed {seed} must be deterministic");
+            let hdl = spec.render();
+            assert!(hdl.contains("processor FuzzProc"), "seed {seed}");
+            assert!(spec.ops.contains(&AluOp::Add));
+            assert!(spec.ops.contains(&AluOp::Mov));
+            if spec.mul_unit {
+                assert!(spec.regs >= 1, "mul unit needs r0");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_are_strictly_simpler() {
+        let spec = ModelSpec::generate(&mut Rng::new(3));
+        for shrunk in spec.shrinks() {
+            assert_ne!(shrunk, spec);
+            // Every shrink must still render (well-formedness invariant).
+            let _ = shrunk.render();
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Replays every minimized reproducer in `tests/corpus/` (repo root)
+//! through the differential oracle and checks that each case still
+//! produces its recorded verdict key.
+//!
+//! A mismatch means some pipeline phase changed behavior on a case that
+//! was once minimized by the fuzzer — either an old bug came back (a
+//! recorded `agree` turning into `diverge`) or a failure silently moved
+//! to a different class.  Refresh an entry deliberately with
+//! `fuzz_smoke --emit-corpus SEED --out tests/corpus` if the new
+//! behavior is intended.
+
+use record_fuzz::{corpus, oracle};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_reproducers_keep_their_verdicts() {
+    // Contained panics inside the oracle would otherwise spew backtraces.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no .repro files in {} — the corpus is part of the test suite",
+        dir.display()
+    );
+
+    let mut failures = Vec::new();
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("read reproducer");
+        let repro = match corpus::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{name}: unparseable: {e}"));
+                continue;
+            }
+        };
+        let got = oracle::run_case(&repro.case).key();
+        if got != repro.verdict_key {
+            failures.push(format!(
+                "{name}: recorded `{}`, recomputed `{got}`",
+                repro.verdict_key
+            ));
+        }
+    }
+    let _ = std::panic::take_hook();
+    assert!(
+        failures.is_empty(),
+        "corpus verdicts drifted:\n  {}",
+        failures.join("\n  ")
+    );
+}

@@ -96,7 +96,8 @@ impl Expr {
             Expr::Unary(op, a) => {
                 let a = a.fold(env)?;
                 Some(match op {
-                    OpKind::Neg => -a,
+                    // Wrapping: `-i64::MIN` must fold, not overflow.
+                    OpKind::Neg => a.wrapping_neg(),
                     OpKind::Not => !a,
                     _ => return None,
                 })
@@ -108,18 +109,19 @@ impl Expr {
                     OpKind::Add => a.wrapping_add(b),
                     OpKind::Sub => a.wrapping_sub(b),
                     OpKind::Mul => a.wrapping_mul(b),
+                    // Wrapping: `i64::MIN / -1` must fold, not overflow.
                     OpKind::Div => {
                         if b == 0 {
                             0
                         } else {
-                            a / b
+                            a.wrapping_div(b)
                         }
                     }
                     OpKind::Rem => {
                         if b == 0 {
                             0
                         } else {
-                            a % b
+                            a.wrapping_rem(b)
                         }
                     }
                     OpKind::And => a & b,

@@ -34,7 +34,11 @@ pub fn interp(
             .entry(d.name.clone())
             .or_insert_with(|| vec![0; d.words() as usize]);
     }
-    run_block(&f.body, memory, width)
+    // Interpretation must terminate on arbitrary ASTs (the fuzzer feeds
+    // this programs no compiler has vetted); generous next to the
+    // compiler's 4096-iteration unroll budget.
+    let mut fuel = 1u64 << 22;
+    run_block(&f.body, memory, width, &mut fuel)
 }
 
 fn mask(width: u16) -> u64 {
@@ -45,7 +49,7 @@ fn mask(width: u16) -> u64 {
     }
 }
 
-fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16) -> Result<(), CError> {
+fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16, fuel: &mut u64) -> Result<(), CError> {
     for s in stmts {
         match s {
             Stmt::Assign { target, value } => {
@@ -73,18 +77,32 @@ fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16) -> Result<(), CError>
                 step,
                 body,
             } => {
+                if *step <= 0 {
+                    return Err(err(format!(
+                        "loop over `{var}` has non-positive step {step}"
+                    )));
+                }
                 let mut i = *start;
                 loop {
                     let cont = if *le { i <= *bound } else { i < *bound };
                     if !cont {
                         break;
                     }
+                    *fuel = fuel
+                        .checked_sub(1)
+                        .ok_or_else(|| err("interpreter iteration budget exhausted"))?;
                     let cells = mem
                         .get_mut(var)
                         .ok_or_else(|| err(format!("undeclared loop variable `{var}`")))?;
                     cells[0] = (i as u64) & mask(width);
-                    run_block(body, mem, width)?;
-                    i += *step;
+                    run_block(body, mem, width, fuel)?;
+                    // Counter saturation means the iteration space is
+                    // exhausted; stop rather than overflow (mirrors
+                    // `lower`'s unrolling).
+                    i = match i.checked_add(*step) {
+                        Some(next) => next,
+                        None => break,
+                    };
                 }
             }
         }

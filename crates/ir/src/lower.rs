@@ -113,7 +113,14 @@ fn lower_block(
                             env.remove(var);
                         }
                     }
-                    i += *step;
+                    // A counter that cannot advance past `i64::MAX` has
+                    // exhausted the iteration space; stop rather than
+                    // overflow (bounds that large exceed the unroll
+                    // budget long before this anyway).
+                    i = match i.checked_add(*step) {
+                        Some(next) => next,
+                        None => break,
+                    };
                 }
             }
         }
@@ -176,9 +183,18 @@ fn lower_expr(
         Expr::Unary(op, a) => Ok(FlatExpr::Unary(*op, Box::new(lower_expr(a, vars, env)?))),
         Expr::Binary(op, a, b) => {
             // Constant-fold fully-constant subtrees so shapes like `N-1-i`
-            // become leaf constants.
-            if let Some(v) = e.fold(&|n| env.get(n).copied()) {
-                return Ok(FlatExpr::Const(v));
+            // become leaf constants — but only trees built from operators
+            // whose 64-bit result commutes with width masking.  Division,
+            // remainder and shifts evaluate on masked operands at machine
+            // word width (both in the interpreter and in hardware), so
+            // folding them here with `i64` semantics would bake in a
+            // different answer: the differential fuzzer caught exactly
+            // that on `(-1) >> (-1)`, which folds to 1 in 64 bits but is
+            // 0 at any machine width.
+            if mask_safe(e) {
+                if let Some(v) = e.fold(&|n| env.get(n).copied()) {
+                    return Ok(FlatExpr::Const(v));
+                }
             }
             Ok(FlatExpr::Binary(
                 *op,
@@ -186,6 +202,34 @@ fn lower_expr(
                 Box::new(lower_expr(b, vars, env)?),
             ))
         }
+    }
+}
+
+/// Whether every operator in a (loop-variable-closed) expression tree
+/// gives the same width-masked result when evaluated in 64 bits: modular
+/// add/sub/mul, the bitwise ops, and negation/complement do; division,
+/// remainder, shifts and comparisons depend on the machine word width.
+fn mask_safe(e: &Expr) -> bool {
+    use record_rtl::OpKind;
+    let op_safe = |op: &OpKind| {
+        matches!(
+            op,
+            OpKind::Add
+                | OpKind::Sub
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Neg
+                | OpKind::Not
+        )
+    };
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        // Element loads never fold anyway; let `fold` return None.
+        Expr::Elem(..) => true,
+        Expr::Unary(op, a) => op_safe(op) && mask_safe(a),
+        Expr::Binary(op, a, b) => op_safe(op) && mask_safe(a) && mask_safe(b),
     }
 }
 
@@ -207,6 +251,14 @@ fn fold_index(
     env: &BTreeMap<String, i64>,
     size: u64,
 ) -> Result<u64, CError> {
+    // Width-dependent operators in an index would fold differently here
+    // (64-bit) than the interpreter evaluates them (masked): reject them
+    // structurally instead of baking in a silently different address.
+    if !mask_safe(idx) {
+        return Err(err(format!(
+            "index of `{name}` uses width-dependent operators (division, remainder or shifts)"
+        )));
+    }
     let Some(v) = idx.fold(&|n| env.get(n).copied()) else {
         return Err(err(format!(
             "index of `{name}` does not fold to a constant (only counted loops are supported)"

@@ -238,3 +238,102 @@ proptest! {
         prop_assert_eq!(mem1["s"][0], mem2["s"][0]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Robustness regressions from the differential fuzzer (record-fuzz): these
+// inputs used to panic, hang, or silently miscompile.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn width_dependent_constants_are_not_folded() {
+    // `(-1) >> (-1)` folds to 1 in 64-bit arithmetic but evaluates to 0 at
+    // any machine width — lowering must leave it to the hardware.
+    let p = parse("int x; void f() { x = (0 - 1) >> (0 - 1); }").unwrap();
+    let flat = lower(&p, "f").unwrap();
+    assert!(
+        matches!(flat[0].value, FlatExpr::Binary(OpKind::Shr, ..)),
+        "width-dependent op must stay symbolic, got {:?}",
+        flat[0].value
+    );
+
+    // Mask-commuting arithmetic still folds (index shapes like `N-1-i`).
+    let p = parse("int x; void f() { x = 5 - 3 + 2 * 4; }").unwrap();
+    let flat = lower(&p, "f").unwrap();
+    assert_eq!(flat[0].value, FlatExpr::Const(10));
+}
+
+#[test]
+fn width_dependent_index_is_rejected_structurally() {
+    let p = parse("int x; int a[4]; void f() { x = a[6 / 2]; }").unwrap();
+    let e = lower(&p, "f").unwrap_err();
+    assert!(
+        e.to_string().contains("width-dependent"),
+        "expected structured rejection, got: {e}"
+    );
+}
+
+#[test]
+fn extreme_constant_folds_do_not_overflow() {
+    // i64::MIN / -1 and -i64::MIN overflow naive folding; both appear in
+    // loop-bound constant expressions, which fold at parse time.
+    for src in [
+        "void f() { int i; for (i = (0 - 9223372036854775807 - 1) / (0 - 1); i < 2; i++) { } }",
+        "void f() { int i; for (i = (0 - 9223372036854775807 - 1) % (0 - 1); i < 2; i++) { } }",
+        "void f() { int i; for (i = -(0 - 9223372036854775807 - 1); i < 2; i++) { } }",
+    ] {
+        let _ = parse(src); // must not panic (Ok or structured error both fine)
+    }
+}
+
+#[test]
+fn loop_counter_overflow_terminates() {
+    // A counter that saturates at i64::MAX must stop, not overflow: with
+    // `<=` the continuation test alone never fails.
+    let max = i64::MAX;
+    let src = format!(
+        "int x; void f() {{ int i; for (i = {}; i <= {max}; i++) {{ x = x + 1; }} }}",
+        max - 1
+    );
+    let p = parse(&src).unwrap();
+    let mut mem = Memory::new();
+    interp(&p, "f", &mut mem, 16).unwrap();
+    assert_eq!(mem["x"][0], 2, "two iterations then saturation");
+    // Lowering hits the same saturation (unroll budget allows 2 here).
+    let flat = lower(&p, "f").unwrap();
+    assert_eq!(flat.len(), 2);
+}
+
+#[test]
+fn interpreter_budget_bounds_huge_loops() {
+    let src = "int x; void f() { int i; for (i = 0; i < 9223372036854775807; i++) { x = x + 1; } }";
+    let p = parse(src).unwrap();
+    let mut mem = Memory::new();
+    let e = interp(&p, "f", &mut mem, 16).unwrap_err();
+    assert!(e.to_string().contains("budget"), "got: {e}");
+}
+
+#[test]
+fn non_positive_step_is_rejected_by_interp() {
+    // The parser forbids this; a hand-built AST must still not hang.
+    let p = Program {
+        globals: vec![VarDecl {
+            name: "i".into(),
+            size: None,
+        }],
+        functions: vec![Function {
+            name: "f".into(),
+            locals: vec![],
+            body: vec![Stmt::For {
+                var: "i".into(),
+                start: 0,
+                bound: 10,
+                le: false,
+                step: 0,
+                body: vec![],
+            }],
+        }],
+    };
+    let mut mem = Memory::new();
+    let e = interp(&p, "f", &mut mem, 16).unwrap_err();
+    assert!(e.to_string().contains("step"), "got: {e}");
+}

@@ -1,9 +1,14 @@
 //! CI smoke test for the compile service: starts a server on a loopback
 //! socket, retargets, batch-compiles on a warm session, checks cache
-//! hits, and drives a deliberately overloaded request.  Exits non-zero
-//! with a message on any failure.
+//! hits, proves a worker survives an injected mid-compile panic, drives
+//! a deliberately overloaded request, and rides out that overload with
+//! the client retry policy.  Exits non-zero with a message on any
+//! failure.
 
-use record_serve::{Client, CompileSpec, Json, Model, ServeError, Server, ServerConfig};
+use record_serve::{
+    call_with_retry, Client, CompileSpec, Json, Model, RetryPolicy, ServeError, Server,
+    ServerConfig,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -39,6 +44,20 @@ const TINY: &str = r#"
 "#;
 
 fn main() {
+    // The fault-injection check below panics *on purpose* inside a
+    // contained worker; keep that expected unwind out of the CI log
+    // while still printing anything unexpected.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
     let handle = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
     let addr = handle.addr();
     let mut client = Client::connect(addr).expect("connect");
@@ -75,6 +94,28 @@ fn main() {
         )
         .expect_err("zero deadline");
     assert!(matches!(err, ServeError::Timeout { .. }), "{err}");
+
+    // An injected mid-compile panic must surface as a structured
+    // `internal` error on the wire — and the worker must survive it: the
+    // same connection compiles normally right after.
+    let err = client
+        .compile(
+            &Model::Key(&first.key),
+            &CompileSpec::new("int x, y; void f() { x = y; }", "f").inject_panic("emit"),
+        )
+        .expect_err("injected panic");
+    assert!(
+        matches!(&err, ServeError::Remote { kind, message, .. }
+            if kind == "internal" && message.contains("injected panic")),
+        "expected structured internal error, got: {err}"
+    );
+    let ok = client
+        .compile(
+            &Model::Key(&first.key),
+            &CompileSpec::new("int x, y; void f() { x = y; }", "f"),
+        )
+        .expect("worker serves normally after a contained panic");
+    assert!(ok.code_size > 0);
 
     // Stats prove the cache coalesced: one retarget, several hits.
     let stats = client.stats().expect("stats");
@@ -122,9 +163,27 @@ fn overload_check() {
         "expected overloaded rejection, got: {line}"
     );
 
-    // Close the held connections *before* shutdown: the worker is blocked
-    // reading them and only EOF sends it back to the queue.
-    drop(parked);
-    drop(queued);
+    // The retry policy rides out the overload: the parked connections
+    // are released during the first backoff, so a later attempt lands.
+    let mut parked = Some((parked, queued));
+    let mut attempts = 0u32;
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_delay_ms: 10,
+        max_delay_ms: 100,
+        ..RetryPolicy::default()
+    };
+    let stats = call_with_retry(addr, &policy, |client| {
+        attempts += 1;
+        if attempts == 2 {
+            // Free the worker and the queue slot between attempts.
+            parked.take();
+        }
+        client.stats()
+    })
+    .expect("retry must recover once the overload clears");
+    assert!(attempts >= 2, "first attempt must have been rejected");
+    assert!(stats.get("server").is_some(), "stats response: {stats}");
+
     handle.shutdown();
 }

@@ -125,7 +125,16 @@ impl TargetCache {
 
                     // The expensive part runs without the lock; other keys
                     // proceed, same-key requesters park on the condvar.
-                    let retargeted = Record::retarget(hdl, &self.options);
+                    // Contained: a panicking retarget must clear the
+                    // in-flight marker and report a structured error, not
+                    // leave same-key waiters parked forever on a dead
+                    // worker.
+                    let retargeted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        Record::retarget(hdl, &self.options)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(PipelineError::Internal(record_core::panic_message(payload)))
+                    });
 
                     let mut state = self.state.lock().expect("cache lock poisoned");
                     match retargeted {

@@ -4,6 +4,11 @@
 //! strictly request/response in order).  Typed wrappers cover the four
 //! operations; [`Client::request`] sends a raw [`Json`] line for anything
 //! else.
+//!
+//! Admission rejections and transport failures close the connection, so
+//! retrying means reconnecting: [`call_with_retry`] runs an operation
+//! against a fresh connection per attempt, backing off exponentially
+//! between attempts with deterministic jitter ([`RetryPolicy`]).
 
 use crate::digest::render_key;
 use crate::json::{self, Json};
@@ -62,6 +67,100 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+impl ServeError {
+    /// Whether a retry on a fresh connection could plausibly succeed:
+    /// admission rejections (`overloaded`) and transport failures.
+    /// Structured server errors (`compile`, `timeout`, `internal`, ...)
+    /// are deterministic and not worth retrying.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded | ServeError::Io(_))
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// The delay before retry `r` (0-based) is drawn from
+/// `[step/2, step]` where `step = min(base_delay_ms << r, max_delay_ms)`;
+/// the draw is a pure function of `seed` and `r` (SplitMix64), so a given
+/// policy always produces the same schedule — reproducible tests, no
+/// cross-process `Instant`/entropy dependence, and distinct seeds still
+/// de-synchronize clients that got rejected together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff step before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff step ceiling, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Jitter seed; vary per client to spread synchronized retries.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 250,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `retry` (0-based), in milliseconds.
+    /// Deterministic: same policy, same retry, same delay.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let step = self
+            .base_delay_ms
+            .saturating_mul(1u64 << retry.min(20))
+            .min(self.max_delay_ms);
+        let jitter = splitmix64(self.seed.wrapping_add(u64::from(retry)));
+        step / 2 + jitter % (step / 2 + 1)
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed pure PRNG step (jitter source).
+fn splitmix64(index: u64) -> u64 {
+    let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `op` against a fresh connection, retrying (with the policy's
+/// backoff) on [retryable](ServeError::is_retryable) failures.
+///
+/// Each attempt reconnects: overloaded servers reject at admission and
+/// close the connection, so the old socket is useless by the time a
+/// retry makes sense.
+///
+/// # Errors
+///
+/// The last attempt's error once `max_attempts` is exhausted, or the
+/// first non-retryable error.
+pub fn call_with_retry<T>(
+    addr: impl ToSocketAddrs,
+    policy: &RetryPolicy,
+    mut op: impl FnMut(&mut Client) -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let mut retry = 0;
+    loop {
+        let result = Client::connect(&addr)
+            .map_err(ServeError::Io)
+            .and_then(|mut client| op(&mut client));
+        match result {
+            Ok(value) => return Ok(value),
+            Err(e) if e.is_retryable() && retry + 1 < policy.max_attempts.max(1) => {
+                std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(retry)));
+                retry += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Result of a `retarget` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetargetSummary {
@@ -112,6 +211,7 @@ pub struct CompileSpec<'a> {
     deadline_ms: Option<u64>,
     listing: bool,
     baseline: bool,
+    inject_panic: Option<&'a str>,
 }
 
 impl<'a> CompileSpec<'a> {
@@ -123,6 +223,7 @@ impl<'a> CompileSpec<'a> {
             deadline_ms: None,
             listing: false,
             baseline: false,
+            inject_panic: None,
         }
     }
 
@@ -144,6 +245,13 @@ impl<'a> CompileSpec<'a> {
         self
     }
 
+    /// Fault injection: asks the server to panic on entering the named
+    /// compile phase (testing/chaos only; proves panic containment).
+    pub fn inject_panic(mut self, phase: &'a str) -> CompileSpec<'a> {
+        self.inject_panic = Some(phase);
+        self
+    }
+
     fn fields(&self) -> Vec<(String, Json)> {
         let mut fields = vec![
             ("source".to_owned(), Json::str(self.source)),
@@ -155,11 +263,15 @@ impl<'a> CompileSpec<'a> {
         if self.listing {
             fields.push(("listing".to_owned(), Json::Bool(true)));
         }
+        let mut options = Vec::new();
         if self.baseline {
-            fields.push((
-                "options".to_owned(),
-                Json::obj(vec![("baseline", Json::Bool(true))]),
-            ));
+            options.push(("baseline", Json::Bool(true)));
+        }
+        if let Some(phase) = self.inject_panic {
+            options.push(("inject_panic", Json::str(phase)));
+        }
+        if !options.is_empty() {
+            fields.push(("options".to_owned(), Json::obj(options)));
         }
         fields
     }

@@ -23,6 +23,12 @@
 //! * [`Server`] / [`Client`] — a `std::net` TCP server (thread pool,
 //!   bounded admission queue, per-request deadlines checked at compile
 //!   phase boundaries) and its blocking client.
+//! * Fault tolerance — compiler panics are contained at the session and
+//!   retarget boundaries (`catch_unwind`) and surface as structured
+//!   `internal` errors on the wire; poisoned sessions are discarded, not
+//!   pooled.  Shutdown drains the admission queue before closing, and
+//!   [`call_with_retry`] gives clients bounded exponential backoff with
+//!   deterministic jitter on `overloaded`/transport failures.
 //!
 //! Like the rest of the workspace, the crate has no external
 //! dependencies; the JSON codec is in-tree ([`Json`] / [`parse_json`]).
@@ -37,7 +43,8 @@ mod server;
 
 pub use cache::{CacheStats, TargetCache};
 pub use client::{
-    local_key, Client, CompileSpec, CompileSummary, Model, RetargetSummary, ServeError,
+    call_with_retry, local_key, Client, CompileSpec, CompileSummary, Model, RetargetSummary,
+    RetryPolicy, ServeError,
 };
 pub use digest::{model_key, parse_key, render_key, ModelKey};
 pub use json::{parse as parse_json, Json};

@@ -24,7 +24,8 @@ pub struct PoolStats {
     pub reused: u64,
     /// Sessions whose pages went back to the pool on drop.
     pub returned: u64,
-    /// Sessions dropped because the pool was full.
+    /// Sessions dropped because the pool was full or the session was
+    /// poisoned by a contained panic.
     pub dropped: u64,
 }
 
@@ -96,6 +97,12 @@ impl SessionPool {
     }
 
     fn checkin(&self, session: CompileSession<'_>) {
+        // A poisoned session panicked mid-compile: its overlay tables may
+        // be mid-mutation, so its pages never re-enter circulation.
+        if session.poisoned() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let pages = session.into_pages();
         let mut idle = self.idle.lock().expect("pool lock poisoned");
         if idle.len() < self.max_idle {

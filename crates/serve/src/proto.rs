@@ -18,7 +18,8 @@
 //! (per-request deadline exceeded; carries `phase`), `unknown-key`
 //! (compile by key missed the cache), `pipeline` (retarget failed),
 //! `compile` (structured compile failure; carries `class`, `phase` and
-//! the diagnostic fields).
+//! the diagnostic fields), `internal` (the compiler panicked; contained
+//! by the session boundary, carries `class` and `phase` like `compile`).
 
 use crate::digest::{parse_key, ModelKey};
 use crate::json::Json;
@@ -137,6 +138,13 @@ fn compile_item(v: &Json) -> Result<CompileItem, String> {
                     .ok_or_else(|| format!("option `{field}` must be a boolean"))?;
             }
         }
+        if let Some(p) = o.get("inject_panic") {
+            let label = p.as_str().ok_or("option `inject_panic` must be a string")?;
+            options.inject_panic = Some(
+                record_core::CompilePhase::from_label(label)
+                    .ok_or_else(|| format!("option `inject_panic`: unknown phase `{label}`"))?,
+            );
+        }
     }
     if let Some(ms) = v.get("deadline_ms") {
         let ms = ms
@@ -179,10 +187,10 @@ pub fn pipeline_error_response(e: &PipelineError) -> Json {
 /// deadline expiry, `compile` (with the full diagnostic) otherwise.
 pub fn compile_error_response(e: &CompileError) -> Json {
     let class = e.classify();
-    let kind = if matches!(e, CompileError::DeadlineExceeded { .. }) {
-        "timeout"
-    } else {
-        "compile"
+    let kind = match e {
+        CompileError::DeadlineExceeded { .. } => "timeout",
+        CompileError::Internal { .. } => "internal",
+        _ => "compile",
     };
     let mut error = vec![
         ("kind".to_owned(), Json::str(kind)),

@@ -137,8 +137,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, drains nothing (queued connections are dropped),
-    /// and joins all threads.
+    /// Graceful shutdown: stops accepting, drains the admission queue
+    /// (every already-accepted connection is served until it closes or
+    /// goes idle), then joins all threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -193,6 +194,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     loop {
+        // Drain order matters for graceful shutdown: a queued connection
+        // is always popped and served before the shutdown flag is
+        // consulted, so flipping the flag never strands an admitted
+        // client — workers exit only once the queue is empty.
         let stream = {
             let mut queue = shared.queue.lock().expect("queue lock poisoned");
             loop {
@@ -255,9 +260,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         {
             return;
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
+        // No shutdown check here: during a drain, requests the client has
+        // already pipelined still get answered.  The connection ends when
+        // the client closes it or goes idle past the read timeout (the
+        // timeout arm above re-checks the flag), so drains stay bounded.
     }
 }
 

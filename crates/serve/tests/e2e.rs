@@ -4,7 +4,10 @@
 //! local fresh compiles, structured timeouts, and admission control.
 
 use record_core::{CompileRequest, Record, RetargetOptions};
-use record_serve::{local_key, Client, CompileSpec, Json, Model, ServeError, Server, ServerConfig};
+use record_serve::{
+    call_with_retry, local_key, Client, CompileSpec, Json, Model, RetryPolicy, ServeError, Server,
+    ServerConfig,
+};
 use record_targets::{kernels, models};
 
 #[test]
@@ -122,6 +125,188 @@ fn eight_concurrent_clients_two_models_one_retarget_each() {
     let _ = waits;
 
     drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn injected_panic_is_contained_and_worker_survives() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let hdl = models::model("ref").unwrap().hdl;
+    let kernel = kernels::kernels()[0];
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A mid-compile panic (injected at the emit phase) must come back as
+    // a structured `internal` error, not a dead connection.
+    for phase in ["parse", "bind", "emit", "compact"] {
+        let err = client
+            .compile(
+                &Model::Hdl(hdl),
+                &CompileSpec::new(kernel.source, kernel.function).inject_panic(phase),
+            )
+            .expect_err("injected panic must fail the request");
+        match &err {
+            ServeError::Remote {
+                kind,
+                message,
+                class,
+            } => {
+                assert_eq!(kind, "internal", "{err}");
+                assert!(message.contains("injected panic"), "{message}");
+                assert_eq!(class.as_deref(), Some("internal"), "{err}");
+            }
+            other => panic!("expected internal error, got {other}"),
+        }
+    }
+
+    // The single worker survived all four panics: the same connection
+    // compiles normally afterwards, byte-identical to a local compile.
+    let target = Record::retarget(hdl, &RetargetOptions::default()).unwrap();
+    let want = {
+        let k = target
+            .compile(&CompileRequest::new(kernel.source, kernel.function))
+            .unwrap();
+        target.listing(&k)
+    };
+    let got = client
+        .compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function).listing(true),
+        )
+        .expect("worker serves normally after contained panics");
+    assert_eq!(got.listing.as_deref(), Some(want.as_str()));
+
+    // Poisoned sessions were discarded, never recycled into the pool.
+    let stats = client.stats().expect("stats");
+    let pools = stats.get("pools").expect("pools section");
+    assert!(
+        pools.get("dropped").and_then(Json::as_u64).unwrap() >= 4,
+        "poisoned sessions must be dropped: {stats}"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_connections() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let hdl = models::model("ref").unwrap().hdl;
+    let kernel = kernels::kernels()[0];
+
+    // Client A occupies the single worker: one served request, then the
+    // connection idles open (a worker stays on a connection until it
+    // closes or shutdown begins).
+    let mut held = Client::connect(addr).expect("connect A");
+    held.compile(
+        &Model::Hdl(hdl),
+        &CompileSpec::new(kernel.source, kernel.function),
+    )
+    .expect("warm-up compile");
+
+    // Client B is admitted and queued behind A, with a request already
+    // pipelined; no worker will reach it until shutdown releases A.
+    let mut queued = Client::connect(addr).expect("connect B");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+
+    // The drain must still serve B's request rather than dropping the
+    // queued connection on the floor.
+    let got = queued
+        .compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function),
+        )
+        .expect("queued connection is served during drain");
+    assert!(got.code_size > 0);
+
+    drop(queued);
+    drop(held);
+    shutdown.join().expect("shutdown thread");
+}
+
+#[test]
+fn retry_policy_recovers_from_overload() {
+    // Deterministic schedule: pure function of (seed, retry index),
+    // step-bounded on both sides.
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_delay_ms: 8,
+        max_delay_ms: 50,
+        seed: 42,
+    };
+    for retry in 0..8 {
+        let d = policy.backoff_ms(retry);
+        assert_eq!(d, policy.backoff_ms(retry), "deterministic");
+        let step = (8u64 << retry).min(50);
+        assert!(d >= step / 2 && d <= step, "retry {retry}: {d} vs {step}");
+    }
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let hdl = models::model("ref").unwrap().hdl;
+    let kernel = kernels::kernels()[0];
+
+    // Saturate: one connection holds the worker, one fills the queue.
+    let mut worker_hog = Client::connect(addr).expect("connect hog");
+    worker_hog
+        .compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function),
+        )
+        .expect("hog compile");
+    let queue_hog = Client::connect(addr).expect("connect queue hog");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // A direct attempt is rejected at admission.
+    let mut rejected = Client::connect(addr).expect("connect rejected");
+    let err = rejected.stats().expect_err("queue is full");
+    assert!(matches!(err, ServeError::Overloaded), "{err}");
+
+    // With retry, the client rides out the overload: the saturating
+    // connections are released during the backoff and a later attempt
+    // lands.
+    let mut hogs = Some((worker_hog, queue_hog));
+    let mut attempts = 0u32;
+    let summary = call_with_retry(addr, &policy, |client| {
+        attempts += 1;
+        if attempts == 2 {
+            // Free the worker and the queue slot between attempts.
+            hogs.take();
+        }
+        client.compile(
+            &Model::Hdl(hdl),
+            &CompileSpec::new(kernel.source, kernel.function),
+        )
+    })
+    .expect("retry must eventually succeed");
+    assert!(summary.code_size > 0);
+    assert!(attempts >= 2, "first attempt must have been rejected");
+
     server.shutdown();
 }
 
