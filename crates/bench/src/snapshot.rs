@@ -18,7 +18,7 @@
 //! for the snapshot schema and nothing else.
 
 use record_core::{CompileRequest, Record, Report, RetargetOptions};
-use record_targets::{kernels, models};
+use record_targets::{control_kernels, kernels, models};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -149,7 +149,11 @@ pub fn measure(iters: usize) -> Snapshot {
             op_cache_hit_rate: target.manager().op_cache_hit_rate(),
             unique_avg_probe_len: target.manager().unique_avg_probe_len(),
         });
-        for kernel in kernels() {
+        // Straight-line kernels first (their rows are the regression
+        // pins), then the control-flow kernels: on targets without a
+        // program counter those fail with the `no-branch-path` class,
+        // which the v2 failure-taxonomy gate records per pair.
+        for kernel in kernels().into_iter().chain(control_kernels()) {
             let request = CompileRequest::new(kernel.source, kernel.function);
             // Counters via an explicit session (one compile, then read
             // the session gauges).

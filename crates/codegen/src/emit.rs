@@ -10,15 +10,15 @@
 
 use crate::binding::Binding;
 use crate::error::CodegenError;
-use crate::ops::{DestSim, Loc, RtOp, SimExpr};
+use crate::ops::{DestSim, Loc, RtOp, SimExpr, Transfer};
 use record_bdd::BddOps;
 use record_grammar::{
     Et, EtDest, EtKind, GPat, NodeIdx, NonTermId, NonTermKind, RuleOrigin, TermKey,
 };
-use record_ir::FlatStmt;
+use record_ir::{Cfg, FlatExpr, FlatStmt, Terminator};
 use record_netlist::{Netlist, StorageId, StorageKind};
 use record_probe::Probe;
-use record_rtl::{Dest, Pattern, TemplateBase, TemplateId};
+use record_rtl::{CondPred, Dest, Pattern, TemplateBase, TemplateId};
 use record_selgen::{Cover, RuleApp, SelectStats, Selector};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -92,6 +92,302 @@ pub fn compile<M: BddOps>(
         binding.release_scratch(mark)?;
     }
     Ok(Emitted { ops: out, stats })
+}
+
+/// The result of [`compile_cfg`]: the RT sequence, the op range each
+/// basic block occupies, and the work counters.
+///
+/// Transfer targets inside `ops` are still *block ids*
+/// (`SimExpr::Const(block)`); the caller patches them to vertical op
+/// indices once allocation has fixed the final op positions.
+#[derive(Debug, Clone)]
+pub struct EmittedCfg {
+    /// The compiled RT operations, blocks laid out in CFG order.
+    pub ops: Vec<RtOp>,
+    /// `ops[block_ranges[b].clone()]` are block `b`'s RTs, terminator
+    /// transfers included.
+    pub block_ranges: Vec<std::ops::Range<usize>>,
+    /// Selection and emission work counters.
+    pub stats: EmitStats,
+}
+
+/// Compiles a control-flow graph: each block's statements compile exactly
+/// as [`compile`] would, then the terminator becomes compare-and-branch /
+/// jump RTs against the target's PC-writing templates.  A block whose
+/// terminator falls through to the next block in layout order emits no
+/// transfer at all, so a single-block (straight-line) CFG produces ops
+/// byte-identical to [`compile`].
+///
+/// # Errors
+///
+/// Everything [`compile`] raises, plus [`CodegenError::NoBranchPath`]
+/// when a terminator needs a control transfer but the target has no PC
+/// (or no usable jump / conditional-branch template).
+#[allow(clippy::too_many_arguments)]
+pub fn compile_cfg<M: BddOps>(
+    cfg: &Cfg,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut M,
+    tables: &EmitTables,
+    width: u16,
+    probe: &mut Probe<'_>,
+) -> Result<EmittedCfg, CodegenError> {
+    let mut out = Vec::new();
+    let mut stats = EmitStats::default();
+    let mut ranges = Vec::with_capacity(cfg.blocks.len());
+    let paths = branch_paths(base, netlist);
+    for (i, block) in cfg.blocks.iter().enumerate() {
+        let start = out.len();
+        for stmt in &block.stmts {
+            probe.begin("statement");
+            let mark = binding.scratch_mark();
+            let r = compile_split(
+                stmt, selector, base, binding, netlist, manager, tables, width, &mut out,
+                &mut stats, 0,
+            );
+            probe.end("statement");
+            r?;
+            stats.statements += 1;
+            binding.release_scratch(mark)?;
+        }
+        match &block.term {
+            Terminator::Halt => {}
+            Terminator::Jump(t) => {
+                if *t != i + 1 {
+                    out.push(jump_op(require_paths(&paths)?, base, *t)?);
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let p = require_paths(&paths)?;
+                probe.begin("statement");
+                let mark = binding.scratch_mark();
+                let r = emit_branch(
+                    cond, *then_to, *else_to, i + 1, p, selector, base, binding, netlist, manager,
+                    tables, width, &mut out, &mut stats,
+                );
+                probe.end("statement");
+                r?;
+                stats.statements += 1;
+                binding.release_scratch(mark)?;
+            }
+        }
+        ranges.push(start..out.len());
+    }
+    Ok(EmittedCfg {
+        ops: out,
+        block_ranges: ranges,
+        stats,
+    })
+}
+
+/// The target's control-transfer repertoire: its PC storage and the
+/// extracted templates that write it.
+struct BranchPaths {
+    pc: StorageId,
+    /// Unconditional `pc := #imm`.
+    jump: Option<TemplateId>,
+    /// `pc := #imm when reg != 0` — (template, tested register).
+    brnz: Option<(TemplateId, StorageId)>,
+    /// `pc := #imm when reg == 0`.
+    brz: Option<(TemplateId, StorageId)>,
+}
+
+/// Scans the template base for PC-writing templates.  `None` when the
+/// model declares no PC at all (a branchless machine).
+fn branch_paths(base: &TemplateBase, netlist: &Netlist) -> Option<BranchPaths> {
+    let pc = netlist.pc_storage()?.id;
+    let mut p = BranchPaths {
+        pc,
+        jump: None,
+        brnz: None,
+        brz: None,
+    };
+    for t in base.templates() {
+        if !matches!(&t.dest, Dest::Reg(d) if *d == pc) {
+            continue;
+        }
+        match &t.pred {
+            None => {
+                if p.jump.is_none() {
+                    p.jump = Some(t.id);
+                }
+            }
+            // Only zero-comparing predicates over a plain register are
+            // usable: lowered branch conditions are truth values, steered
+            // by loading them into the tested register.
+            Some(CondPred {
+                test: Pattern::Reg(r),
+                value: 0,
+                eq,
+            }) => {
+                let slot = if *eq { &mut p.brz } else { &mut p.brnz };
+                if slot.is_none() {
+                    *slot = Some((t.id, *r));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    Some(p)
+}
+
+fn require_paths(paths: &Option<BranchPaths>) -> Result<&BranchPaths, CodegenError> {
+    paths.as_ref().ok_or_else(|| CodegenError::NoBranchPath {
+        detail: "the model declares no program counter, so no transfer templates exist".into(),
+    })
+}
+
+/// An unconditional jump to block `target`.
+///
+/// The target immediate is *not* folded into the execution condition —
+/// it is a block id here and is patched to an op/word index later, and
+/// compaction schedules transfer ops into words of their own, so the
+/// encoding bits never constrain a neighbour.
+fn jump_op(
+    paths: &BranchPaths,
+    base: &TemplateBase,
+    target: usize,
+) -> Result<RtOp, CodegenError> {
+    let tid = paths.jump.ok_or_else(|| CodegenError::NoBranchPath {
+        detail: "no unconditional PC-write (jump) template".into(),
+    })?;
+    Ok(RtOp {
+        template: tid,
+        dest: DestSim::Loc(Loc::Reg(paths.pc)),
+        expr: SimExpr::Const(target as u64),
+        transfer: Some(Transfer::Always),
+        cond: base.template(tid).cond,
+    })
+}
+
+/// Emits a two-way branch: the condition value is computed into a scratch
+/// word, reloaded into the register the conditional template tests, and a
+/// conditional PC-write (plus, when neither side falls through, a jump)
+/// steers control.  Polarity is chosen so the laid-out next block falls
+/// through where the repertoire allows.
+#[allow(clippy::too_many_arguments)]
+fn emit_branch<M: BddOps>(
+    cond: &FlatExpr,
+    then_to: usize,
+    else_to: usize,
+    next: usize,
+    paths: &BranchPaths,
+    selector: &Selector,
+    base: &TemplateBase,
+    binding: &mut Binding,
+    netlist: &Netlist,
+    manager: &mut M,
+    tables: &EmitTables,
+    width: u16,
+    out: &mut Vec<RtOp>,
+    stats: &mut EmitStats,
+) -> Result<(), CodegenError> {
+    // brnz takes the `then` side (cond != 0), brz the `else` side.
+    let use_nz = if else_to == next && paths.brnz.is_some() {
+        true
+    } else if then_to == next && paths.brz.is_some() {
+        false
+    } else if paths.brnz.is_some() {
+        true
+    } else if paths.brz.is_some() {
+        false
+    } else {
+        return Err(CodegenError::NoBranchPath {
+            detail: "no conditional PC-write template testing a register against zero".into(),
+        });
+    };
+    let (tid, test_reg, taken_to, fall_to, eq) = if use_nz {
+        let (t, r) = paths.brnz.expect("chosen above");
+        (t, r, then_to, else_to, false)
+    } else {
+        let (t, r) = paths.brz.expect("chosen above");
+        (t, r, else_to, then_to, true)
+    };
+
+    // Condition value into a scratch word...
+    let tmp = binding.scratch()?;
+    let stmt = FlatStmt {
+        target: scratch_ref(tmp),
+        value: cond.clone(),
+    };
+    compile_split(
+        &stmt, selector, base, binding, netlist, manager, tables, width, out, stats, 0,
+    )?;
+
+    // ...then into the tested register.  Frequently redundant (the store
+    // above usually leaves the value right there); the allocator's
+    // residency pass deletes the pair when so.
+    let dm = binding.data_mem();
+    let expected = Loc::Reg(test_reg);
+    let reload_tid = find_reload_tpl(base, netlist, &expected, dm)?;
+    let mut rcond = base.template(reload_tid).cond;
+    if let Pattern::MemRead(_, a) = &base.template(reload_tid).src {
+        if let Pattern::Imm { hi, lo } = **a {
+            let bits = tables.ibit_range(hi, lo);
+            let eqv = manager.vector_equals(bits, tmp);
+            rcond = manager.and(rcond, eqv);
+        }
+    }
+    out.push(RtOp {
+        template: reload_tid,
+        dest: DestSim::Loc(expected.clone()),
+        expr: SimExpr::MemRead(dm, Box::new(SimExpr::Const(tmp))),
+        transfer: None,
+        cond: rcond,
+    });
+    stats.reloads += 1;
+
+    out.push(RtOp {
+        template: tid,
+        dest: DestSim::Loc(Loc::Reg(paths.pc)),
+        expr: SimExpr::Const(taken_to as u64),
+        transfer: Some(Transfer::Cond {
+            test: SimExpr::Read(expected),
+            value: 0,
+            eq,
+        }),
+        cond: base.template(tid).cond,
+    });
+    if fall_to != next {
+        out.push(jump_op(paths, base, fall_to)?);
+    }
+    Ok(())
+}
+
+/// Module-level twin of [`Emitter::find_reload`], for branch steering:
+/// finds an unpredicated `reg := dm[#imm]`.
+fn find_reload_tpl(
+    base: &TemplateBase,
+    netlist: &Netlist,
+    expected: &Loc,
+    dm: StorageId,
+) -> Result<TemplateId, CodegenError> {
+    for t in base.templates() {
+        if t.pred.is_some() {
+            continue;
+        }
+        if !matches!((&t.dest, expected), (Dest::Reg(r), Loc::Reg(l)) if r == l) {
+            continue;
+        }
+        if let Pattern::MemRead(s, addr) = &t.src {
+            if *s == dm && matches!(**addr, Pattern::Imm { .. }) {
+                return Ok(t.id);
+            }
+        }
+    }
+    Err(CodegenError::NoBranchPath {
+        detail: format!(
+            "no reload into branch-test register `{}` from data memory",
+            expected.render(netlist)
+        ),
+    })
 }
 
 /// How many times statement legalization may recurse through itself.
@@ -824,6 +1120,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             template: tid,
             dest: dest.clone(),
             expr,
+            transfer: None,
             cond,
         });
         // Operands are consumed by this op.
@@ -987,6 +1284,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             template: store_tid,
             dest: DestSim::MemAt(self.binding.data_mem(), SimExpr::Const(addr)),
             expr: SimExpr::Read(spill_reg),
+            transfer: None,
             cond,
         });
         self.spill_stores += 1;
@@ -1045,6 +1343,7 @@ impl<'a, M: BddOps> Emitter<'a, M> {
             template: reload_tid,
             dest: DestSim::Loc(expected.clone()),
             expr: SimExpr::MemRead(dm, Box::new(SimExpr::Const(addr))),
+            transfer: None,
             cond,
         });
         self.reloads += 1;

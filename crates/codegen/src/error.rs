@@ -48,6 +48,13 @@ pub enum CodegenError {
         /// The unknown name.
         name: String,
     },
+    /// The program needs a control transfer but the target exposes no
+    /// usable PC-writing template (no jump path, or no conditional branch
+    /// whose predicate tests a reachable register against zero).
+    NoBranchPath {
+        /// What exactly is missing.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -61,6 +68,9 @@ impl fmt::Display for CodegenError {
                 write!(f, "out of storage in `{storage}`: {detail}")
             }
             CodegenError::UnboundVariable { name } => write!(f, "unbound variable `{name}`"),
+            CodegenError::NoBranchPath { detail } => {
+                write!(f, "no branch path: {detail}")
+            }
         }
     }
 }

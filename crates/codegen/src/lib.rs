@@ -37,10 +37,10 @@ mod sim;
 
 pub use baseline::baseline_compile;
 pub use binding::Binding;
-pub use emit::{compile, compile_statement, EmitStats, EmitTables, Emitted};
+pub use emit::{compile, compile_cfg, compile_statement, EmitStats, EmitTables, Emitted, EmittedCfg};
 pub use error::CodegenError;
 pub use etgen::build_et;
-pub use ops::{DestSim, Loc, RtOp, SimExpr};
+pub use ops::{DestSim, Loc, RtOp, SimExpr, Transfer};
 pub use sim::Machine;
 
 #[cfg(test)]

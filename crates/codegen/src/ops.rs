@@ -98,6 +98,20 @@ impl DestSim {
     }
 }
 
+/// The control-transfer behavior of an op that writes the program
+/// counter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transfer {
+    /// Unconditional jump: always taken.
+    Always,
+    /// Conditional branch: taken iff `(eval(test) == value) == eq`.
+    Cond {
+        test: SimExpr,
+        value: u64,
+        eq: bool,
+    },
+}
+
 /// One emitted RT operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RtOp {
@@ -107,6 +121,13 @@ pub struct RtOp {
     pub dest: DestSim,
     /// Concrete value expression.
     pub expr: SimExpr,
+    /// `Some` marks a control transfer: `dest` is the PC and `expr`
+    /// evaluates to the target.  Emission leaves the target as the
+    /// `SimExpr::Const` *block id*; the session patches it to a vertical
+    /// op index after allocation, and
+    /// [`Schedule::materialize`](../record_compact) rewrites it to a word
+    /// index for compacted execution.
+    pub transfer: Option<Transfer>,
     /// Execution condition: the template's condition conjoined with this
     /// op's instruction-field constraints.  Used by compaction.
     ///
@@ -121,11 +142,14 @@ pub struct RtOp {
 }
 
 impl RtOp {
-    /// All locations read.
+    /// All locations read (including a conditional transfer's test).
     pub fn reads(&self) -> Vec<Loc> {
         let mut r = self.expr.reads();
         if let DestSim::MemAt(_, addr) = &self.dest {
             addr.collect_reads(&mut r);
+        }
+        if let Some(Transfer::Cond { test, .. }) = &self.transfer {
+            test.collect_reads(&mut r);
         }
         r
     }
@@ -159,6 +183,15 @@ impl RtOp {
             DestSim::Loc(l) => l.render(n),
             DestSim::MemAt(s, a) => format!("{}[{}]", n.storage(*s).name, expr(a, n)),
         };
-        format!("{dest} := {}", expr(&self.expr, n))
+        match &self.transfer {
+            None => format!("{dest} := {}", expr(&self.expr, n)),
+            Some(Transfer::Always) => format!("{dest} := {}", expr(&self.expr, n)),
+            Some(Transfer::Cond { test, value, eq }) => format!(
+                "{dest} := {} when {} {} {value}",
+                expr(&self.expr, n),
+                expr(test, n),
+                if *eq { "==" } else { "!=" },
+            ),
+        }
     }
 }

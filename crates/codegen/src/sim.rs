@@ -8,9 +8,14 @@
 //!   from before the word and commit together (paper table 1 lists
 //!   time-stationary code as the supported code type).
 
-use crate::ops::{DestSim, Loc, RtOp, SimExpr};
+use crate::ops::{DestSim, Loc, RtOp, SimExpr, Transfer};
 use record_netlist::{Netlist, ProcPortId, StorageId, StorageKind};
 use std::collections::HashMap;
+
+/// Execution fuel: compiled code from terminating programs terminates, so
+/// running dry means a miscompiled branch — stop with a panic the fuzz
+/// harness contains rather than spinning forever.
+const FUEL: u64 = 1 << 22;
 
 /// Concrete machine state for a netlist's storages.
 #[derive(Debug, Clone)]
@@ -164,27 +169,86 @@ impl Machine {
         }
     }
 
-    /// Executes vertical code: one RT per machine cycle.
+    /// Is this op's transfer taken in the current state?  `true` for
+    /// plain (non-transfer) ops.
+    fn taken(&self, op: &RtOp) -> bool {
+        match &op.transfer {
+            None | Some(Transfer::Always) => true,
+            Some(Transfer::Cond { test, value, eq }) => {
+                // Stored values are already masked; 64-bit evaluation
+                // reads them back exactly.
+                (self.eval(test, 64) == *value) == *eq
+            }
+        }
+    }
+
+    /// Executes vertical code: one RT per machine cycle, with a real
+    /// program counter.  A transfer op whose condition holds jumps to the
+    /// op index its target expression evaluates to (`ops.len()` halts);
+    /// otherwise execution falls through to the next op.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cycle budget runs dry (a miscompiled branch).
     pub fn run(&mut self, ops: &[RtOp]) {
-        for op in ops {
-            self.step(op);
+        let mut pc = 0usize;
+        let mut fuel = FUEL;
+        while pc < ops.len() {
+            assert!(fuel > 0, "machine fuel exhausted after {FUEL} cycles");
+            fuel -= 1;
+            let op = &ops[pc];
+            if op.transfer.is_none() {
+                self.step(op);
+                pc += 1;
+            } else if self.taken(op) {
+                // Targets are compile-time op indices; evaluate wide so
+                // programs longer than the PC register still index.
+                let target = self.eval(&op.expr, 64);
+                self.commit(&op.dest.clone(), target);
+                pc = target as usize;
+            } else {
+                pc += 1;
+            }
         }
     }
 
     /// Executes compacted code: `words[i]` holds the RTs of instruction
     /// word `i`; all read pre-state, then all commit (time-stationary).
+    /// A taken transfer in a word steers the next word; transfer targets
+    /// are word indices after
+    /// [`Schedule::materialize`](../record_compact) (`words.len()`
+    /// halts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cycle budget runs dry (a miscompiled branch).
     pub fn run_compacted(&mut self, words: &[Vec<RtOp>]) {
-        for word in words {
-            let effects: Vec<(DestSim, u64)> = word
+        let mut pc = 0usize;
+        let mut fuel = FUEL;
+        while pc < words.len() {
+            assert!(fuel > 0, "machine fuel exhausted after {FUEL} cycles");
+            fuel -= 1;
+            let mut next = pc + 1;
+            let effects: Vec<(DestSim, u64, bool)> = words[pc]
                 .iter()
+                .filter(|op| self.taken(op))
                 .map(|op| {
-                    let width = self.width_of_dest(&op.dest);
-                    (op.dest.clone(), self.eval(&op.expr, width))
+                    let is_transfer = op.transfer.is_some();
+                    let width = if is_transfer {
+                        64
+                    } else {
+                        self.width_of_dest(&op.dest)
+                    };
+                    (op.dest.clone(), self.eval(&op.expr, width), is_transfer)
                 })
                 .collect();
-            for (dest, v) in effects {
+            for (dest, v, is_transfer) in effects {
+                if is_transfer {
+                    next = v as usize;
+                }
                 self.commit(&dest, v);
             }
+            pc = next;
         }
     }
 }

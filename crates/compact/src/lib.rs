@@ -27,7 +27,7 @@
 //! through [`compact`].
 
 use record_bdd::{Bdd, BddOps};
-use record_codegen::RtOp;
+use record_codegen::{RtOp, SimExpr};
 
 /// One horizontal instruction word: indices into the original op sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,10 +66,41 @@ impl Schedule {
     }
 
     /// Materialises the schedule as owned op groups (for simulation).
+    ///
+    /// Transfer targets are rewritten from vertical *op* indices to the
+    /// *word* indices those ops landed in (`ops.len()` — the halt target —
+    /// maps to `words.len()`).  [`compact_cfg`] starts every block in a
+    /// fresh word, so a block-entry op always heads its word and the
+    /// rewrite never makes a jump re-execute a predecessor's RTs.
     pub fn materialize(&self, ops: &[RtOp]) -> Vec<Vec<RtOp>> {
+        let mut word_of = vec![0usize; ops.len()];
+        for (wi, w) in self.words.iter().enumerate() {
+            for &i in &w.ops {
+                word_of[i] = wi;
+            }
+        }
         self.words
             .iter()
-            .map(|w| w.ops.iter().map(|&i| ops[i].clone()).collect())
+            .map(|w| {
+                w.ops
+                    .iter()
+                    .map(|&i| {
+                        let mut op = ops[i].clone();
+                        if op.transfer.is_some() {
+                            if let SimExpr::Const(t) = op.expr {
+                                let target = t as usize;
+                                let wt = if target >= ops.len() {
+                                    self.words.len()
+                                } else {
+                                    word_of[target]
+                                };
+                                op.expr = SimExpr::Const(wt as u64);
+                            }
+                        }
+                        op
+                    })
+                    .collect()
+            })
             .collect()
     }
 }
@@ -139,6 +170,47 @@ pub fn compact<M: BddOps>(ops: &[RtOp], manager: &mut M) -> Schedule {
         }
     }
 
+    Schedule { words, moved }
+}
+
+/// Per-block compaction for CFG code: no code motion across block
+/// boundaries, and every control-transfer RT occupies a word of its own.
+///
+/// Each block's straight-line stretches are compacted exactly as
+/// [`compact`] would; a transfer op ends the current stretch and becomes
+/// a singleton word (its encoding carries a target immediate that is
+/// patched after scheduling, so it must not constrain — or be constrained
+/// by — neighbours).  Block entries always start a fresh word, keeping
+/// branch targets aligned to word boundaries.  A single-block range
+/// without transfers degenerates to exactly [`compact`].
+pub fn compact_cfg<M: BddOps>(
+    ops: &[RtOp],
+    block_ranges: &[std::ops::Range<usize>],
+    manager: &mut M,
+) -> Schedule {
+    let mut words: Vec<Word> = Vec::new();
+    let mut moved = 0usize;
+    let flush = |run: std::ops::Range<usize>, words: &mut Vec<Word>, moved: &mut usize, manager: &mut M| {
+        if run.is_empty() {
+            return;
+        }
+        let s = compact(&ops[run.clone()], manager);
+        *moved += s.moved;
+        words.extend(s.words.into_iter().map(|w| Word {
+            ops: w.ops.iter().map(|&k| k + run.start).collect(),
+        }));
+    };
+    for r in block_ranges {
+        let mut run_start = r.start;
+        for i in r.clone() {
+            if ops[i].transfer.is_some() {
+                flush(run_start..i, &mut words, &mut moved, manager);
+                words.push(Word { ops: vec![i] });
+                run_start = i + 1;
+            }
+        }
+        flush(run_start..r.end, &mut words, &mut moved, manager);
+    }
     Schedule { words, moved }
 }
 

@@ -131,6 +131,10 @@ pub struct Diagnostic {
     /// failure is a hardware gap, not a selector gap — see
     /// [`CompileError::classify`].
     pub op: Option<&'static str>,
+    /// `true` when the program needs a control transfer but the target
+    /// exposes no usable PC-writing template (emission failures only) —
+    /// classified `no-branch-path`.
+    pub branch_gap: bool,
 }
 
 impl Diagnostic {
@@ -143,6 +147,7 @@ impl Diagnostic {
             rt_index: None,
             storage: None,
             op: None,
+            branch_gap: false,
         }
     }
 }
@@ -240,6 +245,9 @@ pub enum CompileError {
 /// * `no-spill-path` — a register conflict needed a spill but the machine
 ///   has no store/reload templates for the register (or the conflict is
 ///   cyclic).
+/// * `no-branch-path` — the program has runtime control flow but the
+///   target exposes no usable PC-writing template (no PC declared, no
+///   jump, or no zero-testing conditional branch).
 /// * `bind-overflow` — a storage ran out of words or cells.
 /// * `deadline-exceeded` — the request's deadline passed mid-compile
 ///   (phase = the last phase that completed).
@@ -310,6 +318,8 @@ impl CompileError {
                         phase: diagnostic.phase,
                         kind: format!("missing-hardware({op})"),
                     }
+                } else if diagnostic.branch_gap {
+                    class(diagnostic.phase, "no-branch-path")
                 } else if diagnostic.phase == CompilePhase::Select {
                     class(diagnostic.phase, "selector-gap")
                 } else if diagnostic.rt_index.is_some() {
@@ -359,6 +369,10 @@ impl CompileError {
                 CompilePhase::Bind,
                 format!("variable or function `{name}` is not bound"),
             ),
+            CodegenError::NoBranchPath { detail } => Diagnostic {
+                branch_gap: true,
+                ..Diagnostic::new(CompilePhase::Emit, detail)
+            },
         };
         CompileError::Codegen {
             function: function.to_owned(),

@@ -12,10 +12,16 @@
 use crate::error::{panic_message, CompileError, CompilePhase};
 use crate::pipeline::{CompileOptions, CompileReport, CompiledKernel, Target};
 use record_bdd::BddOverlay;
-use record_codegen::{baseline_compile, compile, Binding, Emitted};
-use record_compact::compact;
+use record_codegen::{
+    baseline_compile, compile, compile_cfg, Binding, CodegenError, Emitted, EmittedCfg, SimExpr,
+};
+use record_compact::{compact, compact_cfg};
+use record_ir::{FlatStmt, Ref, Terminator};
 use record_probe::{Collector, Probe, Trace, TraceSink};
-use record_regalloc::{allocate_probed, AllocOptions, Liveness, MemLayout};
+use record_regalloc::{
+    allocate_cfg_probed, allocate_probed, AllocOptions, CfgLiveness, Liveness, MemLayout,
+};
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -307,12 +313,41 @@ impl<'t> CompileSession<'t> {
         let t1 = Instant::now();
         enter(CompilePhase::Lower);
         probe.begin("lower");
-        let lowered = record_ir::lower(&program, function)
+        let lowered = record_ir::lower_cfg(&program, function)
             .map_err(|e| CompileError::from_frontend(function, CompilePhase::Lower, &e));
         probe.end("lower");
         report.phase("lower", t1.elapsed().as_nanos() as u64);
-        let flat = lowered?;
+        let cfg = lowered?;
         expired(&probe, CompilePhase::Lower)?;
+        // Straight-line functions take the pre-CFG single-block pipeline —
+        // same statement slices, same phase calls — so their output stays
+        // byte-identical to what this code produced before control flow
+        // existed (pinned by the golden-listing tests).
+        let straight = cfg.is_straight_line();
+        // What the binder scans for ROM placement: every block's
+        // statements, plus one pseudo-statement per branch condition so a
+        // word read by a terminator never looks ROM-eligible.
+        let bind_stmts: Cow<'_, [FlatStmt]> = if straight {
+            Cow::Borrowed(&cfg.blocks[0].stmts)
+        } else {
+            let mut all: Vec<FlatStmt> = cfg
+                .blocks
+                .iter()
+                .flat_map(|b| b.stmts.iter().cloned())
+                .collect();
+            for b in &cfg.blocks {
+                if let Terminator::Branch { cond, .. } = &b.term {
+                    all.push(FlatStmt {
+                        target: Ref {
+                            name: "$cond".to_owned(),
+                            offset: 0,
+                        },
+                        value: cond.clone(),
+                    });
+                }
+            }
+            Cow::Owned(all)
+        };
 
         let t2 = Instant::now();
         enter(CompilePhase::Bind);
@@ -331,7 +366,7 @@ impl<'t> CompileSession<'t> {
                 &target.netlist,
                 dm,
                 const_mem,
-                &flat,
+                &bind_stmts,
             )
             .map_err(|e| CompileError::from_codegen(function, CompilePhase::Bind, e))
             .map(|binding| (binding, target.netlist.storage(dm).width))
@@ -347,8 +382,28 @@ impl<'t> CompileSession<'t> {
         enter(CompilePhase::Emit);
         probe.begin("codegen");
         let emitted = if options.baseline {
-            baseline_compile(
-                &flat,
+            if straight {
+                baseline_compile(
+                    &cfg.blocks[0].stmts,
+                    &target.selector,
+                    &target.base,
+                    &mut binding,
+                    &target.netlist,
+                    &mut self.bdd,
+                    &target.emit_tables,
+                    width,
+                    &mut probe,
+                )
+                .map(emitted_as_one_block)
+            } else {
+                Err(CodegenError::NoBranchPath {
+                    detail: "the baseline per-operator compiler supports straight-line code only"
+                        .to_owned(),
+                })
+            }
+        } else if straight {
+            compile(
+                &cfg.blocks[0].stmts,
                 &target.selector,
                 &target.base,
                 &mut binding,
@@ -358,9 +413,10 @@ impl<'t> CompileSession<'t> {
                 width,
                 &mut probe,
             )
+            .map(emitted_as_one_block)
         } else {
-            compile(
-                &flat,
+            compile_cfg(
+                &cfg,
                 &target.selector,
                 &target.base,
                 &mut binding,
@@ -373,8 +429,11 @@ impl<'t> CompileSession<'t> {
         };
         probe.end("codegen");
         let codegen_ns = t3.elapsed().as_nanos() as u64;
-        let Emitted { ops, stats: emit } =
-            emitted.map_err(|e| CompileError::from_codegen(function, CompilePhase::Emit, e))?;
+        let EmittedCfg {
+            ops,
+            block_ranges,
+            stats: emit,
+        } = emitted.map_err(|e| CompileError::from_codegen(function, CompilePhase::Emit, e))?;
         // Selection time is measured inside codegen per statement; the
         // rest of the codegen wall clock (splitting, spill routing, RT
         // emission) is the emit phase.
@@ -392,20 +451,35 @@ impl<'t> CompileSession<'t> {
         // baseline path stays memory-bound on purpose — it models the
         // Figure 2 target-specific compiler whose operands travel through
         // memory.
-        let (ops, alloc) = match &target.pool {
+        let (mut ops, block_ranges, alloc) = match &target.pool {
             Some(pool) if options.allocate_registers && !options.baseline => {
                 let t4 = Instant::now();
                 enter(CompilePhase::Allocate);
                 probe.begin("allocate");
-                let liveness = Liveness::analyze(&flat);
-                let (ops, stats) = allocate_probed(
-                    &ops,
-                    pool,
-                    &liveness,
-                    MemLayout::from_binding(&binding),
-                    &AllocOptions::default(),
-                    &mut probe,
-                );
+                let (ops, ranges, stats) = if straight {
+                    let liveness = Liveness::analyze(&cfg.blocks[0].stmts);
+                    let (ops, stats) = allocate_probed(
+                        &ops,
+                        pool,
+                        &liveness,
+                        MemLayout::from_binding(&binding),
+                        &AllocOptions::default(),
+                        &mut probe,
+                    );
+                    let n = ops.len();
+                    (ops, vec![0..n], stats)
+                } else {
+                    let liveness = CfgLiveness::analyze(&cfg);
+                    allocate_cfg_probed(
+                        &ops,
+                        &block_ranges,
+                        pool,
+                        &liveness,
+                        MemLayout::from_binding(&binding),
+                        &AllocOptions::default(),
+                        &mut probe,
+                    )
+                };
                 probe.end("allocate");
                 report.phase("allocate", t4.elapsed().as_nanos() as u64);
                 report.count(
@@ -414,17 +488,35 @@ impl<'t> CompileSession<'t> {
                 );
                 report.count("allocate.stores-eliminated", stats.stores_eliminated as u64);
                 report.count("allocate.spills", stats.spills as u64);
-                (ops, Some(stats))
+                (ops, ranges, Some(stats))
             }
-            _ => (ops, None),
+            _ => (ops, block_ranges, None),
         };
         expired(&probe, CompilePhase::Allocate)?;
+
+        // Transfer targets leave emission as *block ids*; now that op
+        // positions are final, rewrite them to vertical op indices (the
+        // first op of the target block).  Compacted execution rewrites
+        // them once more, to word indices, in `Schedule::materialize`.
+        if !straight {
+            for op in ops.iter_mut() {
+                if op.transfer.is_some() {
+                    if let SimExpr::Const(b) = op.expr {
+                        op.expr = SimExpr::Const(block_ranges[b as usize].start as u64);
+                    }
+                }
+            }
+        }
 
         let schedule = options.compaction.then(|| {
             let t5 = Instant::now();
             enter(CompilePhase::Compact);
             probe.begin("compact");
-            let schedule = compact(&ops, &mut self.bdd);
+            let schedule = if straight {
+                compact(&ops, &mut self.bdd)
+            } else {
+                compact_cfg(&ops, &block_ranges, &mut self.bdd)
+            };
             probe.end("compact");
             report.phase("compact", t5.elapsed().as_nanos() as u64);
             schedule
@@ -444,6 +536,16 @@ impl<'t> CompileSession<'t> {
             alloc,
             report,
         })
+    }
+}
+
+/// Wraps a straight-line emission result in the single-block CFG shape.
+fn emitted_as_one_block(e: Emitted) -> EmittedCfg {
+    let n = e.ops.len();
+    EmittedCfg {
+        ops: e.ops,
+        block_ranges: vec![0..n],
+        stats: e.stats,
     }
 }
 

@@ -76,6 +76,11 @@ pub fn render(r: &Reproducer) -> String {
     out.push_str(&format!("shifter: {}\n", spec.shifter));
     out.push_str(&format!("mul-unit: {}\n", spec.mul_unit));
     out.push_str(&format!("imm-bits: {}\n", spec.imm_bits));
+    // Written only when set, so pre-control-flow reproducers stay
+    // byte-identical through a round trip.
+    if spec.control_flow {
+        out.push_str("control-flow: true\n");
+    }
     out.push_str(&format!("function: {}\n", r.case.function));
     out.push_str("== program ==\n");
     out.push_str(&crate::program::render(&r.case.program));
@@ -104,6 +109,7 @@ pub fn parse(text: &str) -> Result<Reproducer, String> {
     let mut shifter = None;
     let mut mul_unit = None;
     let mut imm_bits = None;
+    let mut control_flow = false;
     let mut function = None;
 
     for line in lines.by_ref() {
@@ -135,6 +141,7 @@ pub fn parse(text: &str) -> Result<Reproducer, String> {
             "shifter" => shifter = Some(value == "true"),
             "mul-unit" => mul_unit = Some(value == "true"),
             "imm-bits" => imm_bits = Some(value.parse::<u16>().map_err(bad)?),
+            "control-flow" => control_flow = value == "true",
             "function" => function = Some(value.to_owned()),
             other => return Err(format!("unknown field `{other}`")),
         }
@@ -150,6 +157,7 @@ pub fn parse(text: &str) -> Result<Reproducer, String> {
         shifter: shifter.ok_or_else(|| missing("shifter"))?,
         mul_unit: mul_unit.ok_or_else(|| missing("mul-unit"))?,
         imm_bits: imm_bits.ok_or_else(|| missing("imm-bits"))?,
+        control_flow,
     };
 
     let source: String = lines.collect::<Vec<_>>().join("\n");

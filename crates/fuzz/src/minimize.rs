@@ -131,12 +131,17 @@ fn body_shrinks(body: &[Stmt]) -> Vec<Vec<Stmt>> {
                     out.push(b);
                 }
             }
-            Stmt::Assign { target, value } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 for e in expr_shrinks(value) {
                     let mut b = body.to_vec();
                     b[k] = Stmt::Assign {
                         target: target.clone(),
                         value: e,
+                        span: *span,
                     };
                     out.push(b);
                 }
@@ -146,9 +151,78 @@ fn body_shrinks(body: &[Stmt]) -> Vec<Vec<Stmt>> {
                         b[k] = Stmt::Assign {
                             target: LValue::Elem(name.clone(), e),
                             value: value.clone(),
+                            span: *span,
                         };
                         out.push(b);
                     }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
+                // Replace the conditional by either arm outright.
+                let mut unwrapped = body.to_vec();
+                unwrapped.splice(k..=k, then_body.iter().cloned());
+                out.push(unwrapped);
+                if !else_body.is_empty() {
+                    let mut unwrapped = body.to_vec();
+                    unwrapped.splice(k..=k, else_body.iter().cloned());
+                    out.push(unwrapped);
+                    // Drop just the else arm.
+                    let mut b = body.to_vec();
+                    b[k] = Stmt::If {
+                        cond: cond.clone(),
+                        then_body: then_body.clone(),
+                        else_body: Vec::new(),
+                        span: *span,
+                    };
+                    out.push(b);
+                }
+                for shrunk in body_shrinks(then_body) {
+                    let mut b = body.to_vec();
+                    if let Stmt::If { then_body: tb, .. } = &mut b[k] {
+                        *tb = shrunk;
+                    }
+                    out.push(b);
+                }
+                for shrunk in body_shrinks(else_body) {
+                    let mut b = body.to_vec();
+                    if let Stmt::If { else_body: eb, .. } = &mut b[k] {
+                        *eb = shrunk;
+                    }
+                    out.push(b);
+                }
+                for e in expr_shrinks(cond) {
+                    let mut b = body.to_vec();
+                    if let Stmt::If { cond: c, .. } = &mut b[k] {
+                        *c = e;
+                    }
+                    out.push(b);
+                }
+            }
+            Stmt::While {
+                body: inner, cond, ..
+            } => {
+                // Unwrap the loop: run its body exactly once.
+                let mut unwrapped = body.to_vec();
+                unwrapped.splice(k..=k, inner.iter().cloned());
+                out.push(unwrapped);
+                for shrunk in body_shrinks(inner) {
+                    let mut b = body.to_vec();
+                    if let Stmt::While { body: ib, .. } = &mut b[k] {
+                        *ib = shrunk;
+                    }
+                    out.push(b);
+                }
+                for e in expr_shrinks(cond) {
+                    let mut b = body.to_vec();
+                    if let Stmt::While { cond: c, .. } = &mut b[k] {
+                        *c = e;
+                    }
+                    out.push(b);
                 }
             }
         }
@@ -216,7 +290,7 @@ fn prune_unused(program: &Program) -> Option<Program> {
     }
     fn stmt_refs(s: &Stmt, out: &mut BTreeSet<String>) {
         match s {
-            Stmt::Assign { target, value } => {
+            Stmt::Assign { target, value, .. } => {
                 match target {
                     LValue::Scalar(n) => {
                         out.insert(n.clone());
@@ -228,8 +302,28 @@ fn prune_unused(program: &Program) -> Option<Program> {
                 }
                 expr_refs(value, out);
             }
-            Stmt::For { var, body, .. } => {
+            Stmt::For {
+                var, bound, body, ..
+            } => {
                 out.insert(var.clone());
+                expr_refs(bound, out);
+                for s in body {
+                    stmt_refs(s, out);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                expr_refs(cond, out);
+                for s in then_body.iter().chain(else_body) {
+                    stmt_refs(s, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                expr_refs(cond, out);
                 for s in body {
                     stmt_refs(s, out);
                 }

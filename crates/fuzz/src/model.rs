@@ -109,6 +109,11 @@ pub struct ModelSpec {
     pub mul_unit: bool,
     /// Immediate field width in bits.
     pub imm_bits: u16,
+    /// Allow the *program* generator to emit `if` and bounded `while`
+    /// statements (and dependence-chain bias) for this case.  Not drawn
+    /// from the seed stream — existing corpus seeds reproduce unchanged —
+    /// but set by harnesses that opt into control-flow fuzzing.
+    pub control_flow: bool,
 }
 
 impl ModelSpec {
@@ -147,6 +152,7 @@ impl ModelSpec {
             shifter,
             mul_unit,
             imm_bits,
+            control_flow: false,
         }
     }
 
@@ -205,6 +211,11 @@ impl ModelSpec {
         if self.mem_cells > 16 {
             let mut s = self.clone();
             s.mem_cells /= 2;
+            push(s);
+        }
+        if self.control_flow {
+            let mut s = self.clone();
+            s.control_flow = false;
             push(s);
         }
         out

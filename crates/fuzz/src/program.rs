@@ -16,7 +16,7 @@
 
 use crate::model::ModelSpec;
 use crate::rng::Rng;
-use record_ir::{Expr, Function, LValue, Program, Stmt, VarDecl};
+use record_ir::{Expr, Function, LValue, Program, Span, Stmt, VarDecl};
 use record_rtl::OpKind;
 use std::fmt::Write as _;
 
@@ -140,7 +140,27 @@ impl Gen<'_> {
         Stmt::Assign {
             target: self.target(loop_var),
             value: self.expr(depth, loop_var),
+            span: Span::default(),
         }
+    }
+
+    /// A serial dependence chain: `acc = acc op leaf` repeated, so every
+    /// statement reads the previous one's result.  Long chains stress the
+    /// allocator's residency tracking and defeat compaction parallelism.
+    fn dependence_chain(&mut self) -> Vec<Stmt> {
+        let acc = self.rng.pick(&self.scalars).clone();
+        let len = self.rng.range(3, 8);
+        (0..len)
+            .map(|_| {
+                let op = self.binary_op();
+                let rhs = self.leaf(None);
+                Stmt::Assign {
+                    target: LValue::Scalar(acc.clone()),
+                    value: Expr::Binary(op, Box::new(Expr::Var(acc.clone())), Box::new(rhs)),
+                    span: Span::default(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -194,23 +214,87 @@ pub fn generate(rng: &mut Rng, spec: &ModelSpec) -> Program {
                 Stmt::For {
                     var: "i".to_owned(),
                     start: 0,
-                    bound,
+                    bound: Expr::Const(bound),
                     le: false,
                     step: 1,
                     body: inner,
+                    span: Span::default(),
                 },
             );
         }
     }
 
-    let locals = if has_loop {
-        vec![VarDecl {
+    // Control-flow constructs only behind the spec flag: every rng draw
+    // below is gated, so legacy seeds replay the exact straight-line
+    // program they always produced.
+    let mut has_while = false;
+    if spec.control_flow {
+        if g.rng.chance(70) {
+            let cond = g.expr(1, None);
+            let n_then = g.rng.range(1, 2);
+            let then_body: Vec<Stmt> = (0..n_then).map(|_| g.assign(None)).collect();
+            let else_body: Vec<Stmt> = if g.rng.chance(50) {
+                vec![g.assign(None)]
+            } else {
+                Vec::new()
+            };
+            let at = g.rng.below(body.len() as u64 + 1) as usize;
+            body.insert(
+                at,
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span: Span::default(),
+                },
+            );
+        }
+        if g.rng.chance(50) {
+            // A countdown loop: `w = k; while (w) { ...; w = w - 1; }`.
+            // Generated assigns never target `w` (it is not in the scalar
+            // pool), so termination is by construction.
+            has_while = true;
+            let k = g.rng.range(1, 6) as i64;
+            let n_inner = g.rng.range(1, 2);
+            let mut inner: Vec<Stmt> = (0..n_inner).map(|_| g.assign(None)).collect();
+            inner.push(Stmt::Assign {
+                target: LValue::Scalar("w".to_owned()),
+                value: Expr::Binary(
+                    OpKind::Sub,
+                    Box::new(Expr::Var("w".to_owned())),
+                    Box::new(Expr::Const(1)),
+                ),
+                span: Span::default(),
+            });
+            body.push(Stmt::Assign {
+                target: LValue::Scalar("w".to_owned()),
+                value: Expr::Const(k),
+                span: Span::default(),
+            });
+            body.push(Stmt::While {
+                cond: Expr::Var("w".to_owned()),
+                body: inner,
+                span: Span::default(),
+            });
+        }
+        if g.rng.chance(60) {
+            body.extend(g.dependence_chain());
+        }
+    }
+
+    let mut locals = Vec::new();
+    if has_loop {
+        locals.push(VarDecl {
             name: "i".to_owned(),
             size: None,
-        }]
-    } else {
-        Vec::new()
-    };
+        });
+    }
+    if has_while {
+        locals.push(VarDecl {
+            name: "w".to_owned(),
+            size: None,
+        });
+    }
     Program {
         globals,
         functions: vec![Function {
@@ -278,7 +362,7 @@ fn render_expr(e: &Expr, out: &mut String) {
 fn render_stmt(s: &Stmt, indent: usize, out: &mut String) {
     let pad = "    ".repeat(indent);
     match s {
-        Stmt::Assign { target, value } => {
+        Stmt::Assign { target, value, .. } => {
             out.push_str(&pad);
             match target {
                 LValue::Scalar(name) => out.push_str(name),
@@ -299,14 +383,48 @@ fn render_stmt(s: &Stmt, indent: usize, out: &mut String) {
             le,
             step,
             body,
+            ..
         } => {
             let cmp = if *le { "<=" } else { "<" };
-            let _ = write!(out, "{pad}for ({var} = {start}; {var} {cmp} {bound}; ");
+            let _ = write!(out, "{pad}for ({var} = {start}; {var} {cmp} ");
+            render_expr(bound, out);
+            out.push_str("; ");
             if *step == 1 {
                 let _ = write!(out, "{var}++");
             } else {
                 let _ = write!(out, "{var} += {step}");
             }
+            out.push_str(") {\n");
+            for s in body {
+                render_stmt(s, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = write!(out, "{pad}if (");
+            render_expr(cond, out);
+            out.push_str(") {\n");
+            for s in then_body {
+                render_stmt(s, indent + 1, out);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    render_stmt(s, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "{pad}while (");
+            render_expr(cond, out);
             out.push_str(") {\n");
             for s in body {
                 render_stmt(s, indent + 1, out);

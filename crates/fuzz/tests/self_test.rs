@@ -18,6 +18,7 @@ fn fixture() -> FuzzCase {
         shifter: false,
         mul_unit: false,
         imm_bits: 4,
+        control_flow: false,
     };
     let program =
         record_ir::parse("int g0;\nint g1;\nint g2;\n\nvoid f() {\n    g0 = (g1 + g2);\n}\n")

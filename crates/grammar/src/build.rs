@@ -29,6 +29,11 @@ impl TreeGrammar {
             id
         };
         for s in netlist.storages() {
+            // The program counter is not a value location the selector may
+            // compute into; branch emission handles its templates directly.
+            if s.is_pc {
+                continue;
+            }
             match s.kind {
                 StorageKind::Register => {
                     add_nt(NonTermKind::Reg(s.id), s.name.clone());
@@ -64,6 +69,9 @@ impl TreeGrammar {
 
         // 1. Start rules: START -> ASSIGN_dest(NonTerm(dest)), cost 0.
         for s in netlist.storages() {
+            if s.is_pc {
+                continue;
+            }
             match s.kind {
                 StorageKind::Register => {
                     let dest_nt = nt(NonTermKind::Reg(s.id));
@@ -113,6 +121,15 @@ impl TreeGrammar {
 
         // 2. RT rules: one per template, cost 1.
         for t in base.templates() {
+            // Control-transfer templates (PC writes, predicated or not) are
+            // not expression rules; branch emission selects them directly.
+            if t.pred.is_some()
+                || t.dest
+                    .storage()
+                    .is_some_and(|s| netlist.storage(s).is_pc)
+            {
+                continue;
+            }
             let rhs_of = |p: &Pattern| lower_pattern(p, &by_kind);
             match &t.dest {
                 Dest::Reg(s) => {
@@ -158,6 +175,9 @@ impl TreeGrammar {
 
         // 3. Stop rules: NonTerm(reg) -> Term(reg), cost 0.
         for s in netlist.storages() {
+            if s.is_pc {
+                continue;
+            }
             match s.kind {
                 StorageKind::Register => {
                     push(

@@ -238,6 +238,10 @@ pub struct ProcessorDef {
     /// addressed by instruction fields is *structurally* indistinguishable
     /// from a direct-addressed data memory, so the distinction is declared.
     pub regfiles: Vec<Ident>,
+    /// Register instance designated as the program counter.  The compiler
+    /// treats writes to it as control transfers; a model without one is
+    /// straight-line only.
+    pub pc: Option<Ident>,
 }
 
 /// One instance declaration `acc: Acc;`.

@@ -518,6 +518,7 @@ impl Parser {
         let mut connections: Vec<Connection> = Vec::new();
         let mut modes: Vec<Ident> = Vec::new();
         let mut regfiles: Vec<Ident> = Vec::new();
+        let mut pc: Option<Ident> = None;
         while !self.eat(&TokenKind::RBrace) {
             if self.at_keyword("instruction") {
                 self.bump();
@@ -574,6 +575,15 @@ impl Parser {
                     regfiles.push(self.ident()?);
                     let _ = self.eat(&TokenKind::Semi) || self.eat(&TokenKind::Comma);
                 }
+            } else if self.at_keyword("pc") {
+                self.bump();
+                self.expect(TokenKind::LBrace)?;
+                let inst = self.ident()?;
+                let _ = self.eat(&TokenKind::Semi) || self.eat(&TokenKind::Comma);
+                self.expect(TokenKind::RBrace)?;
+                if pc.replace(inst).is_some() {
+                    return Err(self.semantic_error("duplicate pc declaration"));
+                }
             } else if self.at_keyword("connections") {
                 self.bump();
                 self.expect(TokenKind::LBrace)?;
@@ -603,6 +613,7 @@ impl Parser {
             connections,
             modes,
             regfiles,
+            pc,
         })
     }
 

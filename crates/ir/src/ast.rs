@@ -56,21 +56,79 @@ pub enum LValue {
     Elem(String, Expr),
 }
 
+/// A source position (1-based line and column of the statement's first
+/// token), threaded into lowering diagnostics.
+///
+/// Spans are metadata: two ASTs differing only in positions are the same
+/// program, so every span compares equal (generated and re-parsed
+/// programs stay structurally `==`).
+#[derive(Debug, Clone, Copy, Eq, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Span {
+    /// A span at `line`:`col`.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
 /// A statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
     /// `lv = expr;` (compound assignments are desugared by the parser).
-    Assign { target: LValue, value: Expr },
+    Assign {
+        target: LValue,
+        value: Expr,
+        span: Span,
+    },
     /// `for (i = start; i < bound; i += step) { ... }` with constant
-    /// `start`, `bound`, `step`; `le` distinguishes `<=` from `<`.
+    /// `start` and `step`; `le` distinguishes `<=` from `<`.  The bound is
+    /// an expression: when it folds to a constant the loop is unrolled at
+    /// compile time, otherwise it lowers to a CFG loop.
     For {
         var: String,
         start: i64,
-        bound: i64,
+        bound: Expr,
         le: bool,
         step: i64,
         body: Vec<Stmt>,
+        span: Span,
     },
+    /// `if (cond) { ... } else { ... }` — nonzero condition takes the
+    /// `then` branch.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `while (cond) { ... }` — loops while the condition is nonzero.
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. } => *span,
+        }
+    }
 }
 
 /// An expression.

@@ -52,7 +52,7 @@ fn mask(width: u16) -> u64 {
 fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16, fuel: &mut u64) -> Result<(), CError> {
     for s in stmts {
         match s {
-            Stmt::Assign { target, value } => {
+            Stmt::Assign { target, value, .. } => {
                 let v = eval(value, mem, width)?;
                 let (name, off) = match target {
                     LValue::Scalar(n) => (n.clone(), 0u64),
@@ -76,35 +76,95 @@ fn run_block(stmts: &[Stmt], mem: &mut Memory, width: u16, fuel: &mut u64) -> Re
                 le,
                 step,
                 body,
+                ..
             } => {
                 if *step <= 0 {
                     return Err(err(format!(
                         "loop over `{var}` has non-positive step {step}"
                     )));
                 }
-                let mut i = *start;
-                loop {
-                    let cont = if *le { i <= *bound } else { i < *bound };
-                    if !cont {
-                        break;
+                // Constant bounds keep the historical 64-bit counted-loop
+                // semantics (the counter lives outside the machine word).
+                if let Some(b) = bound.fold(&|_| None) {
+                    let mut i = *start;
+                    loop {
+                        let cont = if *le { i <= b } else { i < b };
+                        if !cont {
+                            break;
+                        }
+                        *fuel = fuel
+                            .checked_sub(1)
+                            .ok_or_else(|| err("interpreter iteration budget exhausted"))?;
+                        let cells = mem
+                            .get_mut(var)
+                            .ok_or_else(|| err(format!("undeclared loop variable `{var}`")))?;
+                        cells[0] = (i as u64) & mask(width);
+                        run_block(body, mem, width, fuel)?;
+                        // Counter saturation means the iteration space is
+                        // exhausted; stop rather than overflow (mirrors
+                        // `lower`'s unrolling).
+                        i = match i.checked_add(*step) {
+                            Some(next) => next,
+                            None => break,
+                        };
                     }
-                    *fuel = fuel
-                        .checked_sub(1)
-                        .ok_or_else(|| err("interpreter iteration budget exhausted"))?;
+                } else {
+                    // Dynamic bound: mirror `lower`'s desugaring exactly —
+                    // the loop variable lives in its storage word and the
+                    // condition/increment evaluate at machine width.
+                    use record_rtl::OpKind;
+                    let cmp = if *le { OpKind::Le } else { OpKind::Lt };
+                    let cond = Expr::Binary(
+                        cmp,
+                        Box::new(Expr::Var(var.clone())),
+                        Box::new(bound.clone()),
+                    );
+                    let incr = Expr::Binary(
+                        OpKind::Add,
+                        Box::new(Expr::Var(var.clone())),
+                        Box::new(Expr::Const(*step)),
+                    );
                     let cells = mem
                         .get_mut(var)
                         .ok_or_else(|| err(format!("undeclared loop variable `{var}`")))?;
-                    cells[0] = (i as u64) & mask(width);
-                    run_block(body, mem, width, fuel)?;
-                    // Counter saturation means the iteration space is
-                    // exhausted; stop rather than overflow (mirrors
-                    // `lower`'s unrolling).
-                    i = match i.checked_add(*step) {
-                        Some(next) => next,
-                        None => break,
-                    };
+                    cells[0] = (*start as u64) & mask(width);
+                    loop {
+                        *fuel = fuel
+                            .checked_sub(1)
+                            .ok_or_else(|| err("interpreter iteration budget exhausted"))?;
+                        if eval(&cond, mem, width)? == 0 {
+                            break;
+                        }
+                        run_block(body, mem, width, fuel)?;
+                        let next = eval(&incr, mem, width)?;
+                        let cells = mem
+                            .get_mut(var)
+                            .ok_or_else(|| err(format!("undeclared loop variable `{var}`")))?;
+                        cells[0] = next & mask(width);
+                    }
                 }
             }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                if eval(cond, mem, width)? != 0 {
+                    run_block(then_body, mem, width, fuel)?;
+                } else {
+                    run_block(else_body, mem, width, fuel)?;
+                }
+            }
+            Stmt::While { cond, body, .. } => loop {
+                *fuel = fuel
+                    .checked_sub(1)
+                    .ok_or_else(|| err("interpreter iteration budget exhausted"))?;
+                if eval(cond, mem, width)? == 0 {
+                    break;
+                }
+                run_block(body, mem, width, fuel)?;
+            },
         }
     }
     Ok(())

@@ -37,7 +37,7 @@ mod parser;
 pub use ast::*;
 pub use error::CError;
 pub use interp::{interp, Memory};
-pub use lower::{lower, FlatExpr, FlatStmt, Ref};
+pub use lower::{lower, lower_cfg, Block, Cfg, FlatExpr, FlatStmt, Ref, Terminator};
 
 /// Parses a mini-C translation unit.
 ///

@@ -278,14 +278,75 @@ impl P {
         Ok(Function { name, locals, body })
     }
 
+    fn span(&self) -> Span {
+        let t = self.peek();
+        Span::new(t.line, t.col)
+    }
+
+    /// `{ stmt* }`
+    fn block(&mut self) -> Result<Vec<Stmt>, CError> {
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
     fn stmt(&mut self) -> Result<Stmt, CError> {
+        let span = self.span();
         if self.at_kw("for") {
-            return self.for_stmt();
+            return self.for_stmt(span);
+        }
+        if self.at_kw("if") {
+            return self.if_stmt(span);
+        }
+        if self.at_kw("while") {
+            return self.while_stmt(span);
         }
         let target = self.lvalue()?;
         let value = self.assign_rhs(&target)?;
         self.expect_punct(";")?;
-        Ok(Stmt::Assign { target, value })
+        Ok(Stmt::Assign {
+            target,
+            value,
+            span,
+        })
+    }
+
+    fn if_stmt(&mut self, span: Span) -> Result<Stmt, CError> {
+        self.expect_kw("if")?;
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let then_body = self.block()?;
+        let else_body = if self.at_kw("else") {
+            self.bump();
+            if self.at_kw("if") {
+                // `else if` chains without braces.
+                let sp = self.span();
+                vec![self.if_stmt(sp)?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        })
+    }
+
+    fn while_stmt(&mut self, span: Span) -> Result<Stmt, CError> {
+        self.expect_kw("while")?;
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body, span })
     }
 
     /// Parses `= e`, `+= e` (desugared), `++`, `--`.
@@ -330,7 +391,7 @@ impl P {
         self.expr()
     }
 
-    fn for_stmt(&mut self) -> Result<Stmt, CError> {
+    fn for_stmt(&mut self, span: Span) -> Result<Stmt, CError> {
         self.expect_kw("for")?;
         self.expect_punct("(")?;
         let var = self.ident()?;
@@ -348,7 +409,9 @@ impl P {
         } else {
             return self.err("for-loop condition must be `<` or `<=`");
         };
-        let bound = self.const_expr()?;
+        // The bound may be any expression; constant bounds unroll at
+        // compile time, others lower to a CFG loop.
+        let bound = self.expr()?;
         self.expect_punct(";")?;
         let var3 = self.ident()?;
         if var3 != var {
@@ -373,11 +436,7 @@ impl P {
             return self.err("for-loop step must be positive");
         }
         self.expect_punct(")")?;
-        self.expect_punct("{")?;
-        let mut body = Vec::new();
-        while !self.eat_punct("}") {
-            body.push(self.stmt()?);
-        }
+        let body = self.block()?;
         Ok(Stmt::For {
             var,
             start,
@@ -385,6 +444,7 @@ impl P {
             le,
             step,
             body,
+            span,
         })
     }
 

@@ -39,7 +39,8 @@ fn parses_for_loop_forms() {
         let Stmt::For { start, bound, .. } = &p.function("f").unwrap().body[0] else {
             panic!("expected for loop");
         };
-        assert_eq!((*start, *bound), (0, 8));
+        assert_eq!(*start, 0);
+        assert_eq!(*bound, Expr::Const(8));
     }
 }
 
@@ -326,10 +327,11 @@ fn non_positive_step_is_rejected_by_interp() {
             body: vec![Stmt::For {
                 var: "i".into(),
                 start: 0,
-                bound: 10,
+                bound: Expr::Const(10),
                 le: false,
                 step: 0,
                 body: vec![],
+                span: Span::default(),
             }],
         }],
     };

@@ -367,6 +367,14 @@ impl<'n> CtrlAnalysis<'n> {
                 let vec = self.ctrl_expr_vec(inst, sel, m)?;
                 Ok(self.vec_equals(&vec, *value, m))
             }
+            // A runtime data comparison is not decodable from the
+            // instruction word; writes guarded by one are untraceable here.
+            // Route enumeration handles the PC's data-guarded arms itself.
+            Guard::DataCmp { port, .. } => Err(CtrlIssue::Untraceable(format!(
+                "data-dependent guard on port {} of `{}`",
+                port,
+                self.netlist.inst(inst).name
+            ))),
             Guard::Not(g) => {
                 let inner = self.guard_bdd(inst, g, m)?;
                 Ok(m.not(inner))

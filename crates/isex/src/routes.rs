@@ -8,7 +8,7 @@ use record_hdl::PortDir;
 use record_netlist::{
     DataExpr, ElabKind, Guard, InstId, Net, Netlist, PortIdx, ProcPortId, StorageKind,
 };
-use record_rtl::{Dest, OpKind, Pattern, TemplateBase, TemplateId, TemplateOrigin};
+use record_rtl::{CondPred, Dest, OpKind, Pattern, TemplateBase, TemplateId, TemplateOrigin};
 use std::collections::HashMap;
 
 /// Options controlling extraction.
@@ -79,7 +79,7 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
         m: manager,
     };
     let mut base = TemplateBase::new();
-    let mut dedup: HashMap<(Dest, Pattern), TemplateId> = HashMap::new();
+    let mut dedup: HashMap<(Dest, Pattern, Option<CondPred>), TemplateId> = HashMap::new();
 
     // Destinations: registers and register files and memories...
     for storage in netlist.storages() {
@@ -91,6 +91,13 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                     unreachable!("register storage backed by register module");
                 };
                 let (input, guard) = (input.clone(), guard.clone());
+                if storage.is_pc {
+                    // PC writes are control transfers; their guards may
+                    // compare runtime data (branch-if-zero), which ordinary
+                    // control analysis rejects.  Decompose instead.
+                    extract_pc(&mut base, &mut dedup, &mut cx, storage.id, inst, &input, &guard)?;
+                    continue;
+                }
                 let gcond = match cx.guard(inst, &guard) {
                     Some(g) => g,
                     None => continue,
@@ -105,6 +112,7 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                         Dest::Reg(storage.id),
                         pat,
                         cond,
+                        None,
                     );
                 }
             }
@@ -132,6 +140,7 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                                 Dest::RegFile(storage.id),
                                 pat,
                                 cond,
+                                None,
                             );
                         }
                     } else {
@@ -147,6 +156,7 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                                     Dest::Mem(storage.id, addr.clone()),
                                     pat.clone(),
                                     c,
+                                    None,
                                 );
                             }
                         }
@@ -175,6 +185,7 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                 Dest::Port(ProcPortId(i as u32)),
                 pat,
                 cond,
+                None,
             );
         }
     }
@@ -191,26 +202,161 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
 /// duplicates.
 fn record(
     base: &mut TemplateBase,
-    dedup: &mut HashMap<(Dest, Pattern), TemplateId>,
+    dedup: &mut HashMap<(Dest, Pattern, Option<CondPred>), TemplateId>,
     cx: &mut Cx<'_>,
     dest: Dest,
     src: Pattern,
     cond: Bdd,
+    pred: Option<CondPred>,
 ) {
     cx.stats.enumerated += 1;
     if cond == Bdd::FALSE {
         cx.stats.unsat_discarded += 1;
         return;
     }
-    match dedup.get(&(dest.clone(), src.clone())) {
+    match dedup.get(&(dest.clone(), src.clone(), pred.clone())) {
         Some(&id) => {
             base.merge_cond(id, cond, &mut cx.m);
             cx.stats.merged_duplicates += 1;
         }
         None => {
-            let id = base.push(dest.clone(), src.clone(), cond, TemplateOrigin::Extracted);
-            dedup.insert((dest, src), id);
+            let id = base.push_pred(
+                dest.clone(),
+                src.clone(),
+                cond,
+                TemplateOrigin::Extracted,
+                pred.clone(),
+            );
+            dedup.insert((dest, src, pred), id);
         }
+    }
+}
+
+/// Extracts control-transfer templates for the designated PC register.
+///
+/// The PC's write guard is an OR of *arms*; each arm is an AND of ordinary
+/// control conjuncts (decoded from the instruction word) and at most one
+/// runtime data comparison (`DataCmp`, possibly negated).  An arm without a
+/// data comparison yields unconditional-jump templates; an arm with one
+/// yields conditional-branch templates whose [`CondPred`] test is the
+/// expansion of the compared data port's driver (e.g. the accumulator).
+/// Arms that mix data comparisons deeper into the guard structure are
+/// skipped as untraceable, like any other data-dependent control.
+fn extract_pc(
+    base: &mut TemplateBase,
+    dedup: &mut HashMap<(Dest, Pattern, Option<CondPred>), TemplateId>,
+    cx: &mut Cx<'_>,
+    storage: record_netlist::StorageId,
+    inst: InstId,
+    input: &DataExpr,
+    guard: &Guard,
+) -> Result<(), IsexError> {
+    let mut arms = Vec::new();
+    flatten_or(guard, &mut arms);
+    let target_routes = cx.expand_data_expr(inst, input, 0)?;
+    for arm in arms {
+        let mut conjuncts = Vec::new();
+        flatten_and(&arm, &mut conjuncts);
+        let mut ctrl = Guard::True;
+        let mut data: Option<(PortIdx, u64, bool)> = None;
+        let mut untraceable = false;
+        for c in conjuncts {
+            match c {
+                Guard::DataCmp { port, value } => {
+                    if data.replace((port, value, true)).is_some() {
+                        untraceable = true;
+                    }
+                }
+                Guard::Not(inner) => {
+                    if let Guard::DataCmp { port, value } = *inner {
+                        if data.replace((port, value, false)).is_some() {
+                            untraceable = true;
+                        }
+                    } else if contains_data_cmp(&inner) {
+                        untraceable = true;
+                    } else {
+                        ctrl = ctrl.and(Guard::Not(inner));
+                    }
+                }
+                other => {
+                    if contains_data_cmp(&other) {
+                        untraceable = true;
+                    } else {
+                        ctrl = ctrl.and(other);
+                    }
+                }
+            }
+        }
+        if untraceable {
+            cx.stats.untraceable_skipped += 1;
+            continue;
+        }
+        let Some(gcond) = cx.guard(inst, &ctrl) else {
+            continue;
+        };
+        match data {
+            None => {
+                for (pat, cond) in &target_routes {
+                    let c = cx.m.and(*cond, gcond);
+                    record(base, dedup, cx, Dest::Reg(storage), pat.clone(), c, None);
+                }
+            }
+            Some((port, value, eq)) => {
+                let test_routes = cx.expand_data_expr(inst, &DataExpr::Port(port), 0)?;
+                for (test, tcond) in &test_routes {
+                    for (pat, cond) in &target_routes {
+                        let c = cx.m.and(*cond, *tcond);
+                        let c = cx.m.and(c, gcond);
+                        record(
+                            base,
+                            dedup,
+                            cx,
+                            Dest::Reg(storage),
+                            pat.clone(),
+                            c,
+                            Some(CondPred {
+                                test: test.clone(),
+                                value,
+                                eq,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Flattens the top-level OR structure of a guard into arms.
+fn flatten_or(g: &Guard, out: &mut Vec<Guard>) {
+    match g {
+        Guard::Or(a, b) => {
+            flatten_or(a, out);
+            flatten_or(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Flattens the top-level AND structure of a guard into conjuncts.
+fn flatten_and(g: &Guard, out: &mut Vec<Guard>) {
+    match g {
+        Guard::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Does the guard contain a runtime data comparison anywhere?
+fn contains_data_cmp(g: &Guard) -> bool {
+    match g {
+        Guard::DataCmp { .. } => true,
+        Guard::Not(a) => contains_data_cmp(a),
+        Guard::And(a, b) | Guard::Or(a, b) => contains_data_cmp(a) || contains_data_cmp(b),
+        Guard::True | Guard::False | Guard::Cmp { .. } => false,
     }
 }
 

@@ -235,6 +235,7 @@ impl<'a> Elaborator<'a> {
                         width: def.ports[*out].width,
                         size: 1,
                         is_mode: inst.is_mode,
+                        is_pc: proc.pc.as_ref() == Some(&inst.name),
                     });
                 }
                 ElabKind::Memory {
@@ -257,9 +258,21 @@ impl<'a> Elaborator<'a> {
                         width: *width,
                         size: *size,
                         is_mode: false,
+                        is_pc: false,
                     });
                 }
                 ElabKind::Comb { .. } => {}
+            }
+        }
+
+        if let Some(pc) = &proc.pc {
+            if !storages
+                .iter()
+                .any(|s| s.is_pc && s.kind == StorageKind::Register)
+            {
+                return err(format!(
+                    "pc declaration names `{pc}`, which is not a register instance"
+                ));
             }
         }
 
@@ -638,6 +651,25 @@ fn ctrl_expr(m: &hdl::ModuleDef, e: &hdl::Expr) -> Result<CtrlExpr> {
     })
 }
 
+/// Builds the guard for a comparison of `sel` against constant `value`.
+///
+/// Comparisons of a bare *data* input port become [`Guard::DataCmp`]: a
+/// runtime condition (the branch-if-zero idiom of PC update paths) rather
+/// than a decodable instruction-word condition.
+fn guard_cmp(m: &hdl::ModuleDef, sel: &hdl::Expr, value: u64) -> Result<Guard> {
+    if let hdl::Expr::Port(name) = sel {
+        if let Some(pidx) = m.ports.iter().position(|p| p.name == *name) {
+            if m.ports[pidx].dir == PortDir::In {
+                return Ok(Guard::DataCmp { port: pidx, value });
+            }
+        }
+    }
+    Ok(Guard::Cmp {
+        sel: ctrl_expr(m, sel)?,
+        value,
+    })
+}
+
 /// Converts a `when` expression into a [`Guard`].
 fn guard_expr(m: &hdl::ModuleDef, e: &hdl::Expr) -> Result<Guard> {
     Ok(match e {
@@ -646,14 +678,8 @@ fn guard_expr(m: &hdl::ModuleDef, e: &hdl::Expr) -> Result<Guard> {
             lhs,
             rhs,
         } => match (&**lhs, &**rhs) {
-            (l, hdl::Expr::Const(v)) => Guard::Cmp {
-                sel: ctrl_expr(m, l)?,
-                value: *v,
-            },
-            (hdl::Expr::Const(v), r) => Guard::Cmp {
-                sel: ctrl_expr(m, r)?,
-                value: *v,
-            },
+            (l, hdl::Expr::Const(v)) => guard_cmp(m, l, *v)?,
+            (hdl::Expr::Const(v), r) => guard_cmp(m, r, *v)?,
             _ => {
                 return err(format!(
                     "guard comparison must be against a constant (module `{}`)",

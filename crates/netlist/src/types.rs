@@ -93,6 +93,14 @@ pub enum Guard {
         sel: CtrlExpr,
         value: u64,
     },
+    /// `port == value` where `port` is a *data* input of the module: a
+    /// runtime comparison control analysis cannot resolve from the
+    /// instruction word.  Conditional PC updates (branch-if-zero) guard on
+    /// these; everywhere else they make the write untraceable.
+    DataCmp {
+        port: PortIdx,
+        value: u64,
+    },
     Not(Box<Guard>),
     And(Box<Guard>, Box<Guard>),
     Or(Box<Guard>, Box<Guard>),
@@ -270,6 +278,8 @@ pub struct Storage {
     pub size: u64,
     /// Is this a designated mode register?
     pub is_mode: bool,
+    /// Is this the designated program counter?
+    pub is_pc: bool,
 }
 
 /// The elaborated processor netlist.
@@ -382,6 +392,11 @@ impl Netlist {
     /// Looks up a storage by instance name.
     pub fn storage_by_name(&self, name: &str) -> Option<&Storage> {
         self.storages.iter().find(|s| s.name == name)
+    }
+
+    /// The designated program counter storage, if the model declares one.
+    pub fn pc_storage(&self) -> Option<&Storage> {
+        self.storages.iter().find(|s| s.is_pc)
     }
 
     /// The driver of an instance port, if connected.

@@ -25,7 +25,7 @@
 //! [`record_codegen::Machine`] oracle while making strictly fewer data
 //! memory accesses whenever the source reuses a value.
 
-use crate::liveness::Liveness;
+use crate::liveness::{CfgLiveness, Liveness};
 use crate::pool::{RegisterPool, Residency, Resident};
 use record_codegen::{Binding, DestSim, Loc, RtOp, SimExpr};
 use record_netlist::StorageId;
@@ -485,6 +485,70 @@ pub fn allocate(
     options: &AllocOptions,
 ) -> (Vec<RtOp>, AllocStats) {
     Allocator::new(pool, liveness, layout, options.clone()).run(ops)
+}
+
+/// Per-block allocation for CFG code.
+///
+/// Each block's op range is rewritten independently: the residency
+/// ledger starts empty per block (no register state is assumed across a
+/// control transfer — predecessors differ and loops re-enter), and the
+/// dead-store pass runs with its usual end-state rule per block, which
+/// keeps every variable word observable at block boundaries.  Scratch
+/// words never escape a block (emission defines them before any read in
+/// the same block), so block-local analysis loses nothing.
+///
+/// Returns the rewritten sequence, the new per-block op ranges (ops are
+/// only ever removed, so ranges shift), and the summed stats.
+pub fn allocate_cfg_probed(
+    ops: &[RtOp],
+    block_ranges: &[std::ops::Range<usize>],
+    pool: &RegisterPool,
+    liveness: &CfgLiveness,
+    layout: MemLayout,
+    options: &AllocOptions,
+    probe: &mut record_probe::Probe<'_>,
+) -> (Vec<RtOp>, Vec<std::ops::Range<usize>>, AllocStats) {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut ranges = Vec::with_capacity(block_ranges.len());
+    let mut total = AllocStats::default();
+    for (b, r) in block_ranges.iter().enumerate() {
+        let alloc = Allocator::new(pool, liveness.block(b), layout, options.clone());
+        let (kept, stats) = alloc.run_probed(&ops[r.clone()], probe);
+        let start = out.len();
+        out.extend(kept);
+        ranges.push(start..out.len());
+        total.ops_before += stats.ops_before;
+        total.ops_after += stats.ops_after;
+        total.reloads_eliminated += stats.reloads_eliminated;
+        total.stores_eliminated += stats.stores_eliminated;
+        total.spills += stats.spills;
+        total.reads_before += stats.reads_before;
+        total.reads_after += stats.reads_after;
+        total.writes_before += stats.writes_before;
+        total.writes_after += stats.writes_after;
+        total.reused_values += stats.reused_values;
+    }
+    (out, ranges, total)
+}
+
+/// [`allocate_cfg_probed`] without tracing.
+pub fn allocate_cfg(
+    ops: &[RtOp],
+    block_ranges: &[std::ops::Range<usize>],
+    pool: &RegisterPool,
+    liveness: &CfgLiveness,
+    layout: MemLayout,
+    options: &AllocOptions,
+) -> (Vec<RtOp>, Vec<std::ops::Range<usize>>, AllocStats) {
+    allocate_cfg_probed(
+        ops,
+        block_ranges,
+        pool,
+        liveness,
+        layout,
+        options,
+        &mut record_probe::Probe::disabled(),
+    )
 }
 
 /// [`allocate`] with per-pass trace spans.

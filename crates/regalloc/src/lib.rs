@@ -30,9 +30,10 @@ mod liveness;
 mod pool;
 
 pub use alloc::{
-    allocate, allocate_probed, mem_traffic, AllocOptions, AllocStats, Allocator, MemLayout,
+    allocate, allocate_cfg, allocate_cfg_probed, allocate_probed, mem_traffic, AllocOptions,
+    AllocStats, Allocator, MemLayout,
 };
-pub use liveness::{Interval, Liveness};
+pub use liveness::{CfgLiveness, Interval, Liveness};
 pub use pool::{Evicted, RegClass, RegisterPool, Residency, Resident};
 
 #[cfg(test)]

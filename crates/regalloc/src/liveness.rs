@@ -7,8 +7,8 @@
 //! worth keeping register-resident exactly when it is accessed more than
 //! once, or defined and then used later (the accumulator pattern).
 
-use record_ir::{FlatExpr, FlatStmt, Ref};
-use std::collections::BTreeMap;
+use record_ir::{Cfg, FlatExpr, FlatStmt, Ref, Terminator};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Def/use profile of one storage word across a statement list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +79,16 @@ pub struct Liveness {
 impl Liveness {
     /// Computes def/use intervals over `stmts`.
     pub fn analyze(stmts: &[FlatStmt]) -> Liveness {
+        Liveness::analyze_block(stmts, &BTreeSet::new())
+    }
+
+    /// Computes def/use intervals over one basic block whose `live_out`
+    /// words escape to other blocks.  Escaping words get an artificial
+    /// use at index `stmts.len()` (one past the last statement), so
+    /// [`Interval::used_after`] and Belady ranking treat them as read at
+    /// the block boundary.  With an empty `live_out` this is exactly
+    /// [`Liveness::analyze`].
+    pub fn analyze_block(stmts: &[FlatStmt], live_out: &BTreeSet<Ref>) -> Liveness {
         let mut intervals: BTreeMap<Ref, Interval> = BTreeMap::new();
         let mut record = |r: &Ref, stmt: usize, is_def: bool| {
             let e = intervals.entry(r.clone()).or_insert_with(|| Interval {
@@ -94,6 +104,9 @@ impl Liveness {
         for (i, s) in stmts.iter().enumerate() {
             collect_uses(&s.value, &mut |r| record(r, i, false));
             record(&s.target, i, true);
+        }
+        for r in live_out {
+            record(r, stmts.len(), false);
         }
         Liveness {
             intervals,
@@ -120,6 +133,131 @@ impl Liveness {
     /// bound on profitable register residency.
     pub fn reused_values(&self) -> usize {
         self.intervals.values().filter(|i| i.reused()).count()
+    }
+}
+
+/// Per-block liveness for a lowered CFG: classic backward dataflow.
+///
+/// `live_in[b] = use[b] ∪ (live_out[b] − def[b])`,
+/// `live_out[b] = ⋃ live_in[succ]`, iterated to fixpoint (the lattice is
+/// finite sets under union, so it terminates).  A branch terminator's
+/// condition reads count as uses at the end of the block.  The halt
+/// block's live-out is empty *at this level*: program variables stay
+/// observable at program end, but that is the allocator's dead-store
+/// policy (it never kills variable words at a block boundary), not a
+/// dataflow fact.
+///
+/// Each block also carries the [`Liveness`] interval data the Belady
+/// ledger ranks by, computed with the block's live-out words as
+/// artificial end-of-block uses.  For a single-block CFG this degenerates
+/// to exactly [`Liveness::analyze`].
+#[derive(Debug, Clone)]
+pub struct CfgLiveness {
+    blocks: Vec<Liveness>,
+    live_in: Vec<BTreeSet<Ref>>,
+    live_out: Vec<BTreeSet<Ref>>,
+}
+
+impl CfgLiveness {
+    /// Runs the fixpoint over `cfg`.
+    pub fn analyze(cfg: &Cfg) -> CfgLiveness {
+        let n = cfg.blocks.len();
+        // Upward-exposed uses and defs per block.  A branch condition is
+        // evaluated after every statement, so its reads are exposed only
+        // when the block does not define the word.
+        let mut uses: Vec<BTreeSet<Ref>> = vec![BTreeSet::new(); n];
+        let mut defs: Vec<BTreeSet<Ref>> = vec![BTreeSet::new(); n];
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            for s in &b.stmts {
+                collect_uses(&s.value, &mut |r| {
+                    if !defs[i].contains(r) {
+                        uses[i].insert(r.clone());
+                    }
+                });
+                defs[i].insert(s.target.clone());
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                collect_uses(cond, &mut |r| {
+                    if !defs[i].contains(r) {
+                        uses[i].insert(r.clone());
+                    }
+                });
+            }
+        }
+
+        let mut live_in: Vec<BTreeSet<Ref>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<Ref>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out = BTreeSet::new();
+                for s in cfg.blocks[i].term.successors() {
+                    out.extend(live_in[s].iter().cloned());
+                }
+                let mut inn = uses[i].clone();
+                inn.extend(out.difference(&defs[i]).cloned());
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        let blocks = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                // The branch condition's reads happen at the terminator:
+                // artificial end-of-block uses, like escaping words.
+                let mut end_uses = live_out[i].clone();
+                if let Terminator::Branch { cond, .. } = &b.term {
+                    collect_uses(cond, &mut |r| {
+                        end_uses.insert(r.clone());
+                    });
+                }
+                Liveness::analyze_block(&b.stmts, &end_uses)
+            })
+            .collect();
+        CfgLiveness {
+            blocks,
+            live_in,
+            live_out,
+        }
+    }
+
+    /// Interval data of block `b` (live-out words appear as uses at the
+    /// block's end index).
+    pub fn block(&self, b: usize) -> &Liveness {
+        &self.blocks[b]
+    }
+
+    /// Words live on entry to block `b`.
+    pub fn live_in(&self, b: usize) -> &BTreeSet<Ref> {
+        &self.live_in[b]
+    }
+
+    /// Words live on exit from block `b`.
+    pub fn live_out(&self, b: usize) -> &BTreeSet<Ref> {
+        &self.live_out[b]
+    }
+
+    /// Number of blocks analysed.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True for an empty CFG (never produced by lowering).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Words accessed more than once in some block — the per-block upper
+    /// bound on profitable register residency, summed.
+    pub fn reused_values(&self) -> usize {
+        self.blocks.iter().map(Liveness::reused_values).sum()
     }
 }
 

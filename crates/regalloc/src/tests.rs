@@ -330,6 +330,7 @@ fn synth_reload(reg: u32, addr: u64) -> RtOp {
         template: TemplateId(0),
         dest: DestSim::Loc(Loc::Reg(StorageId(reg))),
         expr: SimExpr::MemRead(StorageId(9), Box::new(SimExpr::Const(addr))),
+        transfer: None,
         cond: record_bdd::Bdd::TRUE,
     }
 }
@@ -339,6 +340,7 @@ fn synth_store(reg: u32, addr: u64) -> RtOp {
         template: TemplateId(1),
         dest: DestSim::MemAt(StorageId(9), SimExpr::Const(addr)),
         expr: SimExpr::Read(Loc::Reg(StorageId(reg))),
+        transfer: None,
         cond: record_bdd::Bdd::TRUE,
     }
 }
@@ -351,6 +353,7 @@ fn synth_modify(reg: u32) -> RtOp {
             record_rtl::OpKind::Add,
             vec![SimExpr::Read(Loc::Reg(StorageId(reg))), SimExpr::Const(1)],
         ),
+        transfer: None,
         cond: record_bdd::Bdd::TRUE,
     }
 }
@@ -489,6 +492,7 @@ fn dynamic_access_is_a_barrier() {
             StorageId(9),
             Box::new(SimExpr::Read(Loc::Reg(StorageId(1)))),
         ),
+        transfer: None,
         cond: record_bdd::Bdd::TRUE,
     };
     // A dynamic read may observe the scratch store: it must survive.
@@ -501,6 +505,7 @@ fn dynamic_access_is_a_barrier() {
         template: TemplateId(3),
         dest: DestSim::MemAt(StorageId(9), SimExpr::Read(Loc::Reg(StorageId(1)))),
         expr: SimExpr::Const(7),
+        transfer: None,
         cond: record_bdd::Bdd::TRUE,
     };
     // A dynamic write may hit the stored word: the following reload is no

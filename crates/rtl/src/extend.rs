@@ -170,6 +170,11 @@ pub fn extend(base: &mut TemplateBase, opts: &ExtensionOptions) -> ExtensionStat
 
     if opts.commutativity {
         for t in &original {
+            // Predicated templates (conditional branches) are control
+            // transfers, not algebraic shapes; extension does not apply.
+            if t.pred.is_some() {
+                continue;
+            }
             for variant in commutative_variants(&t.src, opts.max_variants_per_template) {
                 if variant == t.src {
                     continue;
@@ -192,6 +197,9 @@ pub fn extend(base: &mut TemplateBase, opts: &ExtensionOptions) -> ExtensionStat
     let after_comm: Vec<RtTemplate> = base.templates().to_vec();
     for rule in opts.library.rules() {
         for t in &after_comm {
+            if t.pred.is_some() {
+                continue;
+            }
             for rewritten in apply_rule(rule, &t.src) {
                 if base.find(&t.dest, &rewritten).is_none() {
                     base.push(

@@ -42,7 +42,7 @@ pub use extend::{
     extend, ExtensionOptions, ExtensionStats, RulePat, TransformLibrary, TransformRule,
 };
 pub use op::OpKind;
-pub use template::{Dest, Pattern, RtTemplate, TemplateBase, TemplateId, TemplateOrigin};
+pub use template::{CondPred, Dest, Pattern, RtTemplate, TemplateBase, TemplateId, TemplateOrigin};
 
 #[cfg(test)]
 mod tests;

@@ -193,6 +193,23 @@ pub enum TemplateOrigin {
     Rewrite(TemplateId),
 }
 
+/// A runtime data predicate guarding a template: the transfer fires only
+/// when `(eval(test) == value) == eq` holds in the executing machine.
+///
+/// Conditional PC updates (branches) surface as templates carrying one of
+/// these; ordinary templates have none.  The test is a data pattern (e.g.
+/// the accumulator), not an instruction-word condition — those live in
+/// `cond`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CondPred {
+    /// Data value the hardware compares.
+    pub test: Pattern,
+    /// Constant it is compared against.
+    pub value: u64,
+    /// `true`: fires when equal; `false`: fires when not equal.
+    pub eq: bool,
+}
+
 /// One RT template: `dest := src` under execution condition `cond`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RtTemplate {
@@ -202,16 +219,29 @@ pub struct RtTemplate {
     /// Execution condition over instruction-word and mode-register bits.
     pub cond: Bdd,
     pub origin: TemplateOrigin,
+    /// Runtime data predicate; `Some` only for conditional transfers
+    /// (conditional branches on PC-carrying machines).
+    pub pred: Option<CondPred>,
 }
 
 impl RtTemplate {
-    /// Renders `dest := src` with names from `netlist`.
+    /// Renders `dest := src` with names from `netlist`; predicated
+    /// templates show their firing condition.
     pub fn render(&self, netlist: &Netlist) -> String {
-        format!(
+        let base = format!(
             "{} := {}",
             self.dest.display(netlist),
             self.src.display(netlist)
-        )
+        );
+        match &self.pred {
+            None => base,
+            Some(p) => format!(
+                "{base} when {} {} {}",
+                p.test.display(netlist),
+                if p.eq { "==" } else { "!=" },
+                p.value
+            ),
+        }
     }
 }
 
@@ -255,6 +285,19 @@ impl TemplateBase {
         cond: Bdd,
         origin: TemplateOrigin,
     ) -> TemplateId {
+        self.push_pred(dest, src, cond, origin, None)
+    }
+
+    /// Adds a template carrying a runtime data predicate (a conditional
+    /// branch shape).  Returns the id.
+    pub fn push_pred(
+        &mut self,
+        dest: Dest,
+        src: Pattern,
+        cond: Bdd,
+        origin: TemplateOrigin,
+        pred: Option<CondPred>,
+    ) -> TemplateId {
         let id = TemplateId(self.templates.len() as u32);
         self.templates.push(RtTemplate {
             id,
@@ -262,6 +305,7 @@ impl TemplateBase {
             src,
             cond,
             origin,
+            pred,
         });
         id
     }
@@ -276,11 +320,22 @@ impl TemplateBase {
         t.cond = manager.or(t.cond, cond);
     }
 
-    /// Looks up a template with exactly this `dest`/`src` shape.
+    /// Looks up an unpredicated template with exactly this `dest`/`src`
+    /// shape.
     pub fn find(&self, dest: &Dest, src: &Pattern) -> Option<TemplateId> {
+        self.find_pred(dest, src, None)
+    }
+
+    /// Looks up a template with exactly this `dest`/`src`/`pred` shape.
+    pub fn find_pred(
+        &self,
+        dest: &Dest,
+        src: &Pattern,
+        pred: Option<&CondPred>,
+    ) -> Option<TemplateId> {
         self.templates
             .iter()
-            .find(|t| &t.dest == dest && &t.src == src)
+            .find(|t| &t.dest == dest && &t.src == src && t.pred.as_ref() == pred)
             .map(|t| t.id)
     }
 
@@ -296,7 +351,7 @@ impl FromIterator<RtTemplate> for TemplateBase {
     fn from_iter<I: IntoIterator<Item = RtTemplate>>(iter: I) -> Self {
         let mut base = TemplateBase::new();
         for t in iter {
-            base.push(t.dest, t.src, t.cond, t.origin);
+            base.push_pred(t.dest, t.src, t.cond, t.origin, t.pred);
         }
         base
     }

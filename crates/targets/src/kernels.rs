@@ -152,7 +152,83 @@ pub fn kernels() -> [Kernel; 10] {
     ]
 }
 
-/// Looks up a kernel by name.
+/// Control-flow kernels: data-dependent branches and loops that cannot be
+/// resolved at compile time, exercising the CFG path of the compiler
+/// (basic-block lowering, branch emission against the target's PC update
+/// templates, per-block liveness and compaction).
+///
+/// These are deliberately kept out of [`kernels`]: the Figure 2 experiment
+/// and the golden listings iterate the straight-line set, whose output is
+/// pinned byte-for-byte.  `hand_ops` counts assume a conditional-branch
+/// machine in the TMS320C25 style (compare, branch, move per element).
+pub fn control_kernels() -> [Kernel; 4] {
+    [
+        // Per element: LAC max; SUB a[i]; BGEZ skip; LAC a[i]; SACL max = ~5 x 7 + 2
+        Kernel {
+            name: "vec_max",
+            source: "int a[8], max;
+                     void kernel() {
+                         int i;
+                         max = a[0];
+                         for (i = 1; i < 8; i++) {
+                             if (max < a[i]) { max = a[i]; }
+                         }
+                     }",
+            function: "kernel",
+            hand_ops: 37,
+        },
+        // Per element: two compare-and-move clamps against memory bounds.
+        Kernel {
+            name: "clip",
+            source: "int x[8], lo, hi;
+                     void kernel() {
+                         int i;
+                         for (i = 0; i < 8; i++) {
+                             if (hi < x[i]) { x[i] = hi; }
+                             if (x[i] < lo) { x[i] = lo; }
+                         }
+                     }",
+            function: "kernel",
+            hand_ops: 64,
+        },
+        // Per element: compare against a threshold, accumulate when above.
+        Kernel {
+            name: "cond_accum",
+            source: "int a[8], t, s;
+                     void kernel() {
+                         int i;
+                         s = 0;
+                         for (i = 0; i < 8; i++) {
+                             if (t < a[i]) { s += a[i]; }
+                         }
+                     }",
+            function: "kernel",
+            hand_ops: 42,
+        },
+        // A genuine runtime loop: the trip count depends on input data, so
+        // the frontend cannot unroll it and must lower a CFG with a back
+        // edge.
+        Kernel {
+            name: "count_down",
+            source: "int n, s;
+                     void kernel() {
+                         s = 0;
+                         while (n) {
+                             s += n;
+                             n = n - 1;
+                         }
+                     }",
+            function: "kernel",
+            hand_ops: 8,
+        },
+    ]
+}
+
+/// Looks up a kernel by name, searching the straight-line set first and
+/// the control-flow set second.
 pub fn kernel(name: &str) -> Option<Kernel> {
-    kernels().into_iter().find(|k| k.name == name)
+    kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .or_else(|| control_kernels().into_iter().find(|k| k.name == name))
 }

@@ -16,5 +16,5 @@
 pub mod kernels;
 pub mod models;
 
-pub use kernels::{kernels, Kernel};
+pub use kernels::{control_kernels, kernel, kernels, Kernel};
 pub use models::{models, TargetModel};

@@ -138,8 +138,10 @@ processor Demo {
 "#;
 
 /// `ref` — the large reference machine: three function units (ALU, shared
-/// multiplier path, barrel shifter), a homogeneous register file, two
-/// operand busses with many drivers.  The combinatorial product of bus
+/// multiplier path, barrel shifter), a comparator, a homogeneous register
+/// file, two operand busses with many drivers, and a program counter with
+/// guarded update paths (unconditional jump, branch-if-zero and
+/// branch-if-nonzero on the accumulator).  The combinatorial product of bus
 /// drivers, ALU functions and chained multiplier routes makes this the
 /// largest template base, as in the paper.
 pub const REF_MACHINE: &str = r#"
@@ -186,13 +188,37 @@ module Mux2 {
     out y: bit(16);
     behavior { case s { 0 => y = a; 1 => y = b; } }
 }
-module Mux3 {
+module Mux4 {
     in a: bit(16);
     in b: bit(16);
     in c: bit(16);
+    in d: bit(16);
     ctrl s: bit(2);
     out y: bit(16);
-    behavior { case s { 0 => y = a; 1 => y = b; 2 => y = c; } }
+    behavior { case s { 0 => y = a; 1 => y = b; 2 => y = c; 3 => y = d; } }
+}
+module Cmp {
+    in a: bit(16);
+    in b: bit(16);
+    ctrl f: bit(3);
+    out y: bit(1);
+    behavior {
+        case f {
+            0 => y = a < b;
+            1 => y = a <= b;
+            2 => y = a > b;
+            3 => y = a >= b;
+            4 => y = a == b;
+            5 => y = a != b;
+        }
+    }
+}
+module Pc {
+    in d: bit(8);
+    in v: bit(16);
+    ctrl br: bit(2);
+    out q: bit(8);
+    register q = d when (br == 1) | ((br == 2) & (v == 0)) | ((br == 3) & (v != 0));
 }
 module Reg16 {
     in d: bit(16);
@@ -220,16 +246,17 @@ module Ram {
     write cells[addr] = din when w == 1;
 }
 processor RefMachine {
-    instruction word: bit(40);
+    instruction word: bit(48);
     in pin: bit(16);
     out pout: bit(16);
     bus abus: bit(16);
     bus bbus: bit(16);
     parts {
-        alu: Alu8; mul: Mul16; sh: Shift; bmux: Mux2; resmux: Mux3;
-        acc: Reg16; t: Reg16; rf: Rf8; dmem: Ram;
+        alu: Alu8; mul: Mul16; sh: Shift; cmp: Cmp; bmux: Mux2; resmux: Mux4;
+        acc: Reg16; t: Reg16; rf: Rf8; dmem: Ram; pc: Pc;
     }
     regfiles { rf }
+    pc { pc }
     connections {
         drive abus = acc.q     when I[17:16] == 0;
         drive abus = rf.dout   when I[17:16] == 1;
@@ -251,9 +278,13 @@ processor RefMachine {
         sh.a = abus;
         sh.b = bbus;
         sh.f = I[25];
+        cmp.a = abus;
+        cmp.b = dmem.dout;
+        cmp.f = I[42:40];
         resmux.a = alu.y;
         resmux.b = sh.y;
         resmux.c = mul.y;
+        resmux.d = cmp.y;
         resmux.s = I[27:26];
         acc.d = resmux.y;
         acc.en = I[28];
@@ -266,6 +297,9 @@ processor RefMachine {
         dmem.addr = I[5:0];
         dmem.din = abus;
         dmem.w = I[31];
+        pc.d = I[15:8];
+        pc.v = acc.q;
+        pc.br = I[44:43];
         pout = alu.y;
     }
 }

@@ -112,5 +112,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("record-quickstart-trace.json");
     std::fs::write(&path, trace.to_chrome_json("record quickstart"))?;
     println!("chrome trace written to {}", path.display());
+
+    // The tiny machine above is branchless: it can only run straight-line
+    // code.  Models that declare a program counter (`pc { pc }`) also get
+    // runtime control flow — the reference model's comparator and guarded
+    // PC update paths let the compiler lower `if`/`while` to real
+    // compare-and-branch code.  Compile one branchy kernel end to end:
+    let ref_model = record_targets::models::model("ref").expect("ref model exists");
+    let ref_target = Record::retarget(ref_model.hdl, &RetargetOptions::default())?;
+    let vec_max = record_targets::kernel("vec_max").expect("control kernel exists");
+    let branchy = ref_target.compile(&CompileRequest::new(vec_max.source, vec_max.function))?;
+    println!(
+        "\ncompiled `{}` (data-dependent branches) to {} words on `ref`",
+        vec_max.name,
+        branchy.code_size()
+    );
+    let machine = ref_target.execute(
+        &branchy,
+        &[("a", vec![3, 9, 1, 40, 7, 2, 25, 8]), ("max", vec![0])],
+    );
+    let (_, max_addr) = branchy
+        .binding
+        .assignments()
+        .find(|(n, _)| *n == "max")
+        .expect("max is bound");
+    let dm = ref_target.data_memory()?;
+    println!("result: max = {}", machine.mem(dm, max_addr));
     Ok(())
 }

@@ -6,6 +6,7 @@ use record_core::{CompiledKernel, Target};
 use std::collections::BTreeSet;
 
 /// Deterministic non-trivial input data for a program's globals.
+#[allow(dead_code)]
 pub fn init_data(program: &record_ir::Program) -> Vec<(String, Vec<u64>)> {
     program
         .globals
@@ -22,6 +23,7 @@ pub fn init_data(program: &record_ir::Program) -> Vec<(String, Vec<u64>)> {
 
 /// Variables the flattened program actually touches (loop variables fold
 /// away during unrolling and never reach machine memory).
+#[allow(dead_code)]
 pub fn touched_variables(flat: &[record_ir::FlatStmt]) -> BTreeSet<String> {
     fn collect(e: &record_ir::FlatExpr, out: &mut BTreeSet<String>) {
         match e {
@@ -44,9 +46,79 @@ pub fn touched_variables(flat: &[record_ir::FlatStmt]) -> BTreeSet<String> {
     set
 }
 
+/// Variables a lowered CFG touches, including branch-condition reads
+/// (the CFG counterpart of [`touched_variables`]).
+#[allow(dead_code)]
+pub fn touched_variables_cfg(cfg: &record_ir::Cfg) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for b in &cfg.blocks {
+        set.extend(touched_variables(&b.stmts));
+        if let record_ir::Terminator::Branch { cond, .. } = &b.term {
+            fn collect(e: &record_ir::FlatExpr, out: &mut BTreeSet<String>) {
+                match e {
+                    record_ir::FlatExpr::Load(r) => {
+                        out.insert(r.name.clone());
+                    }
+                    record_ir::FlatExpr::Unary(_, a) => collect(a, out),
+                    record_ir::FlatExpr::Binary(_, a, b) => {
+                        collect(a, out);
+                        collect(b, out);
+                    }
+                    record_ir::FlatExpr::Const(_) => {}
+                }
+            }
+            collect(cond, &mut set);
+        }
+    }
+    set
+}
+
+/// CFG-aware interpreter-vs-machine oracle: like
+/// [`assert_matches_interpreter`], but lowers to a CFG so programs with
+/// data-dependent control flow can be checked, and takes the initial
+/// memory image explicitly (control-flow kernels are sensitive to input
+/// data, so tests drive them with several images).
+#[allow(dead_code)]
+pub fn assert_matches_interpreter_cfg(
+    target: &Target,
+    kernel: &CompiledKernel,
+    source: &str,
+    function: &str,
+    init: &[(String, Vec<u64>)],
+    label: &str,
+) {
+    let program = record_ir::parse(source).unwrap();
+    let cfg = record_ir::lower_cfg(&program, function).unwrap();
+
+    let mut mem = record_ir::Memory::new();
+    for (name, vals) in init {
+        mem.insert(name.clone(), vals.clone());
+    }
+    record_ir::interp(&program, function, &mut mem, 16).unwrap();
+
+    let init_refs: Vec<(&str, Vec<u64>)> =
+        init.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let machine = target.execute(kernel, &init_refs);
+    let dm = target.data_memory().expect("data memory");
+    let touched = touched_variables_cfg(&cfg);
+    for (name, addr) in kernel.binding.assignments() {
+        if !touched.contains(name) {
+            continue;
+        }
+        for (i, want) in mem[name].iter().enumerate() {
+            assert_eq!(
+                machine.mem(dm, addr + i as u64),
+                *want,
+                "{label}: machine disagrees with the interpreter at {name}[{i}]"
+            );
+        }
+    }
+}
+
 /// Runs `kernel` on the machine simulator from [`init_data`] inputs and
 /// asserts every touched variable equals what the mini-C interpreter
 /// computes; `label` names the kernel/model pair in failure messages.
+#[allow(dead_code)]
 pub fn assert_matches_interpreter(
     target: &Target,
     kernel: &CompiledKernel,

@@ -1,0 +1,213 @@
+//! End-to-end control flow: branchy kernels retarget, compile and agree
+//! with the mini-C interpreter on the reference model in both vertical and
+//! compacted schedules; branchless targets fail with the structured
+//! `no-branch-path` class; lowering errors carry real source positions;
+//! and the CFG validity assertion fires on malformed graphs.
+
+mod common;
+
+use record_core::{CompileRequest, Record, RetargetOptions, Target};
+use record_ir::{Block, Cfg, Terminator};
+use record_targets::{kernels, models};
+
+fn retarget(name: &str) -> Target {
+    let m = models::model(name).unwrap();
+    Record::retarget(m.hdl, &RetargetOptions::default())
+        .unwrap_or_else(|e| panic!("{name} failed to retarget: {e}"))
+}
+
+/// The upgraded reference machine exposes all three control-transfer
+/// template shapes: unconditional jump, branch-if-zero and
+/// branch-if-nonzero on the accumulator.
+#[test]
+fn ref_machine_extracts_branch_templates() {
+    let target = retarget("ref");
+    let pc = target
+        .netlist()
+        .pc_storage()
+        .expect("ref declares a pc")
+        .id;
+    let mut jumps = 0;
+    let mut br_eq = 0;
+    let mut br_ne = 0;
+    for t in target.base().templates() {
+        if t.dest != record_rtl::Dest::Reg(pc) {
+            continue;
+        }
+        match &t.pred {
+            None => jumps += 1,
+            Some(p) if p.value == 0 && p.eq => br_eq += 1,
+            Some(p) if p.value == 0 && !p.eq => br_ne += 1,
+            Some(_) => {}
+        }
+    }
+    assert!(jumps > 0, "no unconditional jump template");
+    assert!(br_eq > 0, "no branch-if-zero template");
+    assert!(br_ne > 0, "no branch-if-nonzero template");
+}
+
+/// Deterministic input images for a control kernel: three data sets per
+/// kernel so both branch directions and different trip counts are hit.
+fn images(source: &str, seed: u64) -> Vec<(String, Vec<u64>)> {
+    let program = record_ir::parse(source).unwrap();
+    program
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let vals = (0..g.words())
+                .map(|i| (gi as u64 * 37 + i * 11 + seed * 29 + 3) & 0x3F)
+                .collect();
+            (g.name.clone(), vals)
+        })
+        .collect()
+}
+
+/// The oracle matrix of the issue: every control-flow kernel, on the
+/// reference model, in both schedules, over several input images, agrees
+/// with the mini-C interpreter.
+#[test]
+fn control_kernels_match_interpreter_on_ref() {
+    let target = retarget("ref");
+    for k in kernels::control_kernels() {
+        for (mode, compaction) in [("vertical", false), ("compacted", true)] {
+            let compiled = target
+                .compile(&CompileRequest::new(k.source, k.function).compaction(compaction))
+                .unwrap_or_else(|e| panic!("{} ({mode}) failed: {e}", k.name));
+            assert!(compiled.code_size() > 0);
+            for seed in 0..3 {
+                let init = images(k.source, seed);
+                common::assert_matches_interpreter_cfg(
+                    &target,
+                    &compiled,
+                    k.source,
+                    k.function,
+                    &init,
+                    &format!("{} {mode} seed{seed}", k.name),
+                );
+            }
+        }
+    }
+}
+
+/// A branch both of whose sides fall through to a join, inside a runtime
+/// loop — exercises back edges, fall-through polarity selection and
+/// per-block allocation with live-across-block values.
+#[test]
+fn while_loop_with_nested_if_matches_interpreter() {
+    let target = retarget("ref");
+    let src = "int n, odd, even;
+               void f() {
+                   odd = 0;
+                   even = 0;
+                   while (n) {
+                       if (n & 1) { odd = odd + n; } else { even = even + n; }
+                       n = n - 1;
+                   }
+               }";
+    for compaction in [false, true] {
+        let compiled = target
+            .compile(&CompileRequest::new(src, "f").compaction(compaction))
+            .unwrap();
+        for n in [0u64, 1, 7, 12] {
+            let init = vec![
+                ("n".to_string(), vec![n]),
+                ("odd".to_string(), vec![0]),
+                ("even".to_string(), vec![0]),
+            ];
+            common::assert_matches_interpreter_cfg(
+                &target,
+                &compiled,
+                src,
+                "f",
+                &init,
+                &format!("odd_even n={n} compaction={compaction}"),
+            );
+        }
+    }
+}
+
+/// A target that declares no program counter cannot compile a program
+/// that needs a runtime transfer; the failure is the structured
+/// `no-branch-path` class, not a selection error.  The `demo` model stays
+/// branchless exactly for this test.
+#[test]
+fn branchless_model_reports_no_branch_path() {
+    let target = retarget("demo");
+    assert!(target.netlist().pc_storage().is_none());
+    let src = "int a, b; void f() { while (a) { b = b + a; a = a - 1; } }";
+    let err = target
+        .compile(&CompileRequest::new(src, "f"))
+        .expect_err("demo has no PC, branchy code must fail");
+    let class = err.classify();
+    assert_eq!(class.kind, "no-branch-path", "got class {class}");
+}
+
+/// The baseline per-operator compiler never learned control flow; asking
+/// it for a branchy program reports the same structured class.
+#[test]
+fn baseline_rejects_control_flow_as_no_branch_path() {
+    let target = retarget("ref");
+    let src = "int a, b; void f() { if (a) { b = 1; } else { b = 2; } }";
+    let err = target
+        .compile(&CompileRequest::new(src, "f").baseline(true).compaction(false))
+        .expect_err("baseline cannot compile branches");
+    let class = err.classify();
+    assert_eq!(class.kind, "no-branch-path", "got class {class}");
+}
+
+/// Satellite: lowering errors carry the offending source line.  The bad
+/// array index sits on line 4 of the translation unit.
+#[test]
+fn bad_index_reports_its_line() {
+    let src = "int a[4];\n\
+               int x;\n\
+               void f() {\n\
+                   x = a[9];\n\
+               }";
+    let program = record_ir::parse(src).unwrap();
+    let err = record_ir::lower_cfg(&program, "f").expect_err("index out of range");
+    assert_eq!(err.line(), 4, "wrong line in: {err}");
+}
+
+/// Straight-line programs still lower to exactly one halt-terminated
+/// block, and lowered CFGs validate; a malformed graph is rejected.
+#[test]
+fn lowered_cfgs_validate() {
+    let program = record_ir::parse("int a, b; void f() { while (a) { b = b + 1; a = a - 1; } }")
+        .unwrap();
+    let cfg = record_ir::lower_cfg(&program, "f").unwrap();
+    assert!(cfg.validate().is_ok());
+    assert!(!cfg.is_straight_line());
+    cfg.assert_valid();
+
+    let program = record_ir::parse("int a; void f() { a = 1; }").unwrap();
+    let cfg = record_ir::lower_cfg(&program, "f").unwrap();
+    assert!(cfg.is_straight_line());
+    cfg.assert_valid();
+
+    let broken = Cfg {
+        blocks: vec![Block {
+            stmts: vec![],
+            term: Terminator::Jump(5),
+        }],
+    };
+    assert!(broken.validate().is_err());
+}
+
+/// The debug-build CFG validity assertion actually fires.
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "targets non-existent block"))]
+fn cfg_assert_valid_panics_on_malformed_graph() {
+    let broken = Cfg {
+        blocks: vec![Block {
+            stmts: vec![],
+            term: Terminator::Jump(5),
+        }],
+    };
+    broken.assert_valid();
+    // In release builds debug_assert! compiles out; make the test pass
+    // trivially there rather than expecting a panic.
+    #[cfg(debug_assertions)]
+    unreachable!();
+}
