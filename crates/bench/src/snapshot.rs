@@ -17,7 +17,7 @@
 //! minimal JSON writer and a minimal recursive-descent parser — enough
 //! for the snapshot schema and nothing else.
 
-use record_core::{CompileRequest, Record, Report, RetargetOptions};
+use record_core::{CompileRequest, Histogram, Record, Report, RetargetOptions};
 use record_targets::{control_kernels, kernels, models};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,15 +27,50 @@ use std::time::Instant;
 /// v2 over v1: per-phase median times (`"phases"`) on every row, and a
 /// failure taxonomy (`fail_phase`/`fail_kind`/`fail_message`, from
 /// [`record_core::CompileError::classify`]) on every `ok: false` compile
-/// row.  `--check` accepts both versions; the failure-class gate only
-/// applies against v2 snapshots.
-pub const SCHEMA: &str = "record-perf-snapshot/v2";
+/// row.  v3 over v2: latency percentiles (`p50_ns`/`p95_ns`/`p99_ns`/
+/// `max_ns`) on every timed row, read off a log-bucketed
+/// [`record_core::Histogram`] over the per-iteration samples — like the
+/// medians they are machine-dependent and *reported*, never gated.
+/// `--check` accepts all versions; the failure-class gate only applies
+/// against v2+ snapshots.
+pub const SCHEMA: &str = "record-perf-snapshot/v3";
+
+/// Tail-latency summary of one measurement series (v3 rows).
+///
+/// Percentiles come off a log₂-bucketed [`Histogram`], so they carry
+/// bucket resolution (the bucket's upper bound, clamped to the exact
+/// max) — the same readout the serving layer's `/metrics` histograms
+/// report, which keeps bench rows and fleet dashboards comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// The percentile readout over one series of nanosecond samples.
+fn latency_summary(samples: &[u128]) -> LatencySummary {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.observe(u64::try_from(s).unwrap_or(u64::MAX));
+    }
+    LatencySummary {
+        p50_ns: h.percentile(0.50),
+        p95_ns: h.percentile(0.95),
+        p99_ns: h.percentile(0.99),
+        max_ns: h.max,
+    }
+}
 
 /// One retargeting measurement.
 #[derive(Debug, Clone)]
 pub struct RetargetRow {
     pub model: &'static str,
     pub median_ns: u128,
+    /// Tail latency over the measured runs (machine-dependent, not
+    /// gated).
+    pub latency: LatencySummary,
     /// Per-phase median times over the measured runs, in recording
     /// order (`parse`, `extract`, `template-gen`, `rule-gen`,
     /// `selector-gen`, `freeze`).
@@ -63,6 +98,9 @@ pub struct CompileRow {
     /// and the `fail_*` fields say why.
     pub ok: bool,
     pub median_ns: u128,
+    /// Tail latency over the measured runs (machine-dependent, not
+    /// gated; zero on failure).
+    pub latency: LatencySummary,
     /// Per-phase median times over the measured runs (`parse`, `lower`,
     /// `bind`, `select`, `emit`, `allocate`, `compact`); empty on
     /// failure.
@@ -141,6 +179,7 @@ pub fn measure(iters: usize) -> Snapshot {
         let target = Record::retarget(model.hdl, &options).expect("model retargets");
         retarget.push(RetargetRow {
             model: model.name,
+            latency: latency_summary(&samples),
             median_ns: median_ns(samples),
             phases: phase_medians(&reports),
             bdd_nodes: target.manager().node_count(),
@@ -173,6 +212,7 @@ pub fn measure(iters: usize) -> Snapshot {
                         model: model.name,
                         kernel: kernel.name,
                         ok: true,
+                        latency: latency_summary(&samples),
                         median_ns: median_ns(samples),
                         phases: phase_medians(&reports),
                         ops: k.ops.len(),
@@ -191,6 +231,7 @@ pub fn measure(iters: usize) -> Snapshot {
                         kernel: kernel.name,
                         ok: false,
                         median_ns: 0,
+                        latency: LatencySummary::default(),
                         phases: Vec::new(),
                         ops: 0,
                         words: 0,
@@ -242,6 +283,14 @@ fn phases_json(phases: &[(&'static str, u128)]) -> String {
     format!("{{{}}}", inner.join(", "))
 }
 
+/// Renders the v3 percentile members of one row.
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}",
+        l.p50_ns, l.p95_ns, l.p99_ns, l.max_ns
+    )
+}
+
 impl Snapshot {
     /// Serializes the snapshot; `pre_pr` is an optional raw JSON value
     /// (typically carried over from the previous snapshot file) recording
@@ -257,8 +306,8 @@ impl Snapshot {
         for (i, r) in self.retarget.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"model\": {:?}, \"median_ns\": {}, \"phases\": {}, \"bdd_nodes\": {}, \"templates\": {}, \"rules\": {}, \"op_cache_hit_rate\": {:.4}, \"unique_avg_probe_len\": {:.4}}}",
-                r.model, r.median_ns, phases_json(&r.phases), r.bdd_nodes, r.templates, r.rules, r.op_cache_hit_rate, r.unique_avg_probe_len
+                "    {{\"model\": {:?}, \"median_ns\": {}, {}, \"phases\": {}, \"bdd_nodes\": {}, \"templates\": {}, \"rules\": {}, \"op_cache_hit_rate\": {:.4}, \"unique_avg_probe_len\": {:.4}}}",
+                r.model, r.median_ns, latency_json(&r.latency), phases_json(&r.phases), r.bdd_nodes, r.templates, r.rules, r.op_cache_hit_rate, r.unique_avg_probe_len
             );
             out.push_str(if i + 1 < self.retarget.len() {
                 ",\n"
@@ -270,8 +319,8 @@ impl Snapshot {
         for (i, c) in self.compile.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"model\": {:?}, \"kernel\": {:?}, \"ok\": {}, \"median_ns\": {}, \"phases\": {}, \"ops\": {}, \"words\": {}, \"scratch_nodes\": {}, \"op_cache_hit_rate\": {:.4}",
-                c.model, c.kernel, c.ok, c.median_ns, phases_json(&c.phases), c.ops, c.words, c.scratch_nodes, c.op_cache_hit_rate
+                "    {{\"model\": {:?}, \"kernel\": {:?}, \"ok\": {}, \"median_ns\": {}, {}, \"phases\": {}, \"ops\": {}, \"words\": {}, \"scratch_nodes\": {}, \"op_cache_hit_rate\": {:.4}",
+                c.model, c.kernel, c.ok, c.median_ns, latency_json(&c.latency), phases_json(&c.phases), c.ops, c.words, c.scratch_nodes, c.op_cache_hit_rate
             );
             if let (Some(phase), Some(kind)) = (c.fail_phase, &c.fail_kind) {
                 let _ = write!(
@@ -675,6 +724,12 @@ mod tests {
             retarget: vec![RetargetRow {
                 model: "demo",
                 median_ns: 123,
+                latency: LatencySummary {
+                    p50_ns: 123,
+                    p95_ns: 127,
+                    p99_ns: 127,
+                    max_ns: 125,
+                },
                 phases: vec![("parse", 60), ("extract", 50)],
                 bdd_nodes: 45,
                 templates: 6,
@@ -688,6 +743,12 @@ mod tests {
                     kernel: "fir",
                     ok: true,
                     median_ns: 999,
+                    latency: LatencySummary {
+                        p50_ns: 1023,
+                        p95_ns: 1023,
+                        p99_ns: 1023,
+                        max_ns: 1001,
+                    },
                     phases: vec![("select", 500), ("emit", 400)],
                     ops: 10,
                     words: 8,
@@ -702,6 +763,7 @@ mod tests {
                     kernel: "matmul",
                     ok: false,
                     median_ns: 0,
+                    latency: LatencySummary::default(),
                     phases: Vec::new(),
                     ops: 0,
                     words: 0,
@@ -721,7 +783,7 @@ mod tests {
         let json = snap.to_json(Some("{\"note\": \"seed\"}"));
         let parsed = parse_json(&json).expect("parses");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
-        assert_eq!(schema_version(&parsed), Ok(2));
+        assert_eq!(schema_version(&parsed), Ok(3));
         assert_eq!(
             parsed
                 .get("pre_pr")
@@ -741,6 +803,14 @@ mod tests {
         assert_eq!(
             rows[1].get("fail_kind").and_then(Json::as_str),
             Some("missing-hardware(mul)")
+        );
+        // v3 percentile members ride on every timed row.
+        assert_eq!(rows[0].get("p50_ns").and_then(Json::as_num), Some(1023.0));
+        assert_eq!(rows[0].get("max_ns").and_then(Json::as_num), Some(1001.0));
+        let retargets = parsed.get("retarget").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            retargets[0].get("p95_ns").and_then(Json::as_num),
+            Some(127.0)
         );
         // No drift against itself.
         assert!(counter_drift(&snap, &parsed).is_empty());

@@ -169,8 +169,20 @@ pub fn compile_cfg<M: BddOps>(
                 probe.begin("statement");
                 let mark = binding.scratch_mark();
                 let r = emit_branch(
-                    cond, *then_to, *else_to, i + 1, p, selector, base, binding, netlist, manager,
-                    tables, width, &mut out, &mut stats,
+                    cond,
+                    *then_to,
+                    *else_to,
+                    i + 1,
+                    p,
+                    selector,
+                    base,
+                    binding,
+                    netlist,
+                    manager,
+                    tables,
+                    width,
+                    &mut out,
+                    &mut stats,
                 );
                 probe.end("statement");
                 r?;
@@ -250,11 +262,7 @@ fn require_paths(paths: &Option<BranchPaths>) -> Result<&BranchPaths, CodegenErr
 /// it is a block id here and is patched to an op/word index later, and
 /// compaction schedules transfer ops into words of their own, so the
 /// encoding bits never constrain a neighbour.
-fn jump_op(
-    paths: &BranchPaths,
-    base: &TemplateBase,
-    target: usize,
-) -> Result<RtOp, CodegenError> {
+fn jump_op(paths: &BranchPaths, base: &TemplateBase, target: usize) -> Result<RtOp, CodegenError> {
     let tid = paths.jump.ok_or_else(|| CodegenError::NoBranchPath {
         detail: "no unconditional PC-write (jump) template".into(),
     })?;

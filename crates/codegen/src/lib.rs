@@ -37,7 +37,9 @@ mod sim;
 
 pub use baseline::baseline_compile;
 pub use binding::Binding;
-pub use emit::{compile, compile_cfg, compile_statement, EmitStats, EmitTables, Emitted, EmittedCfg};
+pub use emit::{
+    compile, compile_cfg, compile_statement, EmitStats, EmitTables, Emitted, EmittedCfg,
+};
 pub use error::CodegenError;
 pub use etgen::build_et;
 pub use ops::{DestSim, Loc, RtOp, SimExpr, Transfer};

@@ -105,11 +105,7 @@ pub enum Transfer {
     /// Unconditional jump: always taken.
     Always,
     /// Conditional branch: taken iff `(eval(test) == value) == eq`.
-    Cond {
-        test: SimExpr,
-        value: u64,
-        eq: bool,
-    },
+    Cond { test: SimExpr, value: u64, eq: bool },
 }
 
 /// One emitted RT operation.

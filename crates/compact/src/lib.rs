@@ -190,16 +190,17 @@ pub fn compact_cfg<M: BddOps>(
 ) -> Schedule {
     let mut words: Vec<Word> = Vec::new();
     let mut moved = 0usize;
-    let flush = |run: std::ops::Range<usize>, words: &mut Vec<Word>, moved: &mut usize, manager: &mut M| {
-        if run.is_empty() {
-            return;
-        }
-        let s = compact(&ops[run.clone()], manager);
-        *moved += s.moved;
-        words.extend(s.words.into_iter().map(|w| Word {
-            ops: w.ops.iter().map(|&k| k + run.start).collect(),
-        }));
-    };
+    let flush =
+        |run: std::ops::Range<usize>, words: &mut Vec<Word>, moved: &mut usize, manager: &mut M| {
+            if run.is_empty() {
+                return;
+            }
+            let s = compact(&ops[run.clone()], manager);
+            *moved += s.moved;
+            words.extend(s.words.into_iter().map(|w| Word {
+                ops: w.ops.iter().map(|&k| k + run.start).collect(),
+            }));
+        };
     for r in block_ranges {
         let mut run_start = r.start;
         for i in r.clone() {

@@ -135,6 +135,11 @@ pub struct Diagnostic {
     /// exposes no usable PC-writing template (emission failures only) —
     /// classified `no-branch-path`.
     pub branch_gap: bool,
+    /// Correlation id of the serving-layer request this failure belongs
+    /// to, when one exists.  The compiler never sets this; the serve
+    /// front-end threads it in ([`CompileError::set_request_id`]) so
+    /// wire errors, access-log lines and scrape labels line up.
+    pub request_id: Option<String>,
 }
 
 impl Diagnostic {
@@ -148,6 +153,7 @@ impl Diagnostic {
             storage: None,
             op: None,
             branch_gap: false,
+            request_id: None,
         }
     }
 }
@@ -277,6 +283,17 @@ impl CompileError {
             CompileError::Frontend { diagnostic, .. }
             | CompileError::Codegen { diagnostic, .. } => Some(diagnostic),
             _ => None,
+        }
+    }
+
+    /// Threads a serving-layer correlation id into the diagnostic, when
+    /// the variant carries one (variants without a diagnostic — timeouts,
+    /// contained panics — carry the id on the wire response instead).
+    pub fn set_request_id(&mut self, request_id: &str) {
+        if let CompileError::Frontend { diagnostic, .. }
+        | CompileError::Codegen { diagnostic, .. } = self
+        {
+            diagnostic.request_id = Some(request_id.to_owned());
         }
     }
 

@@ -50,7 +50,8 @@ pub use pipeline::{
 pub use record_bdd::FrozenBdd;
 pub use record_codegen::{Machine, RtOp};
 pub use record_probe::{
-    validate_chrome_json_shape, Collector, CounterVal, PhaseNs, Probe, Report, Trace, TraceSink,
+    validate_chrome_json_shape, Collector, CounterId, CounterVal, GaugeId, Histogram, HistogramId,
+    MetricsBuilder, MetricsRegistry, MetricsShard, PhaseNs, Probe, Report, Trace, TraceSink,
 };
 pub use record_regalloc::{mem_traffic, AllocStats, Liveness, RegisterPool};
 pub use session::{CompileRequest, CompileSession, SessionPages};

@@ -467,6 +467,8 @@ impl<'t> CompileSession<'t> {
                         &mut probe,
                     );
                     let n = ops.len();
+                    // One block spanning all ops, not `(0..n).collect()`.
+                    #[allow(clippy::single_range_in_vec_init)]
                     (ops, vec![0..n], stats)
                 } else {
                     let liveness = CfgLiveness::analyze(&cfg);
@@ -540,6 +542,8 @@ impl<'t> CompileSession<'t> {
 }
 
 /// Wraps a straight-line emission result in the single-block CFG shape.
+// One block spanning all ops, not `(0..n).collect()`.
+#[allow(clippy::single_range_in_vec_init)]
 fn emitted_as_one_block(e: Emitted) -> EmittedCfg {
     let n = e.ops.len();
     EmittedCfg {

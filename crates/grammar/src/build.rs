@@ -123,11 +123,7 @@ impl TreeGrammar {
         for t in base.templates() {
             // Control-transfer templates (PC writes, predicated or not) are
             // not expression rules; branch emission selects them directly.
-            if t.pred.is_some()
-                || t.dest
-                    .storage()
-                    .is_some_and(|s| netlist.storage(s).is_pc)
-            {
+            if t.pred.is_some() || t.dest.storage().is_some_and(|s| netlist.storage(s).is_pc) {
                 continue;
             }
             let rhs_of = |p: &Pattern| lower_pattern(p, &by_kind);

@@ -135,7 +135,10 @@ impl Cfg {
             }
         }
         if halts.len() != 1 {
-            return Err(format!("CFG has {} halt blocks, want exactly 1", halts.len()));
+            return Err(format!(
+                "CFG has {} halt blocks, want exactly 1",
+                halts.len()
+            ));
         }
         if halts[0] != self.blocks.len() - 1 {
             return Err(format!(
@@ -230,7 +233,10 @@ impl Lower<'_> {
     /// Appends a fresh (unsealed) block and returns its index.
     fn new_block(&mut self, span: Span) -> Result<usize, CError> {
         if self.blocks.len() >= MAX_BLOCKS {
-            return Err(err(span, format!("control flow exceeds {MAX_BLOCKS} blocks")));
+            return Err(err(
+                span,
+                format!("control flow exceeds {MAX_BLOCKS} blocks"),
+            ));
         }
         self.blocks.push(Block {
             stmts: Vec::new(),
@@ -592,7 +598,9 @@ fn fold_index(
     let Some(v) = idx.fold(&|n| env.get(n).copied()) else {
         return Err(err(
             span,
-            format!("index of `{name}` does not fold to a constant (only counted loops are supported)"),
+            format!(
+                "index of `{name}` does not fold to a constant (only counted loops are supported)"
+            ),
         ));
     };
     if v < 0 || v as u64 >= size {

@@ -95,7 +95,9 @@ pub fn extract(netlist: &Netlist, opts: &ExtractOptions) -> Result<Extraction, I
                     // PC writes are control transfers; their guards may
                     // compare runtime data (branch-if-zero), which ordinary
                     // control analysis rejects.  Decompose instead.
-                    extract_pc(&mut base, &mut dedup, &mut cx, storage.id, inst, &input, &guard)?;
+                    extract_pc(
+                        &mut base, &mut dedup, &mut cx, storage.id, inst, &input, &guard,
+                    )?;
                     continue;
                 }
                 let gcond = match cx.guard(inst, &guard) {

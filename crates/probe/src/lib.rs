@@ -18,6 +18,12 @@
 //!   pipeline code talks to degrades to a branch-on-null when disabled:
 //!   the hot paths (BDD apply, grammar labelling) never see the probe
 //!   at all, only phase boundaries do.
+//! * **Fleet [`metrics`]** aggregate across requests and threads: a
+//!   [`MetricsRegistry`] of counters, gauges and log-bucketed latency
+//!   [`Histogram`]s, recorded on lock-free per-worker
+//!   [`MetricsShard`]s and merged only at read (scrape) time.  This is
+//!   what a serving layer exports to a monitoring system; see the
+//!   module docs.
 //!
 //! The first-party sink is [`Collector`], which records events into a
 //! per-session [`Trace`] lane.  Lanes from concurrent sessions (e.g.
@@ -49,10 +55,15 @@
 //! ```
 
 mod chrome;
+pub mod metrics;
 mod report;
 mod trace;
 
 pub use chrome::validate_chrome_json_shape;
+pub use metrics::{
+    CounterId, FamilyId, GaugeId, Histogram, HistogramId, MetricsBuilder, MetricsRegistry,
+    MetricsShard,
+};
 pub use report::{CounterVal, PhaseNs, Report};
 pub use trace::{Collector, EventKind, Lane, Trace, TraceEvent, TraceSink};
 

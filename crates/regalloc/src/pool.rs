@@ -67,7 +67,9 @@ impl RegisterPool {
         let mut classes = Vec::new();
         let mut by_storage = HashMap::new();
         for s in netlist.storages() {
-            if s.is_mode || s.is_pc || !matches!(s.kind, StorageKind::Register | StorageKind::RegFile)
+            if s.is_mode
+                || s.is_pc
+                || !matches!(s.kind, StorageKind::Register | StorageKind::RegFile)
             {
                 continue;
             }

@@ -15,6 +15,7 @@
 //! typically fail the same way, each seeing the real error).
 
 use crate::digest::{model_key, ModelKey};
+use crate::metrics::CacheCounters;
 use record_core::{PipelineError, Record, RetargetOptions, Target};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -47,13 +48,19 @@ struct CacheState {
     map: HashMap<ModelKey, Entry>,
     /// Logical clock for LRU ordering (bumped on every touch).
     tick: u64,
-    stats: CacheStats,
 }
 
 /// A bounded, content-addressed store of retargeted compilers.
+///
+/// Behaviour counters record through a [`CacheCounters`] view — either a
+/// private standalone registry ([`TargetCache::new`]) or a server's
+/// shared [`crate::metrics::ServeMetrics`] registry
+/// ([`TargetCache::with_counters`]), so the `stats` op and the
+/// `/metrics` exposition read the very same numbers.
 pub struct TargetCache {
     capacity: usize,
     options: RetargetOptions,
+    counters: CacheCounters,
     state: Mutex<CacheState>,
     cv: Condvar,
 }
@@ -71,13 +78,23 @@ impl TargetCache {
     /// A cache holding at most `capacity` ready artifacts (clamped to at
     /// least 1), all retargeted under `options`.
     pub fn new(capacity: usize, options: RetargetOptions) -> TargetCache {
+        TargetCache::with_counters(capacity, options, CacheCounters::standalone())
+    }
+
+    /// Like [`TargetCache::new`], recording into the given counter view
+    /// (a server passes its shared registry's view here).
+    pub fn with_counters(
+        capacity: usize,
+        options: RetargetOptions,
+        counters: CacheCounters,
+    ) -> TargetCache {
         TargetCache {
             capacity: capacity.max(1),
             options,
+            counters,
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
                 tick: 0,
-                stats: CacheStats::default(),
             }),
             cv: Condvar::new(),
         }
@@ -102,7 +119,7 @@ impl TargetCache {
             };
             match ready {
                 Some(Some(target)) => {
-                    state.stats.hits += 1;
+                    self.counters.hit();
                     state.tick += 1;
                     let tick = state.tick;
                     if let Some(Entry::Ready { last_used, .. }) = state.map.get_mut(&key) {
@@ -112,14 +129,14 @@ impl TargetCache {
                 }
                 Some(None) => {
                     if !waited {
-                        state.stats.inflight_waits += 1;
+                        self.counters.inflight_wait();
                         waited = true;
                     }
                     state = self.cv.wait(state).expect("cache lock poisoned");
                 }
                 None => {
-                    state.stats.misses += 1;
-                    state.stats.retargets += 1;
+                    self.counters.miss();
+                    self.counters.retarget();
                     state.map.insert(key, Entry::InFlight);
                     drop(state);
 
@@ -139,6 +156,7 @@ impl TargetCache {
                     let mut state = self.state.lock().expect("cache lock poisoned");
                     match retargeted {
                         Ok(target) => {
+                            self.counters.retarget_report(&target.report().report);
                             let target = Arc::new(target);
                             state.tick += 1;
                             let tick = state.tick;
@@ -150,6 +168,7 @@ impl TargetCache {
                                 },
                             );
                             self.evict_to_capacity(&mut state);
+                            self.sync_entries(&state);
                             self.cv.notify_all();
                             return Ok((key, target));
                         }
@@ -174,11 +193,11 @@ impl TargetCache {
             Some(Entry::Ready { target, last_used }) => {
                 *last_used = tick;
                 let target = Arc::clone(target);
-                state.stats.hits += 1;
+                self.counters.hit();
                 Some(target)
             }
             _ => {
-                state.stats.misses += 1;
+                self.counters.miss();
                 None
             }
         }
@@ -208,11 +227,21 @@ impl TargetCache {
                 .map(|(_, k)| k);
             if let Some(k) = victim {
                 state.map.remove(&k);
-                state.stats.evictions += 1;
+                self.counters.eviction();
             } else {
                 return;
             }
         }
+    }
+
+    /// Publishes the ready-entry count to the entries gauge.
+    fn sync_entries(&self, state: &CacheState) {
+        let ready = state
+            .map
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count();
+        self.counters.set_entries(ready);
     }
 
     /// Keys of ready entries, most recently used first (diagnostics and
@@ -231,9 +260,20 @@ impl TargetCache {
         keys.into_iter().map(|(_, k)| k).collect()
     }
 
-    /// A snapshot of the behaviour counters.
+    /// A snapshot of the behaviour counters (merged from the registry;
+    /// the same numbers the `/metrics` exposition reports).
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().expect("cache lock poisoned").stats
+        self.counters.snapshot()
+    }
+
+    /// Ready entries currently cached.
+    pub fn entries(&self) -> usize {
+        let state = self.state.lock().expect("cache lock poisoned");
+        state
+            .map
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
     }
 
     /// The counters as a [`record_probe::Report`] (the same vocabulary the

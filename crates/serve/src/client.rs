@@ -1,9 +1,11 @@
 //! A blocking client for the compile service.
 //!
 //! One TCP connection, one in-flight request at a time (the protocol is
-//! strictly request/response in order).  Typed wrappers cover the four
+//! strictly request/response in order).  Typed wrappers cover the wire
 //! operations; [`Client::request`] sends a raw [`Json`] line for anything
-//! else.
+//! else.  Every response carries the server-assigned `request_id`
+//! (surfaced on the summaries) for correlating with the server's access
+//! log and flight recorder.
 //!
 //! Admission rejections and transport failures close the connection, so
 //! retrying means reconnecting: [`call_with_retry`] runs an operation
@@ -170,6 +172,8 @@ pub struct RetargetSummary {
     pub processor: String,
     /// Grammar rule count.
     pub rules: u64,
+    /// Server-assigned correlation id of this request.
+    pub request_id: Option<String>,
 }
 
 /// Result of a successful `compile` request (or batch item).
@@ -183,6 +187,9 @@ pub struct CompileSummary {
     pub code_size: u64,
     /// Assembly listing, when the request asked for one.
     pub listing: Option<String>,
+    /// Server-assigned correlation id of this request (absent on batch
+    /// items — the id belongs to the batch response line).
+    pub request_id: Option<String>,
 }
 
 /// How a compile request names its processor model.
@@ -335,6 +342,7 @@ impl Client {
             key: str_field(&response, "key")?,
             processor: str_field(&response, "processor")?,
             rules: num_field(&response, "rules")?,
+            request_id: opt_str_field(&response, "request_id"),
         })
     }
 
@@ -398,6 +406,32 @@ impl Client {
     pub fn stats(&mut self) -> Result<Json, ServeError> {
         self.request(&Json::obj(vec![("op", Json::str("stats"))]))
     }
+
+    /// Dumps the server's slow-request flight recorder: every retained
+    /// trace with its request id, function and latency, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport and framing errors, and `no-recorder` when the server
+    /// runs with the flight recorder disabled.
+    pub fn debug_traces(&mut self) -> Result<Vec<crate::SlowTrace>, ServeError> {
+        let response = self.request(&Json::obj(vec![("op", Json::str("debug-traces"))]))?;
+        let traces = response
+            .get("traces")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServeError::Protocol("response missing `traces`".to_owned()))?;
+        traces
+            .iter()
+            .map(|t| {
+                Ok(crate::SlowTrace {
+                    request_id: str_field(t, "request_id")?,
+                    function: str_field(t, "function")?,
+                    latency_ns: num_field(t, "latency_ns")?,
+                    chrome_json: str_field(t, "trace")?,
+                })
+            })
+            .collect()
+    }
 }
 
 fn str_field(v: &Json, key: &str) -> Result<String, ServeError> {
@@ -413,6 +447,10 @@ fn num_field(v: &Json, key: &str) -> Result<u64, ServeError> {
         .ok_or_else(|| ServeError::Protocol(format!("response missing `{key}`")))
 }
 
+fn opt_str_field(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
 fn compile_summary(response: &Json) -> Result<CompileSummary, ServeError> {
     Ok(CompileSummary {
         key: str_field(response, "key")?,
@@ -422,6 +460,7 @@ fn compile_summary(response: &Json) -> Result<CompileSummary, ServeError> {
             .get("listing")
             .and_then(Json::as_str)
             .map(str::to_owned),
+        request_id: opt_str_field(response, "request_id"),
     })
 }
 

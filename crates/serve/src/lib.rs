@@ -29,6 +29,14 @@
 //!   pooled.  Shutdown drains the admission queue before closing, and
 //!   [`call_with_retry`] gives clients bounded exponential backoff with
 //!   deterministic jitter on `overloaded`/transport failures.
+//! * Observability — one [`ServeMetrics`] registry holds every service
+//!   counter, gauge and latency histogram (recorded on lock-free
+//!   per-worker shards, merged at read time); the cache, the pools, the
+//!   `stats` op and the optional `GET /metrics` HTTP listener are all
+//!   views over it.  Every response carries a `request_id`, the
+//!   optional NDJSON access log and the slow-request [`FlightRecorder`]
+//!   key by it, and the `debug-traces` op dumps retained Chrome traces
+//!   over the wire.
 //!
 //! Like the rest of the workspace, the crate has no external
 //! dependencies; the JSON codec is in-tree ([`Json`] / [`parse_json`]).
@@ -37,6 +45,7 @@ mod cache;
 mod client;
 mod digest;
 mod json;
+mod metrics;
 mod pool;
 mod proto;
 mod server;
@@ -48,6 +57,9 @@ pub use client::{
 };
 pub use digest::{model_key, parse_key, render_key, ModelKey};
 pub use json::{parse as parse_json, Json};
+pub use metrics::{
+    AccessLog, CacheCounters, FlightRecorder, PoolCounters, RequestIds, ServeMetrics, SlowTrace,
+};
 pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use proto::{parse_request, CompileItem, ModelRef, Request};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -3,10 +3,14 @@
 //! ```text
 //! record-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--cache-capacity N] [--pool-max-idle N]
+//!              [--metrics-addr HOST:PORT] [--slow-threshold-ms N|off]
+//!              [--trace-ring N] [--access-log]
 //! ```
 //!
 //! Serves the newline-delimited JSON protocol (see `record_serve::proto`)
-//! until killed.
+//! until killed.  With `--metrics-addr`, a second plain-HTTP listener
+//! serves `GET /metrics` in Prometheus text exposition format; with
+//! `--access-log`, one NDJSON line per request goes to stderr.
 
 use record_serve::{Server, ServerConfig};
 
@@ -26,6 +30,16 @@ fn main() {
             "--queue-depth" => config.queue_depth = parse(&next("N"), "--queue-depth"),
             "--cache-capacity" => config.cache_capacity = parse(&next("N"), "--cache-capacity"),
             "--pool-max-idle" => config.pool_max_idle = parse(&next("N"), "--pool-max-idle"),
+            "--metrics-addr" => config.metrics_addr = Some(next("HOST:PORT")),
+            "--slow-threshold-ms" => {
+                let v = next("N|off");
+                config.slow_threshold_ms = match v.as_str() {
+                    "off" => None,
+                    n => Some(parse(n, "--slow-threshold-ms") as u64),
+                };
+            }
+            "--trace-ring" => config.trace_ring = parse(&next("N"), "--trace-ring"),
+            "--access-log" => config.access_log = true,
             other => fail(&format!("unknown argument `{other}`")),
         }
     }
@@ -35,6 +49,9 @@ fn main() {
         Err(e) => fail(&format!("cannot bind `{addr}`: {e}")),
     };
     println!("record-serve listening on {}", handle.addr());
+    if let Some(metrics) = handle.metrics_addr() {
+        println!("record-serve metrics on http://{metrics}/metrics");
+    }
     // Serve until the process is killed.
     loop {
         std::thread::park();
@@ -50,7 +67,8 @@ fn fail(message: &str) -> ! {
     eprintln!("record-serve: {message}");
     eprintln!(
         "usage: record-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--cache-capacity N] [--pool-max-idle N]"
+         [--cache-capacity N] [--pool-max-idle N] [--metrics-addr HOST:PORT] \
+         [--slow-threshold-ms N|off] [--trace-ring N] [--access-log]"
     );
     std::process::exit(2);
 }

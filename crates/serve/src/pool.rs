@@ -10,9 +10,9 @@
 //! pooled output is byte-identical to fresh-session output — the
 //! differential test in `tests/pool_differential.rs` holds this.
 
+use crate::metrics::PoolCounters;
 use record_core::{CompileSession, SessionPages, Target};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Counters describing pool behaviour since construction.
@@ -30,28 +30,36 @@ pub struct PoolStats {
 }
 
 /// A bounded pool of reusable session pages for one target.
+///
+/// Behaviour counters record through a [`PoolCounters`] view — a private
+/// standalone registry ([`SessionPool::new`]) or a server's shared
+/// registry ([`SessionPool::with_counters`]); every pool of one server
+/// shares the view, so server-side stats aggregate across pools.
 #[derive(Debug)]
 pub struct SessionPool {
     target: Arc<Target>,
     idle: Mutex<Vec<SessionPages>>,
     max_idle: usize,
-    created: AtomicU64,
-    reused: AtomicU64,
-    returned: AtomicU64,
-    dropped: AtomicU64,
+    counters: PoolCounters,
 }
 
 impl SessionPool {
     /// A pool over `target` retaining at most `max_idle` idle page sets.
     pub fn new(target: Arc<Target>, max_idle: usize) -> SessionPool {
+        SessionPool::with_counters(target, max_idle, PoolCounters::standalone())
+    }
+
+    /// Like [`SessionPool::new`], recording into the given counter view.
+    pub fn with_counters(
+        target: Arc<Target>,
+        max_idle: usize,
+        counters: PoolCounters,
+    ) -> SessionPool {
         SessionPool {
             target,
             idle: Mutex::new(Vec::new()),
             max_idle,
-            created: AtomicU64::new(0),
-            reused: AtomicU64::new(0),
-            returned: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            counters,
         }
     }
 
@@ -67,11 +75,11 @@ impl SessionPool {
         let pages = self.idle.lock().expect("pool lock poisoned").pop();
         let session = match pages {
             Some(pages) => {
-                self.reused.fetch_add(1, Ordering::Relaxed);
+                self.counters.reused();
                 self.target.session_from(pages)
             }
             None => {
-                self.created.fetch_add(1, Ordering::Relaxed);
+                self.counters.created();
                 self.target.session()
             }
         };
@@ -86,30 +94,26 @@ impl SessionPool {
         self.idle.lock().expect("pool lock poisoned").len()
     }
 
-    /// A snapshot of the behaviour counters.
+    /// A snapshot of the behaviour counters (merged from the registry;
+    /// aggregated across every pool sharing the counter view).
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            created: self.created.load(Ordering::Relaxed),
-            reused: self.reused.load(Ordering::Relaxed),
-            returned: self.returned.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     fn checkin(&self, session: CompileSession<'_>) {
         // A poisoned session panicked mid-compile: its overlay tables may
         // be mid-mutation, so its pages never re-enter circulation.
         if session.poisoned() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.counters.dropped();
             return;
         }
         let pages = session.into_pages();
         let mut idle = self.idle.lock().expect("pool lock poisoned");
         if idle.len() < self.max_idle {
             idle.push(pages);
-            self.returned.fetch_add(1, Ordering::Relaxed);
+            self.counters.returned();
         } else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.counters.dropped();
         }
     }
 }

@@ -11,15 +11,22 @@
 //! * `{"op":"batch-compile", "hdl"|"key":..., "items":[...]}` — compile
 //!   several kernels on one warm session.
 //! * `{"op":"stats"}` — cache/pool/server counters.
+//! * `{"op":"debug-traces"}` — dump the slow-request flight recorder:
+//!   the retained Chrome traces with their request ids and latencies.
 //!
 //! Responses are `{"ok":true, ...}` or `{"ok":false, "error":{"kind":...,
-//! "message":...}}`.  Error kinds: `protocol` (unparseable request),
-//! `overloaded` (admission control rejected the connection), `timeout`
-//! (per-request deadline exceeded; carries `phase`), `unknown-key`
-//! (compile by key missed the cache), `pipeline` (retarget failed),
-//! `compile` (structured compile failure; carries `class`, `phase` and
-//! the diagnostic fields), `internal` (the compiler panicked; contained
-//! by the session boundary, carries `class` and `phase` like `compile`).
+//! "message":...}}`, and the server appends a `request_id` field to
+//! *every* response line — including `overloaded` rejections, `timeout`
+//! and `internal` errors — so clients, the access log and the flight
+//! recorder all correlate on one id.  Error kinds: `protocol`
+//! (unparseable request), `overloaded` (admission control rejected the
+//! connection), `timeout` (per-request deadline exceeded; carries
+//! `phase`), `unknown-key` (compile by key missed the cache), `pipeline`
+//! (retarget failed), `compile` (structured compile failure; carries
+//! `class`, `phase` and the diagnostic fields), `internal` (the compiler
+//! panicked; contained by the session boundary, carries `class` and
+//! `phase` like `compile`), `no-recorder` (`debug-traces` with the
+//! flight recorder disabled).
 
 use crate::digest::{parse_key, ModelKey};
 use crate::json::Json;
@@ -63,6 +70,7 @@ pub enum Request {
         items: Vec<CompileItem>,
     },
     Stats,
+    DebugTraces,
 }
 
 /// Parses one request line.
@@ -96,6 +104,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "debug-traces" => Ok(Request::DebugTraces),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -213,6 +222,9 @@ pub fn compile_error_response(e: &CompileError) -> Json {
         }
         if let Some(op) = d.op {
             error.push(("op".to_owned(), Json::str(op)));
+        }
+        if let Some(rid) = &d.request_id {
+            error.push(("request_id".to_owned(), Json::str(rid.clone())));
         }
     }
     Json::Obj(vec![

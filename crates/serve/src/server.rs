@@ -7,20 +7,31 @@
 //! (warm overlay pages).  Admission control is explicit: when the pending
 //! queue is full, new connections get an `overloaded` error line instead
 //! of an invisible wait, so callers can shed load or back off.
+//!
+//! Observability: every counter, gauge and latency histogram of the
+//! service lives in one [`ServeMetrics`] registry.  Workers record into
+//! per-thread lock-free shards; the optional `/metrics` HTTP listener
+//! ([`ServerConfig::metrics_addr`]) and the NDJSON `stats` op both read
+//! the merged registry.  Every response line carries a `request_id`, the
+//! same id the optional NDJSON access log and the slow-request
+//! [`FlightRecorder`] key their entries by — a slow request's full
+//! Chrome trace is retrievable over the wire with the `debug-traces` op.
 
 use crate::cache::TargetCache;
 use crate::digest::{render_key, ModelKey};
 use crate::json::Json;
+use crate::metrics::{AccessLog, FlightRecorder, RequestIds, ServeMetrics, SlowTrace};
 use crate::pool::SessionPool;
 use crate::proto::{
     compile_error_response, error_response, parse_request, pipeline_error_response, CompileItem,
     ModelRef, Request,
 };
-use record_core::{CompileRequest, RetargetOptions, Target};
+use record_core::{CompileRequest, MetricsShard, RetargetOptions, Target};
+use record_probe::now_ns;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -38,6 +49,17 @@ pub struct ServerConfig {
     pub pool_max_idle: usize,
     /// Options every retarget runs under.
     pub retarget: RetargetOptions,
+    /// Bind address for the plain-HTTP metrics listener (`GET /metrics`
+    /// in Prometheus text exposition format); `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder threshold: compiles slower than this capture
+    /// their full Chrome trace into the bounded trace ring.  `None`
+    /// disables capture entirely (no collector is installed).
+    pub slow_threshold_ms: Option<u64>,
+    /// Slow traces retained (oldest evicted first).
+    pub trace_ring: usize,
+    /// Emit one NDJSON access-log line per request to stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +70,10 @@ impl Default for ServerConfig {
             cache_capacity: 8,
             pool_max_idle: 4,
             retarget: RetargetOptions::default(),
+            metrics_addr: None,
+            slow_threshold_ms: Some(1_000),
+            trace_ring: 16,
+            access_log: false,
         }
     }
 }
@@ -60,10 +86,18 @@ struct Shared {
     queue_cv: Condvar,
     queue_depth: usize,
     shutdown: AtomicBool,
-    /// Requests handled (all ops, success or failure).
-    served: AtomicU64,
-    /// Connections rejected by admission control.
-    rejected: AtomicU64,
+    metrics: ServeMetrics,
+    recorder: Option<FlightRecorder>,
+    access_log: Option<AccessLog>,
+    ids: RequestIds,
+}
+
+/// Per-request context threaded through the handlers: which server,
+/// which worker shard to record on, which correlation id.
+struct RequestCtx<'a> {
+    shared: &'a Shared,
+    shard: &'a MetricsShard,
+    request_id: &'a str,
 }
 
 /// The compile service.  See [`Server::start`].
@@ -71,25 +105,39 @@ struct Shared {
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` and starts serving; returns a handle owning the
-    /// accept and worker threads.
+    /// Binds `addr` (and the metrics listener, when configured) and
+    /// starts serving; returns a handle owning the accept and worker
+    /// threads.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the listener.
+    /// I/O errors from binding either listener.
     pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics = ServeMetrics::new();
         let shared = Arc::new(Shared {
-            cache: TargetCache::new(config.cache_capacity, config.retarget.clone()),
+            cache: TargetCache::with_counters(
+                config.cache_capacity,
+                config.retarget.clone(),
+                metrics.cache_counters(),
+            ),
             pools: Mutex::new(HashMap::new()),
             pool_max_idle: config.pool_max_idle.max(1),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             queue_depth: config.queue_depth.max(1),
             shutdown: AtomicBool::new(false),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            recorder: config
+                .slow_threshold_ms
+                .map(|ms| FlightRecorder::new(ms.saturating_mul(1_000_000), config.trace_ring)),
+            access_log: config.access_log.then(AccessLog::stderr),
+            ids: RequestIds::new(),
+            metrics,
         });
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -104,11 +152,24 @@ impl Server {
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
 
+        let metrics_thread = match metrics_listener {
+            Some(listener) => {
+                let addr = listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                Some((
+                    addr,
+                    std::thread::spawn(move || metrics_loop(&listener, &shared)),
+                ))
+            }
+            None => None,
+        };
+
         Ok(ServerHandle {
             addr: local,
             shared,
             accept: Some(accept),
             workers,
+            metrics: metrics_thread,
         })
     }
 }
@@ -120,6 +181,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: Option<(SocketAddr, JoinHandle<()>)>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -137,6 +199,11 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound metrics-listener address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|(addr, _)| *addr)
+    }
+
     /// Graceful shutdown: stops accepting, drains the admission queue
     /// (every already-accepted connection is served until it closes or
     /// goes idle), then joins all threads.
@@ -148,12 +215,18 @@ impl ServerHandle {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the accept loop with a throwaway connection and the
+        // Wake the accept loops with throwaway connections and the
         // workers through the condvar.
         let _ = TcpStream::connect(self.addr);
+        if let Some((addr, _)) = &self.metrics {
+            let _ = TcpStream::connect(addr);
+        }
         self.shared.queue_cv.notify_all();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some((_, thread)) = self.metrics.take() {
+            let _ = thread.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -176,16 +249,23 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut queue = shared.queue.lock().expect("queue lock poisoned");
         if queue.len() >= shared.queue_depth {
             drop(queue);
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record_rejection();
+            // Rejections carry a request id too: a client that logs the
+            // error line can still be correlated with the access log.
+            let request_id = shared.ids.next_id();
             let mut stream = stream;
-            let line = format!(
-                "{}\n",
-                error_response("overloaded", "admission queue full, retry later")
+            let response = with_request_id(
+                error_response("overloaded", "admission queue full, retry later"),
+                &request_id,
             );
-            let _ = stream.write_all(line.as_bytes());
+            if let Some(log) = &shared.access_log {
+                log.write_line(&access_entry(&request_id, "rejected", &response, 0));
+            }
+            let _ = stream.write_all(format!("{response}\n").as_bytes());
             // Dropping the stream closes the connection.
         } else {
             queue.push_back(stream);
+            shared.metrics.set_queue_depth(queue.len());
             drop(queue);
             shared.queue_cv.notify_one();
         }
@@ -193,6 +273,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Each worker records on its own lock-free shard; the registry
+    // merges shards only when somebody reads (stats op, /metrics).
+    let shard = shared.metrics.worker_shard();
     loop {
         // Drain order matters for graceful shutdown: a queued connection
         // is always popped and served before the shutdown flag is
@@ -202,6 +285,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("queue lock poisoned");
             loop {
                 if let Some(stream) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len());
                     break stream;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -210,11 +294,11 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.queue_cv.wait(queue).expect("queue lock poisoned");
             }
         };
-        serve_connection(shared, stream);
+        serve_connection(shared, &shard, stream);
     }
 }
 
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+fn serve_connection(shared: &Shared, shard: &MetricsShard, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -249,11 +333,27 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = match parse_request(line.trim_end()) {
-            Ok(request) => handle_request(shared, &request),
-            Err(message) => error_response("protocol", &message),
+        let request_id = shared.ids.next_id();
+        let start = now_ns();
+        shared.metrics.inflight_add(1);
+        let (op, response) = match parse_request(line.trim_end()) {
+            Ok(request) => {
+                let ctx = RequestCtx {
+                    shared,
+                    shard,
+                    request_id: &request_id,
+                };
+                (op_name(&request), handle_request(&ctx, &request))
+            }
+            Err(message) => ("invalid", error_response("protocol", &message)),
         };
-        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.inflight_add(-1);
+        let response = with_request_id(response, &request_id);
+        let latency_ns = now_ns().saturating_sub(start);
+        shared.metrics.record_request(shard, latency_ns);
+        if let Some(log) = &shared.access_log {
+            log.write_line(&access_entry(&request_id, op, &response, latency_ns));
+        }
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .is_err()
@@ -267,7 +367,48 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn handle_request(shared: &Shared, request: &Request) -> Json {
+/// Appends the correlation id to a response object.
+fn with_request_id(mut response: Json, request_id: &str) -> Json {
+    if let Json::Obj(fields) = &mut response {
+        fields.push(("request_id".to_owned(), Json::str(request_id)));
+    }
+    response
+}
+
+/// The access-log vocabulary for a request.
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Retarget { .. } => "retarget",
+        Request::Compile { .. } => "compile",
+        Request::BatchCompile { .. } => "batch-compile",
+        Request::Stats => "stats",
+        Request::DebugTraces => "debug-traces",
+    }
+}
+
+/// One NDJSON access-log line: timestamp, correlation id, op, outcome,
+/// latency, and the error kind when the request failed.
+fn access_entry(request_id: &str, op: &str, response: &Json, latency_ns: u64) -> Json {
+    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let mut fields = vec![
+        ("ts_ns".to_owned(), Json::num(now_ns())),
+        ("request_id".to_owned(), Json::str(request_id)),
+        ("op".to_owned(), Json::str(op)),
+        ("ok".to_owned(), Json::Bool(ok)),
+        ("latency_ns".to_owned(), Json::num(latency_ns)),
+    ];
+    if let Some(kind) = response
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+    {
+        fields.push(("error_kind".to_owned(), Json::str(kind)));
+    }
+    Json::Obj(fields)
+}
+
+fn handle_request(ctx: &RequestCtx<'_>, request: &Request) -> Json {
+    let shared = ctx.shared;
     match request {
         Request::Retarget { hdl } => match shared.cache.get_or_retarget(hdl) {
             Ok((key, target)) => Json::obj(vec![
@@ -286,7 +427,7 @@ fn handle_request(shared: &Shared, request: &Request) -> Json {
             Ok((key, target)) => {
                 let pool = pool_for(shared, key, &target);
                 let mut session = pool.checkout();
-                compile_response(key, &mut session, item)
+                compile_response(ctx, key, &mut session, item)
             }
             Err(response) => response,
         },
@@ -301,7 +442,7 @@ fn handle_request(shared: &Shared, request: &Request) -> Json {
                         // fresh-session (byte-identical) output.
                         session.reset();
                     }
-                    results.push(compile_response(key, &mut session, item));
+                    results.push(compile_response(ctx, key, &mut session, item));
                 }
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -311,6 +452,7 @@ fn handle_request(shared: &Shared, request: &Request) -> Json {
             Err(response) => response,
         },
         Request::Stats => stats_response(shared),
+        Request::DebugTraces => debug_traces_response(shared),
     }
 }
 
@@ -335,21 +477,56 @@ fn resolve(shared: &Shared, model: &ModelRef) -> Result<(ModelKey, Arc<Target>),
 
 fn pool_for(shared: &Shared, key: ModelKey, target: &Arc<Target>) -> Arc<SessionPool> {
     let mut pools = shared.pools.lock().expect("pools lock poisoned");
-    Arc::clone(
-        pools.entry(key).or_insert_with(|| {
-            Arc::new(SessionPool::new(Arc::clone(target), shared.pool_max_idle))
-        }),
-    )
+    let pool = Arc::clone(pools.entry(key).or_insert_with(|| {
+        Arc::new(SessionPool::with_counters(
+            Arc::clone(target),
+            shared.pool_max_idle,
+            shared.metrics.pool_counters(),
+        ))
+    }));
+    shared.metrics.set_pool_count(pools.len());
+    pool
 }
 
 fn compile_response(
+    ctx: &RequestCtx<'_>,
     key: ModelKey,
     session: &mut record_core::CompileSession<'_>,
     item: &CompileItem,
 ) -> Json {
+    let shared = ctx.shared;
     let request =
         CompileRequest::new(&item.source, &item.function).with_options(item.options.clone());
-    match session.compile(&request) {
+    // The flight recorder needs the span stream of every compile that
+    // *might* be slow, which is all of them — so when it is armed, every
+    // compile traces.  Tracing is observation-only (the differential
+    // test in `tests/probe_differential.rs` holds traced output
+    // byte-identical to untraced), so this cannot change results.
+    if shared.recorder.is_some() {
+        session.install_collector(0);
+    }
+    let start = now_ns();
+    let result = session.compile(&request);
+    let elapsed_ns = now_ns().saturating_sub(start);
+    let trace = session.take_trace();
+    match &result {
+        Ok(kernel) => shared
+            .metrics
+            .record_compile_phases(ctx.shard, &kernel.report),
+        Err(e) => shared.metrics.record_failure(&e.classify()),
+    }
+    if let (Some(recorder), Some(trace)) = (&shared.recorder, trace) {
+        if elapsed_ns >= recorder.threshold_ns() {
+            recorder.record(SlowTrace {
+                request_id: ctx.request_id.to_owned(),
+                function: item.function.clone(),
+                latency_ns: elapsed_ns,
+                chrome_json: trace.to_chrome_json("record-serve"),
+            });
+            shared.metrics.record_slow_trace(ctx.shard);
+        }
+    }
+    match result {
         Ok(kernel) => {
             let mut fields = vec![
                 ("ok".to_owned(), Json::Bool(true)),
@@ -366,26 +543,21 @@ fn compile_response(
             }
             Json::Obj(fields)
         }
-        Err(e) => compile_error_response(&e),
+        Err(mut e) => {
+            e.set_request_id(ctx.request_id);
+            compile_error_response(&e)
+        }
     }
 }
 
 fn stats_response(shared: &Shared) -> Json {
+    // Every number below is a read of the shared metrics registry — the
+    // same registry `/metrics` renders — so the two surfaces can never
+    // disagree.
     let cache = shared.cache.stats();
-    let pools = shared.pools.lock().expect("pools lock poisoned");
-    let mut created = 0;
-    let mut reused = 0;
-    let mut returned = 0;
-    let mut dropped = 0;
-    for pool in pools.values() {
-        let s = pool.stats();
-        created += s.created;
-        reused += s.reused;
-        returned += s.returned;
-        dropped += s.dropped;
-    }
-    let pool_count = pools.len() as u64;
-    drop(pools);
+    let pool_count = shared.pools.lock().expect("pools lock poisoned").len() as u64;
+    let pools = shared.metrics.pool_counters().snapshot();
+    let (served, rejected) = shared.metrics.server_counters();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         (
@@ -396,28 +568,114 @@ fn stats_response(shared: &Shared) -> Json {
                 ("retargets", Json::num(cache.retargets)),
                 ("inflight_waits", Json::num(cache.inflight_waits)),
                 ("evictions", Json::num(cache.evictions)),
-                ("entries", Json::num(shared.cache.keys().len() as u64)),
+                ("entries", Json::num(shared.cache.entries() as u64)),
             ]),
         ),
         (
             "pools",
             Json::obj(vec![
                 ("count", Json::num(pool_count)),
-                ("created", Json::num(created)),
-                ("reused", Json::num(reused)),
-                ("returned", Json::num(returned)),
-                ("dropped", Json::num(dropped)),
+                ("created", Json::num(pools.created)),
+                ("reused", Json::num(pools.reused)),
+                ("returned", Json::num(pools.returned)),
+                ("dropped", Json::num(pools.dropped)),
             ]),
         ),
         (
             "server",
             Json::obj(vec![
-                ("served", Json::num(shared.served.load(Ordering::Relaxed))),
-                (
-                    "rejected",
-                    Json::num(shared.rejected.load(Ordering::Relaxed)),
-                ),
+                ("served", Json::num(served)),
+                ("rejected", Json::num(rejected)),
             ]),
         ),
     ])
+}
+
+fn debug_traces_response(shared: &Shared) -> Json {
+    match &shared.recorder {
+        None => error_response(
+            "no-recorder",
+            "flight recorder disabled (slow_threshold_ms unset)",
+        ),
+        Some(recorder) => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("threshold_ns", Json::num(recorder.threshold_ns())),
+            (
+                "traces",
+                Json::Arr(
+                    recorder
+                        .dump()
+                        .into_iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("request_id".to_owned(), Json::str(t.request_id)),
+                                ("function".to_owned(), Json::str(t.function)),
+                                ("latency_ns".to_owned(), Json::num(t.latency_ns)),
+                                // The Chrome trace travels as a JSON
+                                // *string*: dump it to a file and load it
+                                // in Perfetto as-is.
+                                ("trace".to_owned(), Json::str(t.chrome_json)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// The metrics listener: a deliberately minimal HTTP/1.1 responder —
+/// one request per connection, `GET /metrics` only, `Connection: close`.
+/// Scrapers (Prometheus, curl) need nothing more, and keeping it trivial
+/// keeps it off the compile path entirely.
+fn metrics_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        serve_metrics_request(shared, &mut stream);
+    }
+}
+
+fn serve_metrics_request(shared: &Shared, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; the response does not depend on them.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics.render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; the only route is /metrics\n".to_owned(),
+        )
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
 }

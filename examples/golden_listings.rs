@@ -35,8 +35,8 @@ fn main() {
         let mut sections = Vec::new();
         for kernel in kernels() {
             for (mode, compaction) in [("compacted", true), ("vertical", false)] {
-                let req = CompileRequest::new(kernel.source, kernel.function)
-                    .compaction(compaction);
+                let req =
+                    CompileRequest::new(kernel.source, kernel.function).compaction(compaction);
                 let body = match target.compile(&req) {
                     Ok(k) => target.listing(&k),
                     Err(e) => format!("ERROR {}\n", e.classify()),
@@ -48,8 +48,13 @@ fn main() {
         let (path, out) = if total > DIGEST_THRESHOLD {
             let mut out = String::new();
             for (header, body) in &sections {
-                writeln!(out, "{header} fnv1a={:016x} bytes={}", fnv1a(body.as_bytes()), body.len())
-                    .unwrap();
+                writeln!(
+                    out,
+                    "{header} fnv1a={:016x} bytes={}",
+                    fnv1a(body.as_bytes()),
+                    body.len()
+                )
+                .unwrap();
             }
             (format!("{dir}/digests_{}.txt", model.name), out)
         } else {

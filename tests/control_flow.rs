@@ -22,11 +22,7 @@ fn retarget(name: &str) -> Target {
 #[test]
 fn ref_machine_extracts_branch_templates() {
     let target = retarget("ref");
-    let pc = target
-        .netlist()
-        .pc_storage()
-        .expect("ref declares a pc")
-        .id;
+    let pc = target.netlist().pc_storage().expect("ref declares a pc").id;
     let mut jumps = 0;
     let mut br_eq = 0;
     let mut br_ne = 0;
@@ -150,7 +146,11 @@ fn baseline_rejects_control_flow_as_no_branch_path() {
     let target = retarget("ref");
     let src = "int a, b; void f() { if (a) { b = 1; } else { b = 2; } }";
     let err = target
-        .compile(&CompileRequest::new(src, "f").baseline(true).compaction(false))
+        .compile(
+            &CompileRequest::new(src, "f")
+                .baseline(true)
+                .compaction(false),
+        )
         .expect_err("baseline cannot compile branches");
     let class = err.classify();
     assert_eq!(class.kind, "no-branch-path", "got class {class}");
@@ -174,8 +174,8 @@ fn bad_index_reports_its_line() {
 /// block, and lowered CFGs validate; a malformed graph is rejected.
 #[test]
 fn lowered_cfgs_validate() {
-    let program = record_ir::parse("int a, b; void f() { while (a) { b = b + 1; a = a - 1; } }")
-        .unwrap();
+    let program =
+        record_ir::parse("int a, b; void f() { while (a) { b = b + 1; a = a - 1; } }").unwrap();
     let cfg = record_ir::lower_cfg(&program, "f").unwrap();
     assert!(cfg.validate().is_ok());
     assert!(!cfg.is_straight_line());
@@ -197,7 +197,10 @@ fn lowered_cfgs_validate() {
 
 /// The debug-build CFG validity assertion actually fires.
 #[test]
-#[cfg_attr(debug_assertions, should_panic(expected = "targets non-existent block"))]
+#[cfg_attr(
+    debug_assertions,
+    should_panic(expected = "targets non-existent block")
+)]
 fn cfg_assert_valid_panics_on_malformed_graph() {
     let broken = Cfg {
         blocks: vec![Block {

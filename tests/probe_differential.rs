@@ -5,7 +5,8 @@
 //! timestamps) and export as loadable Chrome trace JSON.
 
 use record_core::{
-    validate_chrome_json_shape, CompileRequest, CompiledKernel, Record, RetargetOptions,
+    validate_chrome_json_shape, CompileRequest, CompiledKernel, MetricsBuilder, Record,
+    RetargetOptions,
 };
 use record_targets::{kernels, models};
 
@@ -103,6 +104,68 @@ fn batch_traced_equals_untraced_batch() {
 
     let json = trace.to_chrome_json("batch");
     validate_chrome_json_shape(&json).expect("chrome JSON shape");
+}
+
+/// Fleet metrics are observation-only too: a compile whose report is
+/// recorded into a metrics registry (the serving layer's per-phase
+/// histograms, with a collector installed like the flight recorder
+/// installs one) produces byte-identical code to a bare compile — and
+/// the registry afterwards holds exactly the observations the reports
+/// claimed.
+#[test]
+fn metered_compile_is_byte_identical_to_unmetered() {
+    let mut b = MetricsBuilder::new();
+    let phase_ids: Vec<_> = [
+        "parse", "lower", "bind", "select", "emit", "allocate", "compact",
+    ]
+    .iter()
+    .map(|&phase| {
+        (
+            phase,
+            b.histogram("compile_phase_ns", "per-phase latency", &[("phase", phase)]),
+        )
+    })
+    .collect();
+    let registry = b.build();
+    let shard = registry.shard();
+
+    let model = models::model("tms320c25").unwrap();
+    let target = Record::retarget(model.hdl, &RetargetOptions::default()).unwrap();
+    let mut expected_observations = 0u64;
+    let mut checked = 0usize;
+    for kernel in kernels::kernels() {
+        let label = format!("tms320c25/{}", kernel.name);
+        let request = CompileRequest::new(kernel.source, kernel.function);
+        let plain = target.compile(&request);
+        // The metered path mirrors the serving layer: collector armed,
+        // report phases recorded onto a lock-free shard afterwards.
+        let mut session = target.session();
+        session.install_collector(0);
+        let metered = session.compile(&request);
+        if let Ok(kernel) = &metered {
+            for p in &kernel.report.phases {
+                if let Some(&(_, id)) = phase_ids.iter().find(|(l, _)| *l == p.label) {
+                    shard.observe(id, p.ns);
+                    expected_observations += 1;
+                }
+            }
+        }
+        match (&metered, &plain) {
+            (Ok(m), Ok(p)) => assert_same_code(m, p, &label),
+            (Err(m), Err(p)) => assert_eq!(m, p, "{label}: errors differ"),
+            _ => panic!("{label}: metered and unmetered disagree on success"),
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "checked {checked} kernels");
+
+    // The registry saw every recorded phase, no more, no less.
+    let total: u64 = phase_ids
+        .iter()
+        .map(|&(_, id)| registry.histogram(id).count())
+        .sum();
+    assert_eq!(total, expected_observations, "registry observation count");
+    assert!(total > 0, "no phase observations recorded");
 }
 
 /// The always-on report tells the truth: phases cover the pipeline that
